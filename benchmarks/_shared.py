@@ -1,0 +1,62 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper.  The
+heavyweight computation (a full HeteroGen run per subject and variant) is
+cached at module level so Table 3, Table 5 and Figure 9 do not repeat
+each other's work; the cached callable is what ``pytest-benchmark``
+times on its first execution.
+
+Every benchmark writes its rendered table under ``benchmarks/out/`` so
+the regenerated results can be inspected (and are quoted in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+from repro.baselines import TWELVE_HOURS, default_config, run_variant
+from repro.core.report import TranspileResult
+from repro.subjects import all_subjects, get_subject
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: One deterministic seed for every run in the harness.
+SEED = 2022
+
+
+def write_table(name: str, text: str) -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(text)
+    return path
+
+
+def config_for(variant: str):
+    """Benchmark-sized budgets per variant."""
+    if variant == "WithoutDependence":
+        # Figure 9 caps this variant at 12 simulated hours.
+        return default_config(
+            budget_seconds=TWELVE_HOURS,
+            max_iterations=500,
+            fuzz_execs=800,
+            seed=SEED,
+        )
+    return default_config(
+        budget_seconds=3 * 3600.0,
+        max_iterations=220,
+        fuzz_execs=800,
+        seed=SEED,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def transpile(subject_id: str, variant: str = "HeteroGen") -> TranspileResult:
+    """Run (once) and cache a variant on a subject."""
+    subject = get_subject(subject_id)
+    return run_variant(subject, variant, config_for(variant))
+
+
+def subject_ids():
+    return [s.id for s in all_subjects()]

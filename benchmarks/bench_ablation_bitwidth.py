@@ -1,0 +1,76 @@
+"""Extra ablation (beyond the paper's figures): bitwidth finitization.
+
+§4 argues that profile-driven bitwidth estimation saves on-chip
+resources and improves frequency/parallelism.  This ablation quantifies
+the model's version of that: for the integer-heavy subjects, compare the
+scheduled latency and resource usage of the original kernel against the
+finitized initial version (``P_broken`` with ``fpga_int``/``fpga_uint``
+declarations), everything else equal.
+"""
+
+import pytest
+
+from repro.core import generate_initial_version
+from repro.fuzz import FuzzConfig, fuzz_kernel, get_kernel_seed
+from repro.hls import estimate
+from repro.subjects import get_subject
+
+from _shared import SEED, write_table
+
+#: Integer-dominated kernels where narrowing has datapath effects.
+SUBJECT_IDS = ("P6", "P7", "P10")
+
+
+def run_ablation():
+    rows = []
+    for subject_id in SUBJECT_IDS:
+        subject = get_subject(subject_id)
+        unit = subject.parse()
+        seeds = get_kernel_seed(
+            unit, subject.host, subject.kernel, list(subject.host_args)
+        )
+        suite = fuzz_kernel(
+            unit, subject.kernel,
+            FuzzConfig(max_execs=600, plateau_execs=300, seed=SEED),
+            seeds=seeds,
+        ).suite(40)
+        finitized, plan, _profile = generate_initial_version(
+            unit, subject.kernel, suite
+        )
+        config = subject.solution.with_top(subject.kernel)
+        before = estimate(unit, config)
+        after = estimate(finitized, config)
+        rows.append((subject, len(plan), before, after))
+    return rows
+
+
+def render(rows):
+    header = (
+        f"{'ID':4} {'narrowed':>9} {'LUTs before':>12} {'LUTs after':>11} "
+        f"{'cycles before':>14} {'cycles after':>13}"
+    )
+    lines = ["Ablation — profile-driven bitwidth finitization (§4)",
+             header, "-" * len(header)]
+    for subject, narrowed, before, after in rows:
+        lines.append(
+            f"{subject.id:4} {narrowed:9} {before.resources.luts:12} "
+            f"{after.resources.luts:11} {before.cycles:14.0f} "
+            f"{after.cycles:13.0f}"
+        )
+    return "\n".join(lines)
+
+
+def test_ablation_bitwidth(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    write_table("ablation_bitwidth.txt", render(rows))
+
+    for subject, narrowed, before, after in rows:
+        assert narrowed > 0, subject.id
+        # Finitization never costs resources or cycles in the model...
+        assert after.resources.luts <= before.resources.luts, subject.id
+        assert after.cycles <= before.cycles, subject.id
+    # ...and strictly saves somewhere.
+    assert any(
+        after.resources.luts < before.resources.luts
+        for _s, _n, before, after in rows
+    )

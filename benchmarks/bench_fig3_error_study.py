@@ -1,0 +1,34 @@
+"""Figure 3 — HLS compatibility error types in the (synthetic) forum
+corpus: generate 1,000 posts with the published category mix and recover
+the proportions with the keyword classifier."""
+
+import pytest
+
+from repro.hls.diagnostics import FORUM_PROPORTIONS, ErrorType
+from repro.study import analyze_corpus, generate_corpus
+
+from _shared import SEED, write_table
+
+
+def run_fig3():
+    posts = generate_corpus(1000, seed=SEED)
+    return analyze_corpus(posts)
+
+
+def test_fig3(benchmark):
+    report = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    write_table("fig3_error_study.txt", report.render())
+
+    assert report.total == 1000
+    assert report.accuracy > 0.95
+    for error_type, published in FORUM_PROPORTIONS.items():
+        assert report.proportion(error_type) == pytest.approx(published, abs=0.02)
+    # The headline ordering of Figure 3:
+    assert (
+        max(ErrorType, key=report.proportion)
+        == ErrorType.UNSUPPORTED_DATA_TYPES
+    )
+    assert (
+        min(ErrorType, key=report.proportion)
+        == ErrorType.DYNAMIC_DATA_STRUCTURES
+    )

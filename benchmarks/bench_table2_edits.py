@@ -1,0 +1,61 @@
+"""Table 2 — parameterized edits for each error type.
+
+Renders the edit registry grouped by family, with dependence annotations
+(Figure 7c), and checks the registry's structure against the paper:
+every family populated, the documented chains in place.
+"""
+
+import pytest
+
+from repro.core import build_registry, dependence_graph
+from repro.hls.diagnostics import ErrorType
+
+from _shared import write_table
+
+
+def run_table2():
+    registry = build_registry()
+    return registry, dependence_graph(registry)
+
+
+def render(registry, graph):
+    lines = ["Table 2 — parameterized edits per error type", ""]
+    for error_type in ErrorType:
+        edits = registry.edits_for(error_type)
+        lines.append(f"{error_type.value}:")
+        for edit in edits:
+            deps = []
+            if edit.requires:
+                deps.append("after " + " + ".join(edit.requires))
+            if edit.requires_any:
+                deps.append("after any of " + " | ".join(edit.requires_any))
+            suffix = f"   [{'; '.join(deps)}]" if deps else ""
+            lines.append(f"    {edit.signature}{suffix}")
+        lines.append("")
+    lines.append("Dependence edges (prerequisite -> dependents):")
+    for name in sorted(graph):
+        if graph[name]:
+            lines.append(f"    {name} -> {', '.join(sorted(graph[name]))}")
+    return "\n".join(lines)
+
+
+def test_table2(benchmark):
+    registry, graph = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    write_table("table2_edits.txt", render(registry, graph))
+
+    # Every Table 2 row family has edits.
+    for error_type in ErrorType:
+        assert registry.edits_for(error_type), error_type
+    # Table 2's named templates all exist.
+    for name in (
+        "array_static", "insert", "resize", "stack_trans",
+        "pointer", "type_trans", "type_casting", "op_overload",
+        "delete", "move", "index_static", "explore", "mem_reset",
+        "constructor", "flatten", "stream_static", "inst_static",
+        "inst_update",
+    ):
+        assert registry.edit_named(name) is not None, name
+    # Figure 7c's key chains:
+    assert "stream_static" in graph["constructor"]
+    assert "inst_update" in graph["flatten"]
+    assert "resize" in graph["array_static"]

@@ -1,0 +1,103 @@
+"""Table 5 — comparison against manual ports and HeteroRefactor.
+
+Per subject: code-edit size (ΔLOC) and runtime for the human-written HLS
+port, the HeteroRefactor baseline, and HeteroGen.
+
+Paper's shape: HR transpiles only P3 and P8 (20% vs 100% success);
+manual ports are fastest (2.43× mean), HeteroGen close behind (1.63×),
+and on the HR-transpilable subjects HR's output is slower than
+HeteroGen's (no performance exploration).
+"""
+
+import pytest
+
+from repro.cfront import added_loc, count_loc
+from repro.difftest import differential_test
+from repro.interp import ExecLimits
+from repro.subjects import all_subjects
+
+from _shared import transpile, write_table
+
+LIMITS = ExecLimits(max_steps=400_000)
+
+
+def manual_runtime_ms(subject, tests):
+    unit = subject.parse()
+    manual = subject.parse_manual()
+    solution = subject.manual_solution or subject.solution
+    diff = differential_test(
+        unit, manual, subject.kernel, solution, tests, limits=LIMITS
+    )
+    return diff, added_loc(unit, manual)
+
+
+def run_table5():
+    rows = []
+    for subject in all_subjects():
+        hg = transpile(subject.id, "HeteroGen")
+        hr = transpile(subject.id, "HeteroRefactor")
+        tests = hg.fuzz_report.suite(40) if hg.fuzz_report else []
+        manual_diff, manual_dloc = manual_runtime_ms(subject, tests)
+        rows.append((subject, hg, hr, manual_diff, manual_dloc))
+    return rows
+
+
+def render(rows):
+    header = (
+        f"{'ID':4} {'LOC':>5} | {'dLOC man':>8} {'dLOC HR':>8} {'dLOC HG':>8} | "
+        f"{'origin ms':>9} {'manual ms':>9} {'HR ms':>8} {'HG ms':>8}"
+    )
+    lines = ["Table 5 — manual vs HeteroRefactor vs HeteroGen", header,
+             "-" * len(header)]
+    hr_success = 0
+    for subject, hg, hr, manual_diff, manual_dloc in rows:
+        hr_ok = hr.success
+        hr_success += hr_ok
+        hr_dloc = str(hr.delta_loc) if hr_ok else "x"
+        hr_ms = f"{hr.converted_runtime_ms:8.4f}" if hr_ok else "       x"
+        lines.append(
+            f"{subject.id:4} {count_loc(subject.parse()):5} | "
+            f"{manual_dloc:8} {hr_dloc:>8} {hg.delta_loc:8} | "
+            f"{hg.origin_runtime_ms:9.4f} "
+            f"{manual_diff.fpga_latency_ns / 1e6:9.4f} {hr_ms} "
+            f"{hg.converted_runtime_ms:8.4f}"
+        )
+    lines.append("")
+    lines.append(
+        f"HeteroRefactor transpiles {hr_success}/10 "
+        f"(paper: 2/10 = 20% vs HeteroGen 100%)"
+    )
+    return "\n".join(lines)
+
+
+def test_table5(benchmark):
+    rows = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    write_table("table5_comparison.txt", render(rows))
+
+    hr_successes = {s.id for s, _hg, hr, _m, _d in rows if hr.success}
+    # HeteroRefactor's scope: exactly the dynamic-data-structure subjects.
+    assert hr_successes == {"P3", "P8"}
+
+    for subject, hg, hr, manual_diff, _dloc in rows:
+        assert hg.success, subject.id
+        # Manual ports preserve behaviour too.
+        assert manual_diff.behavior_preserved, subject.id
+        if hr.success:
+            # HR's output is never faster than HeteroGen's (§6.4: 1.53x
+            # slower on P3/P8 — HR does no performance exploration).
+            assert (
+                hr.converted_runtime_ms >= hg.converted_runtime_ms * 0.999
+            ), subject.id
+
+    # Mean speedups: manual >= HeteroGen > 1 (excluding loop-free P1).
+    manual_speedups = []
+    hg_speedups = []
+    for subject, hg, _hr, manual_diff, _d in rows:
+        if subject.id == "P1":
+            continue
+        manual_speedups.append(manual_diff.speedup)
+        hg_speedups.append(hg.speedup)
+    mean_manual = sum(manual_speedups) / len(manual_speedups)
+    mean_hg = sum(hg_speedups) / len(hg_speedups)
+    assert mean_hg > 1.0
+    assert mean_manual > 1.0

@@ -1,0 +1,25 @@
+"""Benchmark-session hooks.
+
+After the run, every regenerated table/figure written to
+``benchmarks/out/`` is echoed into the terminal summary, so a plain
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures
+the reproduced results alongside pytest-benchmark's timing table.
+"""
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not OUT_DIR.exists():
+        return
+    tables = sorted(OUT_DIR.glob("*.txt"))
+    if not tables:
+        return
+    terminalreporter.section("regenerated tables and figures")
+    for path in tables:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"===== {path.name} " + "=" * 40)
+        for line in path.read_text().splitlines():
+            terminalreporter.write_line(line)

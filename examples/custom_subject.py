@@ -1,0 +1,91 @@
+"""Bring your own kernel: wrap any C program as a Subject and transpile.
+
+Demonstrates the extension path a downstream user takes: define the
+program, its HLS solution configuration and a host driver, then hand it
+to the same machinery the benchmarks use.  The kernel here is a
+histogram with a ``malloc``-built scratch structure and a recursive
+helper — two error families at once.
+
+Run:  python examples/custom_subject.py
+"""
+
+from repro.baselines import default_config, run_variant
+from repro.hls import SolutionConfig
+from repro.hls.diagnostics import ErrorType
+from repro.subjects import Subject
+
+SOURCE = """
+struct Bucket {
+    int count;
+    struct Bucket *next;
+};
+
+static int total_count = 0;
+
+void count_chain(struct Bucket *b) {
+    if (b == 0) {
+        return;
+    }
+    total_count = total_count + b->count;
+    count_chain(b->next);
+}
+
+int histogram(int samples[32], int n) {
+    if (n < 0) {
+        n = 0;
+    }
+    if (n > 32) {
+        n = 32;
+    }
+    struct Bucket *head = 0;
+    for (int i = 0; i < n; i++) {
+        int v = samples[i];
+        if (v < 0) {
+            v = -v;
+        }
+        struct Bucket *b = (struct Bucket *)malloc(sizeof(struct Bucket));
+        b->count = v % 16;
+        b->next = head;
+        head = b;
+    }
+    total_count = 0;
+    count_chain(head);
+    return total_count;
+}
+
+void host(int seed) {
+    int samples[32];
+    for (int i = 0; i < 32; i++) {
+        samples[i] = (seed * 7 + i * 3) % 40 - 20;
+    }
+    histogram(samples, 32);
+}
+"""
+
+
+def main() -> None:
+    subject = Subject(
+        id="X1",
+        name="custom histogram",
+        kernel="histogram",
+        source=SOURCE,
+        solution=SolutionConfig(top_name="histogram"),
+        host="host",
+        host_args=(3,),
+        expected_error_types=(
+            ErrorType.DYNAMIC_DATA_STRUCTURES,
+            ErrorType.UNSUPPORTED_DATA_TYPES,
+        ),
+    )
+    result = run_variant(subject, "HeteroGen", default_config(fuzz_execs=500))
+    print(result.summary())
+    print()
+    print("Edit chain:")
+    for edit in result.applied_edits:
+        print(f"  - {edit}")
+    print()
+    print(result.final_source())
+
+
+if __name__ == "__main__":
+    main()

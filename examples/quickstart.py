@@ -1,0 +1,60 @@
+"""Quickstart: transpile a small C kernel to HLS-C.
+
+The kernel below uses a ``long double`` accumulator — not synthesizable
+by HLS toolchains.  HeteroGen generates tests, finitizes types, repairs
+the incompatibility and then keeps optimizing with pragma edits.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FuzzConfig, HeteroGen, HeteroGenConfig, SearchConfig
+
+SOURCE = """
+float smooth(float samples[32], float out[32]) {
+    long double acc = 0.0;
+    for (int i = 0; i < 32; i++) {
+        long double x = samples[i];
+        acc = acc * 0.5;
+        acc = acc + x;
+        out[i] = (float)acc;
+    }
+    return (float)acc;
+}
+
+void host(int seed) {
+    float samples[32];
+    float out[32];
+    for (int i = 0; i < 32; i++) {
+        samples[i] = (seed + i) * 0.1;
+    }
+    smooth(samples, out);
+}
+"""
+
+
+def main() -> None:
+    config = HeteroGenConfig(
+        fuzz=FuzzConfig(max_execs=500, plateau_execs=200),
+        search=SearchConfig(max_iterations=80),
+    )
+    tool = HeteroGen(config)
+    result = tool.transpile(
+        SOURCE,
+        kernel_name="smooth",
+        host_name="host",
+        host_args=(1,),
+        subject_name="quickstart",
+    )
+
+    print(result.summary())
+    print()
+    print("Edits applied, in order:")
+    for edit in result.applied_edits:
+        print(f"  - {edit}")
+    print()
+    print("Transpiled HLS-C:")
+    print(result.final_source())
+
+
+if __name__ == "__main__":
+    main()

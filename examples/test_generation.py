@@ -1,0 +1,53 @@
+"""Test generation (§4, Algorithm 1) on its own.
+
+Shows the three ingredients the paper adds over off-the-shelf fuzzing:
+
+* kernel seeds captured from the host program's call site;
+* HLS-type-valid mutation;
+* branch-coverage-guided retention —
+
+and compares the coverage of the generated suite against the subject's
+pre-existing tests (Table 4).
+
+Run:  python examples/test_generation.py
+"""
+
+from repro.fuzz import FuzzConfig, coverage_of_suite, fuzz_kernel, get_kernel_seed
+from repro.subjects import get_subject
+
+
+def main() -> None:
+    subject = get_subject("P3")  # merge sort: ships with 5 weak tests
+    unit = subject.parse()
+
+    seeds = get_kernel_seed(
+        unit, subject.host, subject.kernel, list(subject.host_args)
+    )
+    print(f"Captured {len(seeds)} kernel seed(s) from the host program.")
+    print(f"  first seed: n={seeds[0][1]}, array[:6]={seeds[0][0][:6]}")
+
+    existing = subject.existing_test_list()
+    existing_cov = coverage_of_suite(unit, subject.kernel, existing)
+    print(f"\nPre-existing suite: {len(existing)} tests, "
+          f"{existing_cov:.0%} branch coverage")
+
+    report = fuzz_kernel(
+        unit,
+        subject.kernel,
+        FuzzConfig(max_execs=2000, plateau_execs=500),
+        seeds=seeds,
+    )
+    print(
+        f"Generated suite:    {report.tests_generated} tests "
+        f"({len(report.corpus)} coverage-increasing), "
+        f"{report.coverage_ratio:.0%} branch coverage, "
+        f"{report.fuzz_minutes:.1f} simulated minutes of fuzzing"
+    )
+
+    print("\nCoverage-increasing corpus entries (generation, n):")
+    for entry in report.corpus:
+        print(f"  gen {entry.generation:3}  n={entry.args[1]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+``pip install -e .`` needs the ``wheel`` package for PEP 660 editable
+installs; on fully offline machines without ``wheel`` you can fall back to
+the legacy editable install, which this file enables:
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

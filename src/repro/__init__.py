@@ -1,0 +1,48 @@
+"""Reproduction of *HeteroGen: Transpiling C to Heterogeneous HLS Code
+with Automated Test Generation and Program Repair* (ASPLOS 2022).
+
+Public API quickstart::
+
+    from repro import HeteroGen
+
+    result = HeteroGen().transpile(c_source, kernel_name="kernel")
+    print(result.summary())
+    print(result.final_source())
+
+Subsystems (see DESIGN.md for the full inventory):
+
+* :mod:`repro.cfront`   -- C/HLS-C frontend (lexer, parser, AST, printer);
+* :mod:`repro.interp`   -- C interpreter with coverage and profiling;
+* :mod:`repro.hls`      -- simulated HLS toolchain (checker, scheduler,
+  co-simulator, device model);
+* :mod:`repro.fuzz`     -- coverage-guided, type-aware test generation;
+* :mod:`repro.difftest` -- CPU-vs-FPGA differential testing;
+* :mod:`repro.core`     -- the repair engine and the ``HeteroGen`` pipeline;
+* :mod:`repro.baselines`-- WithoutChecker / WithoutDependence /
+  HeteroRefactor comparison points;
+* :mod:`repro.study`    -- the forum-post error study (Figure 3);
+* :mod:`repro.subjects` -- the ten benchmark programs (Table 3).
+"""
+
+from .core import (
+    HeteroGen,
+    HeteroGenConfig,
+    SearchConfig,
+    TranspileResult,
+    build_registry,
+)
+from .fuzz import FuzzConfig
+from .hls import SolutionConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FuzzConfig",
+    "HeteroGen",
+    "HeteroGenConfig",
+    "SearchConfig",
+    "SolutionConfig",
+    "TranspileResult",
+    "build_registry",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Comparison points: the Figure 9 ablations and HeteroRefactor."""
+
+from .heterorefactor import heterorefactor_registry, make_heterorefactor
+from .variants import (
+    TWELVE_HOURS,
+    VARIANTS,
+    default_config,
+    make_heterogen,
+    make_without_checker,
+    make_without_dependence,
+    run_variant,
+)
+
+__all__ = [
+    "TWELVE_HOURS",
+    "VARIANTS",
+    "default_config",
+    "heterorefactor_registry",
+    "make_heterogen",
+    "make_heterorefactor",
+    "make_without_checker",
+    "make_without_dependence",
+    "run_variant",
+]

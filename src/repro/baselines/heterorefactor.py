@@ -1,0 +1,51 @@
+"""HeteroRefactor baseline (Lau et al., ICSE 2020) — prior work of §6.4.
+
+The paper: "HeteroRefactor's scope is limited to dynamic data
+structures" — it can finitize recursion, ``malloc``-built structures and
+pointers (plus bitwidth), but knows nothing about dataflow pragmas,
+loop parallelization, struct/union synthesis or top-function
+configuration.  We reproduce it as HeteroGen with the edit registry cut
+down to exactly that scope: by construction it transpiles the subjects
+whose *only* errors are dynamic-data-structure-shaped (P3, P8 — 20%
+success, Table 5) and fails everywhere else.
+
+It also performs no performance exploration (HeteroRefactor is a
+refactoring tool, not an optimizer), which is why its output is slower
+than HeteroGen's on the subjects both can handle (§6.4: 1.53×).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.edits import EditRegistry
+from ..core.edits.data_types import PointerEdit, WidenEdit
+from ..core.edits.dynamic_data import (
+    ArrayStaticEdit,
+    InsertPoolEdit,
+    ResizeEdit,
+    StackTransEdit,
+)
+from ..core.heterogen import HeteroGen, HeteroGenConfig
+
+
+def heterorefactor_registry() -> EditRegistry:
+    """The dynamic-data-structures-only edit registry."""
+    return EditRegistry(
+        [
+            ArrayStaticEdit(),
+            InsertPoolEdit(),
+            ResizeEdit(),
+            StackTransEdit(),
+            PointerEdit(),
+        ],
+        perf_edits=[],  # no optimizer
+        behavior_edits=[ResizeEdit(), WidenEdit()],
+    )
+
+
+def make_heterorefactor(config: Optional[HeteroGenConfig] = None) -> HeteroGen:
+    """A HeteroGen instance restricted to HeteroRefactor's scope."""
+    config = config or HeteroGenConfig()
+    config.search.perf_exploration = False
+    return HeteroGen(config=config, registry=heterorefactor_registry())

@@ -1,0 +1,34 @@
+"""C/HLS-C frontend: lexer, parser, AST, type system, printer.
+
+This package replaces the LLVM 8 frontend the paper used.  See DESIGN.md
+for the substitution rationale.
+"""
+
+from . import nodes, typesys, visitor
+from .lexer import Token, tokenize
+from .nodes import TranslationUnit, clone, refresh_uids
+from .parser import (
+    parse,
+    parse_fragment_decls,
+    parse_fragment_expr,
+    parse_fragment_stmts,
+)
+from .printer import added_loc, count_loc, render
+
+__all__ = [
+    "Token",
+    "TranslationUnit",
+    "added_loc",
+    "clone",
+    "count_loc",
+    "nodes",
+    "parse",
+    "parse_fragment_decls",
+    "parse_fragment_expr",
+    "parse_fragment_stmts",
+    "refresh_uids",
+    "render",
+    "tokenize",
+    "typesys",
+    "visitor",
+]

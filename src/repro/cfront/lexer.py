@@ -1,0 +1,248 @@
+"""Tokenizer for the C/HLS-C subset.
+
+The lexer also plays the role of a minimal preprocessor, which is all the
+subject programs need:
+
+* ``#include`` lines are skipped (the interpreter supplies builtins);
+* ``#define NAME literal`` defines an object-like macro that is substituted
+  wherever ``NAME`` later appears;
+* ``#pragma …`` lines are emitted as ``PRAGMA`` tokens so the parser can
+  keep them as first-class statements (HeteroGen edits insert, move and
+  delete pragmas).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import LexError
+
+KEYWORDS = frozenset(
+    [
+        "void", "char", "short", "int", "long", "float", "double",
+        "signed", "unsigned", "bool", "struct", "union", "typedef",
+        "static", "const", "return", "if", "else", "while", "do", "for",
+        "break", "continue", "sizeof", "true", "false",
+    ]
+)
+
+# Multi-character punctuators, longest first so maximal munch works.
+PUNCTUATORS = [
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "::",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'keyword' | 'int' | 'float' | 'char' | 'string' | 'punct' | 'pragma' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.col})"
+
+
+class Lexer:
+    """Tokenize a source string.  Use :func:`tokenize` for the common case."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self.defines: Dict[str, List[Token]] = {}
+
+    # -- low-level cursor ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        # NUL sentinel at EOF: the empty string would be `in` every
+        # membership test below, so it must never be returned.
+        idx = self.pos + offset
+        return self.source[idx] if idx < len(self.source) else "\0"
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += count
+        return text
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.col)
+
+    # -- scanning -----------------------------------------------------------
+
+    def tokens(self) -> List[Token]:
+        out: List[Token] = []
+        while True:
+            tok = self._next_token()
+            if tok is None:
+                continue
+            if tok.kind == "ident" and tok.text in self.defines:
+                out.extend(self.defines[tok.text])
+                continue
+            out.append(tok)
+            if tok.kind == "eof":
+                return out
+
+    def _next_token(self) -> Optional[Token]:
+        self._skip_ws_and_comments()
+        if self.pos >= len(self.source):
+            return Token("eof", "", self.line, self.col)
+        line, col = self.line, self.col
+        ch = self._peek()
+        if ch == "#":
+            return self._directive(line, col)
+        if ch.isalpha() or ch == "_":
+            return self._ident(line, col)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._number(line, col)
+        if ch == "'":
+            return self._char(line, col)
+        if ch == '"':
+            return self._string(line, col)
+        for punct in PUNCTUATORS:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token("punct", punct, line, col)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _skip_ws_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.source):
+                    raise self._error("unterminated block comment")
+                self._advance(2)
+            else:
+                return
+
+    def _read_rest_of_line(self) -> str:
+        start = self.pos
+        while self.pos < len(self.source) and self._peek() != "\n":
+            self._advance()
+        return self.source[start : self.pos]
+
+    def _directive(self, line: int, col: int) -> Optional[Token]:
+        self._advance()  # '#'
+        word = ""
+        while self._peek().isalpha():
+            word += self._advance()
+        if word == "include":
+            self._read_rest_of_line()
+            return None
+        if word == "pragma":
+            text = self._read_rest_of_line().strip()
+            return Token("pragma", text, line, col)
+        if word == "define":
+            rest = self._read_rest_of_line().strip()
+            if not rest:
+                raise self._error("#define without a name")
+            parts = rest.split(None, 1)
+            name = parts[0]
+            body = parts[1] if len(parts) > 1 else ""
+            if "(" in name:
+                raise self._error("function-like macros are not supported")
+            self.defines[name] = Lexer(body).tokens()[:-1]  # drop EOF
+            return None
+        if word in ("ifdef", "ifndef", "endif", "undef", "if", "else"):
+            self._read_rest_of_line()
+            return None
+        raise self._error(f"unsupported preprocessor directive #{word}")
+
+    def _ident(self, line: int, col: int) -> Token:
+        text = ""
+        while self._peek().isalnum() or self._peek() == "_":
+            text += self._advance()
+        kind = "keyword" if text in KEYWORDS else "ident"
+        return Token(kind, text, line, col)
+
+    def _number(self, line: int, col: int) -> Token:
+        text = ""
+        is_float = False
+        if self._peek() == "0" and self._peek(1) in "xX":
+            text += self._advance(2)
+            while self._peek() in "0123456789abcdefABCDEF":
+                text += self._advance()
+            while self._peek() in "uUlL":
+                text += self._advance()
+            return Token("int", text, line, col)
+        while self._peek().isdigit():
+            text += self._advance()
+        if self._peek() == "." and self._peek(1) != ".":
+            is_float = True
+            text += self._advance()
+            while self._peek().isdigit():
+                text += self._advance()
+        if self._peek() in "eE" and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            text += self._advance()
+            if self._peek() in "+-":
+                text += self._advance()
+            while self._peek().isdigit():
+                text += self._advance()
+        if is_float:
+            while self._peek() in "fFlL":
+                text += self._advance()
+            return Token("float", text, line, col)
+        while self._peek() in "uUlL":
+            text += self._advance()
+        return Token("int", text, line, col)
+
+    _ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", "'": "'", '"': '"'}
+
+    def _char(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        ch = self._advance()
+        if ch == "\\":
+            esc = self._advance()
+            if esc not in self._ESCAPES:
+                raise self._error(f"unknown escape \\{esc}")
+            ch = self._ESCAPES[esc]
+        if self._advance() != "'":
+            raise self._error("unterminated character literal")
+        return Token("char", ch, line, col)
+
+    def _string(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        text = ""
+        while True:
+            if self.pos >= len(self.source):
+                raise self._error("unterminated string literal")
+            ch = self._advance()
+            if ch == '"':
+                return Token("string", text, line, col)
+            if ch == "\\":
+                esc = self._advance()
+                if esc not in self._ESCAPES:
+                    raise self._error(f"unknown escape \\{esc}")
+                ch = self._ESCAPES[esc]
+            text += ch
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize *source*, returning a list ending with an EOF token."""
+    return Lexer(source).tokens()

@@ -1,0 +1,383 @@
+"""AST node definitions for the C/HLS-C subset.
+
+Every node carries a source location and a stable ``uid`` assigned at parse
+time.  The ``uid`` is what the rest of the system keys on:
+
+* the interpreter's coverage recorder identifies branches by the ``uid`` of
+  their controlling statement;
+* repair localization returns the ``uid``s of nodes an edit should touch;
+* edits produce new trees, and freshly created nodes receive new ``uid``s
+  from a per-tree counter so identities never collide.
+
+Nodes are mutable dataclasses: edits clone the tree (``clone`` below) and
+rewrite the copy in place, which keeps the original program intact for
+differential testing.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from .typesys import CType
+
+
+_uid_counter = itertools.count(1)
+
+
+def fresh_uid() -> int:
+    """Return a process-unique node id."""
+    return next(_uid_counter)
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int = field(default=0, kw_only=True)
+    col: int = field(default=0, kw_only=True)
+    uid: int = field(default_factory=fresh_uid, kw_only=True)
+
+    def children(self) -> Iterator["Node"]:
+        """Yield direct child nodes (used by generic walkers)."""
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+
+    def walk(self) -> Iterator["Node"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+def clone(node: Node) -> Node:
+    """Deep-copy a subtree, preserving node uids.
+
+    Edits operate on clones so the pristine program survives; preserved
+    uids let diagnostics produced against the original still locate nodes
+    in the copy.
+    """
+    return copy.deepcopy(node)
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions."""
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+    text: str = ""
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+    text: str = ""
+
+
+@dataclass
+class CharLit(Expr):
+    value: int = 0
+    text: str = ""
+
+
+@dataclass
+class StringLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = "+"
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class UnOp(Expr):
+    """Prefix unary operator, including ``*`` (deref) and ``&`` (addr-of)."""
+
+    op: str = "-"
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class IncDec(Expr):
+    op: str = "++"
+    operand: Expr = None  # type: ignore[assignment]
+    postfix: bool = True
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment, plain (``=``) or compound (``+=`` …)."""
+
+    op: str = "="
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Cond(Expr):
+    """Ternary ``cond ? then : other``."""
+
+    cond: Expr = None  # type: ignore[assignment]
+    then: Expr = None  # type: ignore[assignment]
+    other: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Call(Expr):
+    func: Expr = None  # type: ignore[assignment]
+    args: List[Expr] = field(default_factory=list)
+
+    @property
+    def callee_name(self) -> Optional[str]:
+        """The plain function name if the callee is a simple identifier."""
+        return self.func.name if isinstance(self.func, Ident) else None
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Member(Expr):
+    """``obj.name`` or ``ptr->name`` (``arrow=True``)."""
+
+    obj: Expr = None  # type: ignore[assignment]
+    name: str = ""
+    arrow: bool = False
+
+
+@dataclass
+class Cast(Expr):
+    to_type: CType = None  # type: ignore[assignment]
+    expr: Expr = None  # type: ignore[assignment]
+    explicit_policy: str = ""
+    """Non-empty when the cast came from a ``type_casting`` repair edit,
+    e.g. ``thls::convert_policy(0xF)`` (Figure 4)."""
+
+
+@dataclass
+class SizeofType(Expr):
+    of_type: CType = None  # type: ignore[assignment]
+
+
+@dataclass
+class SizeofExpr(Expr):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class InitList(Expr):
+    """Brace initializer ``{a, b, c}``."""
+
+    items: List[Expr] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class Pragma(Stmt):
+    """``#pragma HLS …`` (or any other pragma), kept verbatim.
+
+    The structured view (directive + options) is derived lazily by
+    :mod:`repro.hls.pragmas`; the AST stores only the raw text so edits can
+    insert/delete/move pragmas as opaque lines, exactly as HeteroGen does.
+    """
+
+    text: str = ""
+
+
+@dataclass
+class Compound(Stmt):
+    items: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DeclStmt(Stmt):
+    decl: "VarDecl" = None  # type: ignore[assignment]
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Stmt = None  # type: ignore[assignment]
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt = None  # type: ignore[assignment]
+    cond: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Empty(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Decl(Node):
+    """Base class for declarations."""
+
+
+@dataclass
+class VarDecl(Decl):
+    name: str = ""
+    type: CType = None  # type: ignore[assignment]
+    init: Optional[Expr] = None
+    is_static: bool = False
+    is_const: bool = False
+    vla_size: Optional[Expr] = None
+    """For arrays whose size expression is not a compile-time constant
+    (``MY_DATA buf[WIDTH][cols]`` in forum post 729976): the runtime size
+    expression.  Presence of a ``vla_size`` is what the synthesizability
+    checker flags as dynamic allocation."""
+
+
+@dataclass
+class ParamDecl(Decl):
+    name: str = ""
+    type: CType = None  # type: ignore[assignment]
+
+
+@dataclass
+class FunctionDef(Decl):
+    name: str = ""
+    return_type: CType = None  # type: ignore[assignment]
+    params: List[ParamDecl] = field(default_factory=list)
+    body: Optional[Compound] = None
+    is_static: bool = False
+    owner_struct: str = ""
+    """Tag of the struct this is a member function of, or empty."""
+    is_constructor: bool = False
+
+
+@dataclass
+class StructDef(Decl):
+    tag: str = ""
+    type: "CType" = None  # type: ignore[assignment]  # a StructType
+    methods: List[FunctionDef] = field(default_factory=list)
+    is_union: bool = False
+
+
+@dataclass
+class TypedefDecl(Decl):
+    name: str = ""
+    type: CType = None  # type: ignore[assignment]
+
+
+@dataclass
+class TranslationUnit(Node):
+    """A whole source file."""
+
+    decls: List[Decl] = field(default_factory=list)
+    top_name: str = ""
+    """Name of the HLS top function (module entry point).  Set from the
+    subject's build configuration; the Top Function error family fires when
+    it does not match any defined function."""
+
+    def functions(self) -> List[FunctionDef]:
+        out: List[FunctionDef] = []
+        for d in self.decls:
+            if isinstance(d, FunctionDef):
+                out.append(d)
+            elif isinstance(d, StructDef):
+                out.extend(d.methods)
+        return out
+
+    def function(self, name: str) -> Optional[FunctionDef]:
+        for f in self.functions():
+            if f.name == name:
+                return f
+        return None
+
+    def struct(self, tag: str) -> Optional[StructDef]:
+        for d in self.decls:
+            if isinstance(d, StructDef) and d.tag == tag:
+                return d
+        return None
+
+    def globals(self) -> List[VarDecl]:
+        return [d for d in self.decls if isinstance(d, VarDecl)]
+
+
+def refresh_uids(node: Node) -> None:
+    """Assign fresh uids to *node* and all descendants.
+
+    Called on subtrees synthesized by repair edits before splicing them into
+    a program, so inserted code never aliases the ids of existing nodes.
+    """
+    for n in node.walk():
+        n.uid = fresh_uid()

@@ -1,0 +1,279 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro transpile kernel.c --kernel smooth [--host host --host-args 1,2]
+    python -m repro check kernel.c --top smooth
+    python -m repro fuzz kernel.c --kernel smooth
+    python -m repro subjects [--run P3]
+    python -m repro study
+
+Every subcommand prints a human-readable report; ``--json`` switches to
+machine-readable output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, List, Optional
+
+from . import __version__
+from .baselines import default_config, run_variant
+from .cfront import parse, render
+from .core import HeteroGen, HeteroGenConfig, SearchConfig
+from .core.report import TranspileResult
+from .fuzz import FuzzConfig, fuzz_kernel, get_kernel_seed
+from .hls import SolutionConfig, compile_unit
+from .subjects import all_subjects, get_subject
+
+
+def _parse_host_args(text: str) -> List[Any]:
+    if not text:
+        return []
+    out: List[Any] = []
+    for item in text.split(","):
+        item = item.strip()
+        try:
+            out.append(int(item, 0))
+        except ValueError:
+            out.append(float(item))
+    return out
+
+
+def result_to_dict(result: TranspileResult) -> dict:
+    """JSON-serializable view of a transpilation result."""
+    return {
+        "subject": result.subject,
+        "kernel": result.kernel_name,
+        "hls_compatible": result.hls_compatible,
+        "behavior_preserved": result.behavior_preserved,
+        "improved_performance": result.improved_performance,
+        "speedup": result.speedup,
+        "origin_loc": result.origin_loc,
+        "delta_loc": result.delta_loc,
+        "applied_edits": result.applied_edits,
+        "repair_minutes": result.search_result.repair_minutes,
+        "remaining_errors": result.remaining_errors,
+        "tests_generated": (
+            result.fuzz_report.tests_generated if result.fuzz_report else 0
+        ),
+        "branch_coverage": (
+            result.fuzz_report.coverage_ratio if result.fuzz_report else None
+        ),
+        "final_source": result.final_source(),
+    }
+
+
+def cmd_transpile(args: argparse.Namespace) -> int:
+    source = open(args.file).read() if args.file != "-" else sys.stdin.read()
+    config = HeteroGenConfig(
+        fuzz=FuzzConfig(max_execs=args.fuzz_execs, seed=args.seed),
+        search=SearchConfig(
+            budget_seconds=args.budget_hours * 3600.0,
+            max_iterations=args.max_iterations,
+            seed=args.seed,
+        ),
+    )
+    tool = HeteroGen(config)
+    result = tool.transpile(
+        source,
+        kernel_name=args.kernel,
+        host_name=args.host or "",
+        host_args=_parse_host_args(args.host_args) if args.host else None,
+        subject_name=args.file,
+    )
+    if args.json:
+        print(json.dumps(result_to_dict(result), indent=2))
+    else:
+        print(result.summary())
+        print()
+        if result.applied_edits:
+            print("Edits applied:")
+            for edit in result.applied_edits:
+                print(f"  - {edit}")
+            print()
+        if args.diff:
+            print(result.source_diff())
+        else:
+            print(result.final_source())
+    return 0 if result.success else 1
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    source = open(args.file).read() if args.file != "-" else sys.stdin.read()
+    unit = parse(source, top_name=args.top)
+    report = compile_unit(unit, SolutionConfig(top_name=args.top))
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "code": d.code,
+                    "type": d.error_type.value,
+                    "symbol": d.symbol,
+                    "message": d.message,
+                }
+                for d in report.errors
+            ],
+            indent=2,
+        ))
+    else:
+        if report.ok:
+            print("synthesizable: no HLS compatibility errors")
+        for diag in report.errors:
+            print(diag)
+    return 0 if report.ok else 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    source = open(args.file).read() if args.file != "-" else sys.stdin.read()
+    unit = parse(source, top_name=args.kernel)
+    seeds = None
+    if args.host:
+        seeds = get_kernel_seed(
+            unit, args.host, args.kernel, _parse_host_args(args.host_args)
+        )
+    report = fuzz_kernel(
+        unit, args.kernel,
+        FuzzConfig(max_execs=args.fuzz_execs, seed=args.seed),
+        seeds=seeds,
+    )
+    payload = {
+        "tests_generated": report.tests_generated,
+        "corpus_size": len(report.corpus),
+        "branch_coverage": report.coverage_ratio,
+        "executions": report.execs,
+        "fuzz_minutes": report.fuzz_minutes,
+    }
+    if args.json:
+        payload["corpus"] = report.suite()
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key:16}: {value}")
+    return 0
+
+
+def cmd_subjects(args: argparse.Namespace) -> int:
+    if args.run:
+        subject = get_subject(args.run)
+        result = run_variant(
+            subject, args.variant,
+            default_config(max_iterations=args.max_iterations, seed=args.seed),
+        )
+        if args.json:
+            print(json.dumps(result_to_dict(result), indent=2))
+        else:
+            print(result.summary())
+        return 0 if result.success else 1
+    rows = [
+        {
+            "id": s.id,
+            "name": s.name,
+            "kernel": s.kernel,
+            "expected_errors": [t.value for t in s.expected_error_types],
+            "existing_tests": len(s.existing_tests),
+        }
+        for s in all_subjects()
+    ]
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        for row in rows:
+            errors = ", ".join(row["expected_errors"])
+            print(f"{row['id']:4} {row['name']:24} kernel={row['kernel']:14} "
+                  f"[{errors}]")
+    return 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    from .study import analyze_corpus, generate_corpus, render_table1
+
+    posts = generate_corpus(args.posts, seed=args.seed)
+    report = analyze_corpus(posts)
+    if args.json:
+        print(json.dumps(
+            {
+                "total": report.total,
+                "accuracy": report.accuracy,
+                "proportions": {
+                    t.value: report.proportion(t) for t in report.counts
+                },
+            },
+            indent=2,
+        ))
+    else:
+        print(report.render())
+        print()
+        print(render_table1())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HeteroGen reproduction: C → HLS-C transpilation "
+        "with automated test generation and program repair",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, kernel=True):
+        p.add_argument("--json", action="store_true", help="JSON output")
+        p.add_argument("--seed", type=int, default=2022)
+        if kernel:
+            p.add_argument("--fuzz-execs", type=int, default=1500)
+
+    t = sub.add_parser("transpile", help="transpile a C kernel to HLS-C")
+    t.add_argument("file", help="C source file, or - for stdin")
+    t.add_argument("--kernel", required=True, help="kernel function name")
+    t.add_argument("--host", help="host function for kernel-seed capture")
+    t.add_argument("--host-args", default="", help="comma-separated host args")
+    t.add_argument("--budget-hours", type=float, default=3.0,
+                   help="simulated toolchain budget (paper default: 3h)")
+    t.add_argument("--max-iterations", type=int, default=220)
+    t.add_argument("--diff", action="store_true",
+                   help="print a unified diff instead of the full output")
+    common(t)
+    t.set_defaults(func=cmd_transpile)
+
+    c = sub.add_parser("check", help="run only the synthesizability check")
+    c.add_argument("file")
+    c.add_argument("--top", required=True, help="top function name")
+    common(c, kernel=False)
+    c.set_defaults(func=cmd_check)
+
+    f = sub.add_parser("fuzz", help="run only test generation")
+    f.add_argument("file")
+    f.add_argument("--kernel", required=True)
+    f.add_argument("--host", help="host function for kernel-seed capture")
+    f.add_argument("--host-args", default="")
+    common(f)
+    f.set_defaults(func=cmd_fuzz)
+
+    s = sub.add_parser("subjects", help="list or run the benchmark subjects")
+    s.add_argument("--run", metavar="ID", help="transpile one subject (P1..P10)")
+    s.add_argument("--variant", default="HeteroGen",
+                   choices=["HeteroGen", "WithoutChecker",
+                            "WithoutDependence", "HeteroRefactor"])
+    s.add_argument("--max-iterations", type=int, default=220)
+    common(s, kernel=False)
+    s.set_defaults(func=cmd_subjects)
+
+    st = sub.add_parser("study", help="regenerate the forum error study")
+    st.add_argument("--posts", type=int, default=1000)
+    common(st, kernel=False)
+    st.set_defaults(func=cmd_study)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""HeteroGen core: the paper's primary contribution.
+
+Pipeline (Figure 1): test generation → initial HLS version → repair
+localization → dependence-guided repair exploration → fitness evaluation.
+"""
+
+from .bitwidth import (
+    BitwidthPlan,
+    apply_bitwidths,
+    generate_initial_version,
+    plan_bitwidths,
+    profile_kernel,
+)
+from .classification import (
+    RepairLocalizer,
+    RepairLocation,
+    classify,
+    classify_message,
+)
+from .dependence import (
+    chain_probability,
+    dependence_graph,
+    ordered_applications,
+    roots,
+    unordered_applications,
+)
+from .edits import Candidate, Edit, EditApplication, EditRegistry, RepairContext, build_registry
+from .fitness import Fitness, fitness_from_reports
+from .heterogen import HeteroGen, HeteroGenConfig
+from .report import TranspileResult
+from .search import RepairSearch, SearchConfig, SearchResult, SearchStats
+
+__all__ = [
+    "BitwidthPlan",
+    "Candidate",
+    "Edit",
+    "EditApplication",
+    "EditRegistry",
+    "Fitness",
+    "HeteroGen",
+    "HeteroGenConfig",
+    "RepairContext",
+    "RepairLocalizer",
+    "RepairLocation",
+    "RepairSearch",
+    "SearchConfig",
+    "SearchResult",
+    "SearchStats",
+    "TranspileResult",
+    "apply_bitwidths",
+    "build_registry",
+    "chain_probability",
+    "classify",
+    "classify_message",
+    "dependence_graph",
+    "fitness_from_reports",
+    "generate_initial_version",
+    "ordered_applications",
+    "plan_bitwidths",
+    "profile_kernel",
+    "roots",
+    "unordered_applications",
+]

@@ -1,0 +1,120 @@
+"""Parameterized repair edits (Table 2) and their registry."""
+
+from typing import Dict, List, Optional
+
+from ...hls.diagnostics import ErrorType
+from .base import Candidate, Edit, EditApplication, RepairContext
+from .data_types import (
+    OpOverloadEdit,
+    PointerEdit,
+    TypeCastingEdit,
+    TypeTransEdit,
+    WidenEdit,
+)
+from .dataflow import (
+    DeleteDataflowEdit,
+    MoveDataflowEdit,
+    PartitionFixEdit,
+    SplitBufferEdit,
+)
+from .dynamic_data import (
+    ArrayStaticEdit,
+    InsertPoolEdit,
+    ResizeEdit,
+    StackTransEdit,
+)
+from .extensions import StageSplitEdit
+from .loops import (
+    ExploreUnrollEdit,
+    IndexStaticEdit,
+    MemResetEdit,
+    PerfPragmaEdit,
+)
+from .structs import (
+    ConstructorEdit,
+    FlattenEdit,
+    InstStaticEdit,
+    InstUpdateEdit,
+    StreamStaticEdit,
+)
+from .top_function import FixClockEdit, FixDeviceEdit, SetTopEdit
+
+
+def build_registry() -> "EditRegistry":
+    """The full Table 2 edit registry."""
+    return EditRegistry(
+        [
+            # Dynamic Data Structures
+            ArrayStaticEdit(),
+            InsertPoolEdit(),
+            ResizeEdit(),
+            StackTransEdit(),
+            # Unsupported Data Types
+            PointerEdit(),
+            TypeTransEdit(),
+            TypeCastingEdit(),
+            OpOverloadEdit(),
+            # Dataflow Optimization
+            DeleteDataflowEdit(),
+            MoveDataflowEdit(),
+            SplitBufferEdit(),
+            PartitionFixEdit(),
+            # Loop Parallelization
+            IndexStaticEdit(),
+            ExploreUnrollEdit(),
+            MemResetEdit(),
+            # Struct and Union
+            ConstructorEdit(),
+            StreamStaticEdit(),
+            InstStaticEdit(),
+            FlattenEdit(),
+            InstUpdateEdit(),
+            # Top Function
+            SetTopEdit(),
+            FixClockEdit(),
+            FixDeviceEdit(),
+        ],
+        # The paper's exploration edits plus the §6.4 extension example.
+        perf_edits=[PerfPragmaEdit(), StageSplitEdit()],
+        behavior_edits=[ResizeEdit(), WidenEdit()],
+    )
+
+
+class EditRegistry:
+    """Maps error families to their edit templates (Table 2)."""
+
+    def __init__(
+        self,
+        edits: List[Edit],
+        perf_edits: Optional[List[Edit]] = None,
+        behavior_edits: Optional[List[Edit]] = None,
+    ):
+        self.edits = edits
+        self.perf_edits = perf_edits or []
+        self.behavior_edits = behavior_edits or []
+        self.by_type: Dict[ErrorType, List[Edit]] = {t: [] for t in ErrorType}
+        for edit in edits:
+            if edit.error_type is not None:
+                self.by_type[edit.error_type].append(edit)
+
+    def edits_for(self, error_type: ErrorType) -> List[Edit]:
+        return list(self.by_type.get(error_type, []))
+
+    def all_edits(self) -> List[Edit]:
+        return list(self.edits)
+
+    def edit_named(self, name: str) -> Optional[Edit]:
+        for edit in self.edits + self.perf_edits + self.behavior_edits:
+            if edit.name == name:
+                return edit
+        return None
+
+
+__all__ = [
+    "Candidate",
+    "Edit",
+    "EditApplication",
+    "EditRegistry",
+    "RepairContext",
+    "build_registry",
+]

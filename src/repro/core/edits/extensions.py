@@ -1,0 +1,197 @@
+"""Extension edits beyond the paper's Table 2.
+
+§6.4: "HeteroGen is implemented in an extensible manner such that it is
+easy to include new transformation patterns.  For example, matrix
+partitioning transformation could be added to improve performance."
+This module is that demonstration: a task-level pipelining edit built on
+the same :class:`Edit` interface, registered alongside the originals.
+
+``stage_split($f1:func)`` rewrites a top function whose body is a
+sequence of independent producer→consumer loops into one sub-function
+per loop plus a ``dataflow`` pragma, letting the stages overlap.  It is
+deliberately conservative: it only fires when the loops communicate
+through single-producer/single-consumer arrays, so the rewritten design
+passes dataflow checking and behaves identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ...cfront import nodes as N
+from ...cfront import typesys as T
+from ...cfront.nodes import clone, refresh_uids
+from ...cfront.visitor import find_all
+from ...hls.pragmas import function_pragmas
+from ..typing import TypeEnv
+from .base import Candidate, Edit, EditApplication, cloned_unit
+
+
+class StageSplitEdit(Edit):
+    """``stage_split($f1:func)``: sequential loops → dataflow stages."""
+
+    name = "stage_split"
+    error_type = None
+    signature = "stage_split($f1:func)"
+
+    #: Minimum number of loops worth splitting.
+    MIN_STAGES = 2
+
+    def propose(self, candidate, diagnostics, context):
+        func = candidate.unit.function(candidate.config.top_name)
+        if func is None or func.body is None:
+            return []
+        label = f"stage_split({func.name})"
+        if label in candidate.applied:
+            return []
+        if self._plan(candidate.unit, func) is None:
+            return []
+        return [
+            EditApplication(
+                label=label,
+                transform=lambda cand, label=label: self._apply(cand, label),
+                performance_hint=1.5,  # stage overlap ~ big win
+            )
+        ]
+
+    # -- analysis ---------------------------------------------------------------
+
+    def _plan(
+        self, unit: N.TranslationUnit, func: N.FunctionDef
+    ) -> Optional[List[Tuple[N.For, Set[str], Set[str]]]]:
+        """Check applicability; return per-loop (loop, reads, writes)."""
+        assert func.body is not None
+        if any(p.directive == "dataflow" for p in function_pragmas(func)):
+            return None
+        loops: List[N.For] = []
+        for stmt in func.body.items:
+            if isinstance(stmt, N.For):
+                loops.append(stmt)
+            elif isinstance(stmt, (N.Pragma, N.Empty)):
+                continue
+            else:
+                return None  # only loop statements can become stages
+        if len(loops) < self.MIN_STAGES:
+            return None
+
+        env = TypeEnv(unit, func)
+        array_names = self._visible_arrays(unit, func)
+        plan: List[Tuple[N.For, Set[str], Set[str]]] = []
+        for loop in loops:
+            reads, writes = self._array_uses(loop, array_names)
+            # Loop bodies must not touch scalars declared outside the
+            # loop (their value could not cross a stage boundary).
+            if self._uses_external_scalars(loop, func, array_names):
+                return None
+            plan.append((loop, reads, writes))
+
+        # Single producer / single consumer across stages.
+        read_by: Dict[str, int] = {}
+        written_by: Dict[str, int] = {}
+        for _loop, reads, writes in plan:
+            for name in reads - writes:
+                read_by[name] = read_by.get(name, 0) + 1
+            for name in writes:
+                written_by[name] = written_by.get(name, 0) + 1
+        if any(count > 1 for count in read_by.values()):
+            return None
+        if any(count > 1 for count in written_by.values()):
+            return None
+        return plan
+
+    @staticmethod
+    def _visible_arrays(unit: N.TranslationUnit, func: N.FunctionDef) -> Dict[str, T.CType]:
+        names: Dict[str, T.CType] = {}
+        for decl in unit.globals():
+            if isinstance(T.strip_typedefs(decl.type), T.ArrayType):
+                names[decl.name] = decl.type
+        for param in func.params:
+            if isinstance(T.strip_typedefs(param.type), T.ArrayType):
+                names[param.name] = param.type
+        return names
+
+    @staticmethod
+    def _array_uses(
+        loop: N.For, array_names: Dict[str, T.CType]
+    ) -> Tuple[Set[str], Set[str]]:
+        reads: Set[str] = set()
+        writes: Set[str] = set()
+        for index in find_all(loop, N.Index):
+            if isinstance(index.base, N.Ident) and index.base.name in array_names:
+                reads.add(index.base.name)
+        for assign in find_all(loop, N.Assign):
+            target = assign.target
+            if (
+                isinstance(target, N.Index)
+                and isinstance(target.base, N.Ident)
+                and target.base.name in array_names
+            ):
+                writes.add(target.base.name)
+        return reads, writes
+
+    @staticmethod
+    def _uses_external_scalars(
+        loop: N.For, func: N.FunctionDef, array_names: Dict[str, T.CType]
+    ) -> bool:
+        local_names = {
+            d.decl.name for d in find_all(loop, N.DeclStmt)
+        }
+        if isinstance(loop.init, N.DeclStmt):
+            local_names.add(loop.init.decl.name)
+        scalar_params = {
+            p.name
+            for p in func.params
+            if not isinstance(T.strip_typedefs(p.type), T.ArrayType)
+        }
+        for ident in find_all(loop, N.Ident):
+            name = ident.name
+            if name in array_names or name in local_names:
+                continue
+            if name in scalar_params:
+                return True  # would need forwarding; stay conservative
+        return False
+
+    # -- transformation -------------------------------------------------------------
+
+    def _apply(self, candidate: Candidate, label: str) -> Optional[Candidate]:
+        unit = cloned_unit(candidate)
+        func = unit.function(candidate.config.top_name)
+        if func is None:
+            return None
+        plan = self._plan(unit, func)
+        if plan is None:
+            return None
+        assert func.body is not None
+
+        stage_defs: List[N.FunctionDef] = []
+        new_body: List[N.Stmt] = [N.Pragma(text="HLS dataflow")]
+        for k, (loop, reads, writes) in enumerate(plan):
+            used = sorted(reads | writes)
+            arrays = self._visible_arrays(unit, func)
+            params = [
+                N.ParamDecl(name=name, type=arrays[name]) for name in used
+            ]
+            body_loop = clone(loop)
+            assert isinstance(body_loop, N.For)
+            stage = N.FunctionDef(
+                name=f"{func.name}__stage{k}",
+                return_type=T.VOID,
+                params=params,
+                body=N.Compound(items=[body_loop]),
+            )
+            refresh_uids(stage)
+            stage_defs.append(stage)
+            new_body.append(
+                N.ExprStmt(
+                    expr=N.Call(
+                        func=N.Ident(name=stage.name),
+                        args=[N.Ident(name=name) for name in used],
+                    )
+                )
+            )
+        func_index = unit.decls.index(func)
+        unit.decls[func_index:func_index] = stage_defs
+        for stmt in new_body:
+            refresh_uids(stmt)
+        func.body = N.Compound(items=new_body)
+        return candidate.with_unit(unit, label)

@@ -1,0 +1,362 @@
+"""Edits for the *Struct and Union* error family (Table 2, row 5; Fig. 7).
+
+Two alternative repair chains, exactly as Figure 7 lays out:
+
+* ➊ ``constructor($s1:struct)`` → ➌ ``stream_static($f1,$s1)``:
+  keep the struct, add an explicit constructor, make the connecting
+  stream static (Figure 5b);
+* ➋ ``flatten($s1:struct)`` → ➍ ``inst_update($s1:struct)``:
+  dissolve the struct into standalone functions and rewrite the call
+  sites (Figure 7b).
+
+Plus ``inst_static($s1, $v1)``, which makes instances static.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ...cfront import nodes as N
+from ...cfront import typesys as T
+from ...cfront.nodes import clone, refresh_uids
+from ...cfront.visitor import find_all, rewrite_exprs
+from ...hls.diagnostics import ErrorType
+from ..typing import TypeEnv, infer_type
+from .base import Candidate, Edit, EditApplication, cloned_unit
+
+
+def _struct_diag_tags(candidate: Candidate, diagnostics) -> Set[str]:
+    tags: Set[str] = set()
+    for diag in diagnostics:
+        if diag.error_type == ErrorType.STRUCT_AND_UNION and "struct type" in diag.message:
+            tags.add(diag.symbol)
+    return tags
+
+
+class ConstructorEdit(Edit):
+    """``constructor($s1:struct)``: insert an explicit constructor (➊)."""
+
+    name = "constructor"
+    error_type = ErrorType.STRUCT_AND_UNION
+    signature = "constructor($s1:struct)"
+
+    def propose(self, candidate, diagnostics, context):
+        out: List[EditApplication] = []
+        for tag in sorted(_struct_diag_tags(candidate, diagnostics)):
+            label = f"constructor({tag})"
+            if label in candidate.applied:
+                continue
+            out.append(
+                EditApplication(
+                    label=label,
+                    transform=lambda cand, tag=tag, label=label:
+                        self._apply(cand, tag, label),
+                )
+            )
+        return out
+
+    def _apply(self, candidate: Candidate, tag: str, label: str):
+        unit = cloned_unit(candidate)
+        struct_def = unit.struct(tag)
+        if struct_def is None or struct_def.type.has_constructor:
+            return None
+        params: List[N.ParamDecl] = []
+        body_items: List[N.Stmt] = []
+        for fld in struct_def.type.fields:
+            param_name = f"_{fld.name}"
+            param_type = fld.type
+            resolved = T.strip_typedefs(fld.type)
+            if isinstance(resolved, T.StreamType):
+                param_type = T.ReferenceType(fld.type)
+            params.append(N.ParamDecl(name=param_name, type=param_type))
+            body_items.append(
+                N.ExprStmt(
+                    expr=N.Assign(
+                        op="=",
+                        target=N.Member(
+                            obj=N.Ident(name="this"), name=fld.name, arrow=True
+                        ),
+                        value=N.Ident(name=param_name),
+                    )
+                )
+            )
+        ctor = N.FunctionDef(
+            name=tag,
+            return_type=T.VOID,
+            params=params,
+            body=N.Compound(items=body_items),
+            owner_struct=tag,
+            is_constructor=True,
+        )
+        refresh_uids(ctor)
+        struct_def.methods.insert(0, ctor)
+        struct_def.type = T.StructType(
+            tag=tag,
+            fields=struct_def.type.fields,
+            is_union=struct_def.type.is_union,
+            method_names=(tag,) + struct_def.type.method_names,
+            has_constructor=True,
+        )
+        return candidate.with_unit(unit, label)
+
+
+class StreamStaticEdit(Edit):
+    """``stream_static($f1:stream, $s1:struct)``: make streams static (➌)."""
+
+    name = "stream_static"
+    error_type = ErrorType.STRUCT_AND_UNION
+    # Streams must become static whichever struct repair chain ran first
+    # (➊➌ via constructor, or ➋➍ via flatten — Figure 7c).
+    requires_any = ("constructor", "flatten")
+    signature = "stream_static($f1:stream, $s1:struct)"
+
+    def propose(self, candidate, diagnostics, context):
+        out: List[EditApplication] = []
+        for diag in diagnostics:
+            if diag.error_type != ErrorType.STRUCT_AND_UNION:
+                continue
+            if "static storage" not in diag.message:
+                continue
+            label = f"stream_static({diag.symbol})"
+            if label in candidate.applied:
+                continue
+            out.append(
+                EditApplication(
+                    label=label,
+                    transform=lambda cand, name=diag.symbol, label=label:
+                        self._apply(cand, name, label),
+                )
+            )
+        return out
+
+    def _apply(self, candidate: Candidate, var_name: str, label: str):
+        unit = cloned_unit(candidate)
+        changed = False
+        for decl_stmt in find_all(unit, N.DeclStmt):
+            decl = decl_stmt.decl
+            if decl.name != var_name:
+                continue
+            if isinstance(T.strip_typedefs(decl.type), T.StreamType) and not decl.is_static:
+                decl.is_static = True
+                changed = True
+        return candidate.with_unit(unit, label) if changed else None
+
+
+class InstStaticEdit(Edit):
+    """``inst_static($s1:struct, $v1:name)``: make instances static."""
+
+    name = "inst_static"
+    error_type = ErrorType.STRUCT_AND_UNION
+    signature = "inst_static($s1:struct, $v1:name)"
+
+    def propose(self, candidate, diagnostics, context):
+        out: List[EditApplication] = []
+        tags = _struct_diag_tags(candidate, diagnostics)
+        for func in candidate.unit.functions():
+            if func.body is None:
+                continue
+            for decl_stmt in find_all(func.body, N.DeclStmt):
+                decl = decl_stmt.decl
+                resolved = T.strip_typedefs(decl.type)
+                if (
+                    isinstance(resolved, T.StructType)
+                    and resolved.tag in tags
+                    and not decl.is_static
+                ):
+                    label = f"inst_static({resolved.tag}, {decl.name})"
+                    if label in candidate.applied:
+                        continue
+                    out.append(
+                        EditApplication(
+                            label=label,
+                            transform=lambda cand, name=decl.name, label=label:
+                                self._apply(cand, name, label),
+                        )
+                    )
+        return out
+
+    def _apply(self, candidate: Candidate, var_name: str, label: str):
+        unit = cloned_unit(candidate)
+        changed = False
+        for decl_stmt in find_all(unit, N.DeclStmt):
+            if decl_stmt.decl.name == var_name and not decl_stmt.decl.is_static:
+                decl_stmt.decl.is_static = True
+                changed = True
+        return candidate.with_unit(unit, label) if changed else None
+
+
+class FlattenEdit(Edit):
+    """``flatten($s1:struct)``: dissolve methods into free functions (➋)."""
+
+    name = "flatten"
+    error_type = ErrorType.STRUCT_AND_UNION
+    signature = "flatten($s1:struct)"
+
+    def propose(self, candidate, diagnostics, context):
+        out: List[EditApplication] = []
+        for tag in sorted(_struct_diag_tags(candidate, diagnostics)):
+            struct_def = candidate.unit.struct(tag)
+            if struct_def is None or not struct_def.methods:
+                continue
+            if any(m.is_constructor for m in struct_def.methods):
+                continue  # the constructor chain is already in progress
+            label = f"flatten({tag})"
+            if label in candidate.applied:
+                continue
+            out.append(
+                EditApplication(
+                    label=label,
+                    transform=lambda cand, tag=tag, label=label:
+                        self._apply(cand, tag, label),
+                )
+            )
+        return out
+
+    def _apply(self, candidate: Candidate, tag: str, label: str):
+        unit = cloned_unit(candidate)
+        struct_def = unit.struct(tag)
+        if struct_def is None:
+            return None
+        struct_index = unit.decls.index(struct_def)
+        free_functions: List[N.FunctionDef] = []
+        for method in struct_def.methods:
+            if method.body is None:
+                continue
+            free = clone(method)
+            assert isinstance(free, N.FunctionDef)
+            free.name = f"{tag}_{method.name}"
+            free.owner_struct = ""
+            free.is_constructor = False
+            self_param = N.ParamDecl(
+                name="self", type=T.ReferenceType(struct_def.type)
+            )
+            free.params.insert(0, self_param)
+            # this->x  →  self.x
+            def rewrite(expr: N.Expr) -> Optional[N.Expr]:
+                if (
+                    isinstance(expr, N.Member)
+                    and expr.arrow
+                    and isinstance(expr.obj, N.Ident)
+                    and expr.obj.name == "this"
+                ):
+                    return N.Member(
+                        obj=N.Ident(name="self"), name=expr.name, arrow=False
+                    )
+                return None
+
+            assert free.body is not None
+            rewrite_exprs(free.body, rewrite)
+            refresh_uids(free)
+            free_functions.append(free)
+        struct_def.methods = []
+        struct_def.type = T.StructType(
+            tag=tag,
+            fields=struct_def.type.fields,
+            is_union=struct_def.type.is_union,
+            method_names=(),
+            has_constructor=False,
+        )
+        unit.decls[struct_index + 1 : struct_index + 1] = free_functions
+        return candidate.with_unit(unit, label)
+
+
+class InstUpdateEdit(Edit):
+    """``inst_update($s1:struct)``: call sites ``obj.m(a)`` → ``S_m(obj, a)`` (➍)."""
+
+    name = "inst_update"
+    error_type = ErrorType.STRUCT_AND_UNION
+    requires = ("flatten",)
+    signature = "inst_update($s1:struct)"
+
+    def propose(self, candidate, diagnostics, context):
+        tags: Set[str] = set()
+        for applied in candidate.applied:
+            if applied.startswith("flatten("):
+                tags.add(applied[len("flatten("):].rstrip(")"))
+        out: List[EditApplication] = []
+        for tag in sorted(tags):
+            label = f"inst_update({tag})"
+            if label in candidate.applied:
+                continue
+            if not self._has_method_calls(candidate.unit, tag):
+                continue
+            out.append(
+                EditApplication(
+                    label=label,
+                    transform=lambda cand, tag=tag, label=label:
+                        self._apply(cand, tag, label),
+                )
+            )
+        return out
+
+    def blind_propose(self, candidate, diagnostics, context):
+        """WithoutDependence mode: attempt the call-site rewrite for every
+        struct, flattened or not."""
+        out: List[EditApplication] = []
+        for decl in candidate.unit.decls:
+            if not isinstance(decl, N.StructDef):
+                continue
+            tag = decl.tag
+            label = f"inst_update({tag})"
+            if label in candidate.applied:
+                continue
+            if not self._has_method_calls(candidate.unit, tag):
+                continue
+            out.append(
+                EditApplication(
+                    label=label,
+                    transform=lambda cand, tag=tag, label=label:
+                        self._apply(cand, tag, label),
+                )
+            )
+        return out
+
+    def _has_method_calls(self, unit: N.TranslationUnit, tag: str) -> bool:
+        for func in unit.functions():
+            if func.body is None:
+                continue
+            env = TypeEnv(unit, func)
+            for call in find_all(func.body, N.Call):
+                if self._method_call_tag(call, env) == tag:
+                    return True
+        return False
+
+    @staticmethod
+    def _method_call_tag(call: N.Call, env: TypeEnv) -> Optional[str]:
+        if not isinstance(call.func, N.Member):
+            return None
+        obj_type = infer_type(call.func.obj, env)
+        if obj_type is None:
+            return None
+        resolved = T.strip_typedefs(obj_type)
+        if isinstance(resolved, T.ReferenceType):
+            resolved = T.strip_typedefs(resolved.target)
+        if isinstance(resolved, T.StructType):
+            return resolved.tag
+        return None
+
+    def _apply(self, candidate: Candidate, tag: str, label: str):
+        unit = cloned_unit(candidate)
+        changed = False
+        for func in unit.functions():
+            if func.body is None:
+                continue
+            env = TypeEnv(unit, func)
+
+            def rewrite(expr: N.Expr) -> Optional[N.Expr]:
+                nonlocal changed
+                if (
+                    isinstance(expr, N.Call)
+                    and isinstance(expr.func, N.Member)
+                    and self._method_call_tag(expr, env) == tag
+                ):
+                    member = expr.func
+                    changed = True
+                    return N.Call(
+                        func=N.Ident(name=f"{tag}_{member.name}"),
+                        args=[member.obj] + expr.args,
+                    )
+                return None
+
+            rewrite_exprs(func.body, rewrite)
+        return candidate.with_unit(unit, label) if changed else None

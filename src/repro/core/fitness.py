@@ -1,0 +1,68 @@
+"""Fitness evaluation for repair candidates.
+
+The paper's objective (§1): HLS compatibility and test behaviour are
+*hard* constraints, performance a *soft* one.  We encode this as a
+lexicographic key — fewer compile errors always beats any latency, a
+higher differential-test pass ratio always beats any latency, and only
+then does simulated FPGA latency order candidates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..difftest import DiffReport
+from ..hls.diagnostics import CompileReport
+
+
+@dataclass(frozen=True)
+class Fitness:
+    """Lexicographic fitness; lower keys are better."""
+
+    compile_errors: int
+    fail_ratio: float
+    latency_ns: float
+
+    def key(self) -> Tuple[int, float, float]:
+        return (self.compile_errors, self.fail_ratio, self.latency_ns)
+
+    def better_than(self, other: Optional["Fitness"]) -> bool:
+        if other is None:
+            return True
+        return self.key() < other.key()
+
+    @property
+    def is_compatible(self) -> bool:
+        return self.compile_errors == 0
+
+    @property
+    def is_behavior_preserving(self) -> bool:
+        return self.compile_errors == 0 and self.fail_ratio == 0.0
+
+    def __str__(self) -> str:
+        latency = (
+            "inf" if math.isinf(self.latency_ns) else f"{self.latency_ns / 1e6:.3f}ms"
+        )
+        return (
+            f"Fitness(errors={self.compile_errors}, "
+            f"fail={self.fail_ratio:.2%}, latency={latency})"
+        )
+
+
+def fitness_from_reports(
+    compile_report: CompileReport,
+    diff_report: Optional[DiffReport],
+) -> Fitness:
+    """Combine the toolchain outcomes into one fitness value."""
+    errors = len(compile_report.errors)
+    if errors > 0 or diff_report is None:
+        return Fitness(
+            compile_errors=errors, fail_ratio=1.0, latency_ns=math.inf
+        )
+    return Fitness(
+        compile_errors=0,
+        fail_ratio=1.0 - diff_report.pass_ratio,
+        latency_ns=diff_report.fpga_latency_ns,
+    )

@@ -1,0 +1,161 @@
+"""The HeteroGen pipeline (Figure 1).
+
+``HeteroGen.transpile`` wires the five components together:
+
+1. **test input generation** — coverage-guided kernel fuzzing seeded from
+   the host program's kernel call site (Algorithm 1);
+2. **initial HLS version** — profile-driven bitwidth finitization
+   (``P_broken``);
+3-5. **iterative repair** — localization, dependence-guided edit
+   exploration and fitness evaluation, until the simulated toolchain
+   budget runs out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Union
+
+from ..cfront import nodes as N
+from ..cfront.parser import parse
+from ..difftest import differential_test
+from ..fuzz import FuzzConfig, FuzzReport, fuzz_kernel, get_kernel_seed
+from ..hls.clock import SimulatedClock
+from ..hls.platform import SolutionConfig
+from ..interp import ExecLimits
+from .bitwidth import generate_initial_version
+from .edits import Candidate, EditRegistry, RepairContext, build_registry
+from .report import TranspileResult
+from .search import RepairSearch, SearchConfig
+
+
+@dataclass
+class HeteroGenConfig:
+    """End-to-end configuration."""
+
+    fuzz: FuzzConfig = field(default_factory=FuzzConfig)
+    search: SearchConfig = field(default_factory=SearchConfig)
+    suite_cap: int = 120
+    """Maximum corpus tests carried into repair and final validation."""
+    final_diff_cap: int = 60
+    limits: ExecLimits = field(
+        default_factory=lambda: ExecLimits(max_steps=80_000, max_depth=128)
+    )
+    """Per-test execution budget.  Deliberately tight: a candidate whose
+    finitized loop counter wraps into an infinite loop must be cut off
+    quickly — hitting the budget is itself an observable divergence."""
+
+
+class HeteroGen:
+    """The transpiler: C/C++ in, repaired HLS-C out."""
+
+    def __init__(
+        self,
+        config: Optional[HeteroGenConfig] = None,
+        registry: Optional[EditRegistry] = None,
+    ) -> None:
+        self.config = config or HeteroGenConfig()
+        self.registry = registry or build_registry()
+
+    def transpile(
+        self,
+        source: Union[str, N.TranslationUnit],
+        kernel_name: str,
+        solution: Optional[SolutionConfig] = None,
+        host_name: str = "",
+        host_args: Optional[Sequence[Any]] = None,
+        tests: Optional[List[List[Any]]] = None,
+        subject_name: str = "",
+        clock: Optional[SimulatedClock] = None,
+    ) -> TranspileResult:
+        """Run the full pipeline.
+
+        :param source: C source text or an already-parsed unit.
+        :param kernel_name: the kernel function to transpile (HeteroGen
+            assumes the kernel is specified; see "Caveat and Usage
+            Scenario", §3).
+        :param solution: initial solution configuration; defaults to one
+            whose top function is the kernel.
+        :param host_name: optional host function to capture kernel seeds
+            from (Algorithm 1's ``getKernelSeed``).
+        :param tests: pre-existing tests; fuzzing still runs and extends
+            them unless the fuzz budget is zero.
+        """
+        unit = parse(source, top_name=kernel_name) if isinstance(source, str) else source
+        solution = solution or SolutionConfig(top_name=kernel_name)
+        clock = clock or SimulatedClock()
+
+        # 1. Test generation.
+        seeds: List[List[Any]] = list(tests or [])
+        if host_name and host_args is not None:
+            try:
+                seeds = get_kernel_seed(unit, host_name, kernel_name, host_args) + seeds
+            except Exception:
+                pass  # fall back to random seeding inside the fuzzer
+        fuzz_report: Optional[FuzzReport] = None
+        suite: List[List[Any]]
+        if self.config.fuzz.max_execs > 0:
+            fuzz_report = fuzz_kernel(
+                unit,
+                kernel_name,
+                self.config.fuzz,
+                seeds=seeds or None,
+                clock=clock,
+                limits=self.config.limits,
+            )
+            suite = fuzz_report.suite(self.config.suite_cap)
+        else:
+            suite = list(seeds)
+        if tests:
+            # Pre-existing tests stay in the suite (they are valid inputs).
+            suite = list(tests) + [t for t in suite if t not in tests]
+            suite = suite[: self.config.suite_cap]
+
+        # 2. Initial HLS version with estimated types (P_broken).  The
+        # profile must cover every test later used for validation — a
+        # bitwidth chosen from a narrower profile would wrap on the
+        # unprofiled tests (§4 profiles with all generated tests).
+        profile_tests = suite[: max(self.config.final_diff_cap,
+                                    self.config.search.diff_test_cap)]
+        initial_unit, _plan, profile = generate_initial_version(
+            unit, kernel_name, profile_tests, limits=self.config.limits
+        )
+
+        # 3-5. Iterative repair.
+        context = RepairContext(kernel_name=kernel_name, profile=profile)
+        search = RepairSearch(
+            original=unit,
+            kernel_name=kernel_name,
+            tests=suite,
+            config=self.config.search,
+            registry=self.registry,
+            clock=clock,
+            limits=self.config.limits,
+            context=context,
+        )
+        result = search.run(Candidate(unit=initial_unit, config=solution))
+
+        # Final validation on the (larger) suite.
+        final_unit = final_config = final_diff = None
+        if result.best is not None and result.best.fitness.is_compatible:
+            final_unit = result.best.candidate.unit
+            final_config = result.best.candidate.config
+            final_diff = differential_test(
+                unit,
+                final_unit,
+                kernel_name,
+                final_config,
+                suite[: self.config.final_diff_cap],
+                limits=self.config.limits,
+                clock=clock,
+            )
+        return TranspileResult(
+            subject=subject_name or kernel_name,
+            original=unit,
+            kernel_name=kernel_name,
+            fuzz_report=fuzz_report,
+            search_result=result,
+            final_unit=final_unit,
+            final_config=final_config,
+            final_diff=final_diff,
+        )

@@ -1,0 +1,168 @@
+"""Transpilation result report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..cfront import nodes as N
+from ..cfront.printer import added_loc, count_loc, render
+from ..difftest import DiffReport
+from ..fuzz import FuzzReport
+from ..hls.platform import SolutionConfig
+from .search import SearchResult
+
+
+@dataclass
+class TranspileResult:
+    """Everything a HeteroGen run produced (one row of Tables 3 and 5)."""
+
+    subject: str
+    original: N.TranslationUnit
+    kernel_name: str
+    fuzz_report: Optional[FuzzReport]
+    search_result: SearchResult
+    final_unit: Optional[N.TranslationUnit]
+    final_config: Optional[SolutionConfig]
+    final_diff: Optional[DiffReport]
+
+    @property
+    def hls_compatible(self) -> bool:
+        best = self.search_result.best
+        return best is not None and best.fitness.is_compatible
+
+    @property
+    def behavior_preserved(self) -> bool:
+        return self.final_diff is not None and self.final_diff.behavior_preserved
+
+    @property
+    def success(self) -> bool:
+        return self.hls_compatible and self.behavior_preserved
+
+    @property
+    def improved_performance(self) -> bool:
+        return self.final_diff is not None and self.final_diff.speedup > 1.0
+
+    @property
+    def speedup(self) -> float:
+        return self.final_diff.speedup if self.final_diff else 0.0
+
+    @property
+    def origin_loc(self) -> int:
+        return count_loc(self.original)
+
+    @property
+    def delta_loc(self) -> int:
+        if self.final_unit is None:
+            return 0
+        return added_loc(self.original, self.final_unit)
+
+    @property
+    def origin_runtime_ms(self) -> float:
+        return self.final_diff.cpu_latency_ns / 1e6 if self.final_diff else 0.0
+
+    @property
+    def converted_runtime_ms(self) -> float:
+        return self.final_diff.fpga_latency_ns / 1e6 if self.final_diff else 0.0
+
+    @property
+    def applied_edits(self) -> List[str]:
+        best = self.search_result.best
+        return list(best.candidate.applied) if best else []
+
+    @property
+    def remaining_errors(self) -> List[str]:
+        """Unrepaired diagnostics of the best candidate.
+
+        When the budget runs out before compatibility is reached, the
+        paper's HeteroGen "reports an incomplete version with generated
+        tests to guide the remaining manual edits" (§1) — these are the
+        errors that version still carries.
+        """
+        best = self.search_result.best
+        if best is None or best.compile_report is None:
+            return []
+        return [str(d) for d in best.compile_report.errors]
+
+    def guiding_tests(self, cap: int = 20) -> List[List[Any]]:
+        """Generated tests to hand to a developer finishing the port."""
+        if self.fuzz_report is None:
+            return []
+        return self.fuzz_report.suite(cap)
+
+    def final_source(self) -> str:
+        if self.final_unit is None:
+            return ""
+        return render(self.final_unit)
+
+    def resource_report(self) -> str:
+        """Device utilization of the final design, Vivado-report style."""
+        from ..hls.platform import DEVICES
+        from ..hls.schedule import estimate
+
+        if self.final_unit is None or self.final_config is None:
+            return "no synthesizable design"
+        schedule = estimate(self.final_unit, self.final_config)
+        device = DEVICES.get(self.final_config.device)
+        usage = schedule.resources
+        lines = [
+            f"device   : {self.final_config.device} "
+            f"@ {1000.0 / self.final_config.clock_period_ns:.0f} MHz",
+            f"latency  : {schedule.cycles:.0f} cycles "
+            f"({schedule.kernel_latency_ns / 1000.0:.2f} us kernel, "
+            f"{schedule.total_latency_ns / 1000.0:.2f} us with offload)",
+        ]
+        if device is not None:
+            for label, used, available in (
+                ("LUT", usage.luts, device.luts),
+                ("FF", usage.ffs, device.ffs),
+                ("BRAM", usage.bram_36k, device.bram_36k),
+                ("DSP", usage.dsps, device.dsps),
+            ):
+                share = used / available if available else 0.0
+                lines.append(f"{label:8} : {used:>10}  ({share:6.2%})")
+        lines.append(
+            f"pipeline : {schedule.pipelined_loops} pipelined, "
+            f"{schedule.unrolled_loops} unrolled loops, "
+            f"{schedule.dataflow_functions} dataflow regions"
+        )
+        return "\n".join(lines)
+
+    def source_diff(self) -> str:
+        """Unified diff from the original program to the converted one —
+        the human-readable view of what ΔLOC counts."""
+        import difflib
+
+        if self.final_unit is None:
+            return ""
+        before = render(self.original).splitlines(keepends=True)
+        after = render(self.final_unit).splitlines(keepends=True)
+        return "".join(
+            difflib.unified_diff(
+                before, after,
+                fromfile=f"{self.subject}/original.c",
+                tofile=f"{self.subject}/converted.c",
+            )
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"subject          : {self.subject}",
+            f"HLS compatible   : {'yes' if self.hls_compatible else 'no'}",
+            f"behavior kept    : {'yes' if self.behavior_preserved else 'no'}",
+            f"improved perf    : {'yes' if self.improved_performance else 'no'}",
+            f"speedup          : {self.speedup:.2f}x",
+            f"origin LOC       : {self.origin_loc}",
+            f"delta LOC        : {self.delta_loc}",
+            f"edits applied    : {len(self.applied_edits)}",
+            f"repair time      : {self.search_result.repair_minutes:.1f} simulated minutes",
+        ]
+        if self.fuzz_report is not None:
+            lines.append(
+                f"tests generated  : {self.fuzz_report.tests_generated} "
+                f"({self.fuzz_report.coverage_ratio:.0%} branch coverage)"
+            )
+        if not self.hls_compatible and self.remaining_errors:
+            lines.append("remaining errors (manual edits needed):")
+            lines.extend(f"  {error}" for error in self.remaining_errors[:6])
+        return "\n".join(lines)

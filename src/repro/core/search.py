@@ -1,0 +1,307 @@
+"""Dependence-guided evolutionary repair search (§5.3).
+
+One engine implements HeteroGen proper and both Figure 9 ablations:
+
+* ``use_style_checker=False`` → *WithoutChecker*: every candidate goes
+  straight to the (expensive) full HLS compilation;
+* ``use_dependence=False`` → *WithoutDependence*: edits are proposed
+  blindly across all families, dependences ignored, in random order.
+
+All toolchain activity charges a :class:`SimulatedClock`, so the
+benchmarks can report repair wall-clock in the paper's units (minutes of
+toolchain time) while actually running in milliseconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Set, Tuple
+
+from ..cfront import nodes as N
+from ..difftest import DiffReport, differential_test, run_cpu_reference
+from ..hls.clock import ACT_STYLE_CHECK, SimulatedClock
+from ..hls.compiler import compile_unit
+from ..hls.diagnostics import CompileReport, Diagnostic
+from ..hls.stylecheck import STYLE_CHECK_SECONDS, check_style
+from ..interp import ExecLimits
+from .classification import RepairLocalizer, classify
+from .dependence import ordered_applications, unordered_applications
+from .edits import Candidate, EditRegistry, RepairContext, build_registry
+from .fitness import Fitness, fitness_from_reports
+
+
+@dataclass
+class SearchConfig:
+    """Knobs for one repair run."""
+
+    budget_seconds: float = 3 * 3600.0
+    """Simulated toolchain budget (the paper's three-hour limit, §6.1)."""
+    max_iterations: int = 300
+    """Real-time guard: candidate evaluations per run."""
+    max_children_per_round: int = 14
+    diff_test_cap: int = 24
+    """Tests used per fitness evaluation during the search (the full
+    suite is replayed on the final answer)."""
+    use_style_checker: bool = True
+    use_dependence: bool = True
+    perf_exploration: bool = True
+    seed: int = 2022
+
+
+@dataclass
+class Evaluation:
+    candidate: Candidate
+    compile_report: Optional[CompileReport]
+    diff_report: Optional[DiffReport]
+    fitness: Fitness
+    style_rejected: bool = False
+
+
+@dataclass
+class SearchStats:
+    attempts: int = 0
+    style_checks: int = 0
+    style_rejections: int = 0
+    hls_invocations: int = 0
+    iterations: int = 0
+
+    @property
+    def hls_invocation_ratio(self) -> float:
+        return self.hls_invocations / self.attempts if self.attempts else 0.0
+
+
+@dataclass
+class SearchResult:
+    best: Optional[Evaluation]
+    stats: SearchStats
+    clock: SimulatedClock
+    history: List[str] = field(default_factory=list)
+    success_seconds: Optional[float] = None
+    """Simulated toolchain time when the first compatible,
+    behaviour-preserving candidate was found (the paper's Figure 9 repair
+    time).  None if the search never got there.  The search keeps
+    spending the remaining budget on performance exploration afterwards
+    (§1), so this is distinct from the total clock."""
+
+    @property
+    def success(self) -> bool:
+        return self.best is not None and self.best.fitness.is_behavior_preserving
+
+    @property
+    def repair_seconds(self) -> float:
+        """Time to the first successful repair; total spend if it never
+        succeeded (i.e. the whole budget was consumed failing)."""
+        if self.success_seconds is not None:
+            return self.success_seconds
+        return self.clock.seconds
+
+    @property
+    def repair_minutes(self) -> float:
+        return self.repair_seconds / 60.0
+
+    @property
+    def total_minutes(self) -> float:
+        """Everything, including post-success performance exploration."""
+        return self.clock.minutes
+
+
+class RepairSearch:
+    """Evolutionary search over repair candidates."""
+
+    def __init__(
+        self,
+        original: N.TranslationUnit,
+        kernel_name: str,
+        tests: Sequence[List[Any]],
+        config: Optional[SearchConfig] = None,
+        registry: Optional[EditRegistry] = None,
+        clock: Optional[SimulatedClock] = None,
+        limits: Optional[ExecLimits] = None,
+        context: Optional[RepairContext] = None,
+    ) -> None:
+        self.original = original
+        self.kernel_name = kernel_name
+        self.tests = list(tests)
+        self.config = config or SearchConfig()
+        self.registry = registry or build_registry()
+        self.clock = clock or SimulatedClock()
+        self.limits = limits
+        self.context = context or RepairContext(kernel_name=kernel_name)
+        self.rng = random.Random(self.config.seed)
+        self.localizer = RepairLocalizer()
+        self.stats = SearchStats()
+        self.history: List[str] = []
+        subset = self.tests[: self.config.diff_test_cap]
+        self._diff_tests = subset
+        self._reference, self._cpu_ns = run_cpu_reference(
+            original, kernel_name, subset, limits=limits, clock=self.clock
+        )
+
+    # -- public ------------------------------------------------------------------
+
+    def run(self, initial: Candidate) -> SearchResult:
+        counter = itertools.count()
+        frontier: List[Tuple[Tuple, int, Candidate]] = []
+        heapq.heappush(frontier, ((math.inf, 0, 0.0), next(counter), initial))
+        seen: Set[Tuple[str, ...]] = {initial.applied}
+        best: Optional[Evaluation] = None
+        success_seconds: Optional[float] = None
+
+        while (
+            frontier
+            and self.stats.iterations < self.config.max_iterations
+            and self.clock.seconds < self.config.budget_seconds
+        ):
+            _prio, _tick, candidate = heapq.heappop(frontier)
+            self.stats.iterations += 1
+            evaluation = self.evaluate(candidate)
+            if evaluation.style_rejected:
+                self.history.append(f"style-reject {candidate.applied[-1:]}")
+                continue
+            if evaluation.fitness.better_than(best.fitness if best else None):
+                best = evaluation
+                self.history.append(
+                    f"new best {evaluation.fitness} after {candidate.applied}"
+                )
+                if (
+                    success_seconds is None
+                    and evaluation.fitness.is_behavior_preserving
+                ):
+                    success_seconds = self.clock.seconds
+            children = self._propose_children(evaluation)
+            for child in children:
+                if child.applied in seen:
+                    continue
+                seen.add(child.applied)
+                priority = self._child_priority(evaluation, child)
+                heapq.heappush(frontier, (priority, next(counter), child))
+        return SearchResult(
+            best=best,
+            stats=self.stats,
+            clock=self.clock,
+            history=self.history,
+            success_seconds=success_seconds,
+        )
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(self, candidate: Candidate) -> Evaluation:
+        """Style gate → full compile → differential test."""
+        self.stats.attempts += 1
+        if self.config.use_style_checker:
+            self.stats.style_checks += 1
+            self.clock.charge(ACT_STYLE_CHECK, STYLE_CHECK_SECONDS)
+            violations = check_style(candidate.unit)
+            if violations:
+                self.stats.style_rejections += 1
+                return Evaluation(
+                    candidate=candidate,
+                    compile_report=None,
+                    diff_report=None,
+                    fitness=Fitness(10**6, 1.0, math.inf),
+                    style_rejected=True,
+                )
+        self.stats.hls_invocations += 1
+        compile_report = compile_unit(candidate.unit, candidate.config, clock=self.clock)
+        diff_report: Optional[DiffReport] = None
+        if compile_report.ok:
+            diff_report = differential_test(
+                self.original,
+                candidate.unit,
+                self.kernel_name,
+                candidate.config,
+                self._diff_tests,
+                limits=self.limits,
+                clock=self.clock,
+                reference=self._reference,
+                cpu_latency_ns=self._cpu_ns,
+                # Deeply broken candidates fault on every test; cut them
+                # off early — the fitness signal is already conclusive.
+                max_faults=10,
+            )
+        fitness = fitness_from_reports(compile_report, diff_report)
+        return Evaluation(
+            candidate=candidate,
+            compile_report=compile_report,
+            diff_report=diff_report,
+            fitness=fitness,
+        )
+
+    # -- proposal ---------------------------------------------------------------
+
+    def _propose_children(self, evaluation: Evaluation) -> List[Candidate]:
+        candidate = evaluation.candidate
+        report = evaluation.compile_report
+        assert report is not None
+        applications = []
+        if report.errors:
+            applications = self._repair_proposals(candidate, report.errors)
+        else:
+            assert evaluation.diff_report is not None
+            if not evaluation.diff_report.behavior_preserved:
+                applications = self._behavior_proposals(candidate, report.errors)
+            elif self.config.perf_exploration:
+                applications = self._perf_proposals(candidate)
+        # Applying an edit deep-copies the program; only materialize as
+        # many children as the round may actually enqueue.
+        children: List[Candidate] = []
+        for application in applications:
+            if len(children) >= self.config.max_children_per_round:
+                break
+            child = application.apply(candidate)
+            if child is not None:
+                children.append(child)
+        return children
+
+    def _repair_proposals(self, candidate: Candidate, errors: Sequence[Diagnostic]):
+        if not self.config.use_dependence:
+            # WithoutDependence: every template, blind, shuffled.
+            applications = []
+            for edit in self.registry.all_edits():
+                applications.extend(
+                    edit.blind_propose(candidate, errors, self.context)
+                )
+            self.rng.shuffle(applications)
+            return applications
+        # Dependence-guided: focus the first error's family, in dependence
+        # order ({➊, ➋, ➊➌, ➋➍, …} of Figure 7c).
+        focus = errors[0]
+        family = classify(focus)
+        # Localization is consulted so unfocused families still contribute
+        # when they share the reported symbol.
+        edits = self.registry.edits_for(family)
+        applications = ordered_applications(edits, candidate, errors, self.context)
+        if not applications:
+            # The focused family is exhausted; widen to all families.
+            applications = ordered_applications(
+                self.registry.all_edits(), candidate, errors, self.context
+            )
+        return applications
+
+    def _behavior_proposals(self, candidate: Candidate, errors):
+        edits = self.registry.behavior_edits
+        if self.config.use_dependence:
+            return ordered_applications(edits, candidate, errors, self.context)
+        return unordered_applications(edits, candidate, errors, self.context, self.rng)
+
+    def _perf_proposals(self, candidate: Candidate):
+        edits = self.registry.perf_edits
+        applications = ordered_applications(edits, candidate, (), self.context)
+        if not self.config.use_dependence:
+            self.rng.shuffle(applications)
+        return applications
+
+    # -- ordering ------------------------------------------------------------------
+
+    def _child_priority(self, parent: Evaluation, child: Candidate) -> Tuple:
+        """Optimistic priority: children of fitter parents first."""
+        parent_fit = parent.fitness
+        return (
+            parent_fit.compile_errors,
+            parent_fit.fail_ratio,
+            len(child.applied),
+        )

@@ -1,0 +1,167 @@
+"""Lightweight expression type inference over the C subset.
+
+Repair edits need to know the static type of arbitrary expressions — e.g.
+the pointer-elimination edit rewrites ``x->f`` only when ``x`` has type
+``struct S *`` (or its index replacement ``S_ptr``).  This inferencer is
+deliberately best-effort: it returns ``None`` when it cannot tell, and
+edits treat ``None`` as "leave the expression alone".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..cfront import nodes as N
+from ..cfront import typesys as T
+
+
+class TypeEnv:
+    """Name → type environment for one function, plus unit-level context."""
+
+    def __init__(self, unit: N.TranslationUnit, func: Optional[N.FunctionDef]) -> None:
+        self.unit = unit
+        self.structs: Dict[str, T.StructType] = {}
+        for decl in unit.decls:
+            if isinstance(decl, N.StructDef):
+                assert isinstance(decl.type, T.StructType)
+                self.structs[decl.tag] = decl.type
+        self.functions: Dict[str, T.CType] = {
+            f.name: f.return_type for f in unit.functions()
+        }
+        self.vars: Dict[str, T.CType] = {}
+        for gdecl in unit.globals():
+            self.vars[gdecl.name] = gdecl.type
+        if func is not None:
+            for param in func.params:
+                self.vars[param.name] = param.type
+            if func.body is not None:
+                from ..cfront.visitor import find_all
+
+                for decl_stmt in find_all(func.body, N.DeclStmt):
+                    self.vars[decl_stmt.decl.name] = decl_stmt.decl.type
+            if func.owner_struct:
+                self.vars["this"] = T.PointerType(
+                    self.structs.get(
+                        func.owner_struct, T.StructType(tag=func.owner_struct)
+                    )
+                )
+
+    def field_type(self, tag: str, name: str) -> Optional[T.CType]:
+        struct = self.structs.get(tag)
+        if struct is None or not struct.has_field(name):
+            return None
+        return struct.field_type(name)
+
+
+def infer_type(expr: N.Expr, env: TypeEnv) -> Optional[T.CType]:
+    """Static type of *expr*, or None when unknown."""
+    if isinstance(expr, N.IntLit):
+        return T.INT
+    if isinstance(expr, N.FloatLit):
+        return T.DOUBLE
+    if isinstance(expr, N.CharLit):
+        return T.CHAR
+    if isinstance(expr, N.StringLit):
+        return T.PointerType(T.CHAR)
+    if isinstance(expr, N.Ident):
+        return env.vars.get(expr.name)
+    if isinstance(expr, N.BinOp):
+        if expr.op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+            return T.INT
+        left = infer_type(expr.left, env)
+        right = infer_type(expr.right, env)
+        if left is None or right is None:
+            return left or right
+        lres = T.strip_typedefs(left)
+        if isinstance(lres, (T.PointerType, T.ArrayType)):
+            return T.decay(left)
+        rres = T.strip_typedefs(right)
+        if isinstance(rres, (T.PointerType, T.ArrayType)):
+            return T.decay(right)
+        if T.is_arithmetic(left) and T.is_arithmetic(right):
+            return T.common_type(left, right)
+        return left
+    if isinstance(expr, N.UnOp):
+        if expr.op == "!":
+            return T.INT
+        inner = infer_type(expr.operand, env)
+        if inner is None:
+            return None
+        resolved = T.strip_typedefs(inner)
+        if expr.op == "*":
+            if isinstance(resolved, T.PointerType):
+                return resolved.pointee
+            if isinstance(resolved, T.ArrayType):
+                return resolved.elem
+            return None
+        if expr.op == "&":
+            return T.PointerType(inner)
+        return inner
+    if isinstance(expr, N.IncDec):
+        return infer_type(expr.operand, env)
+    if isinstance(expr, N.Assign):
+        return infer_type(expr.target, env)
+    if isinstance(expr, N.Cond):
+        return infer_type(expr.then, env) or infer_type(expr.other, env)
+    if isinstance(expr, N.Cast):
+        return expr.to_type
+    if isinstance(expr, N.Call):
+        name = expr.callee_name
+        if name is not None:
+            if name in env.functions:
+                return env.functions[name]
+            return _builtin_return(name)
+        if isinstance(expr.func, N.Member):
+            # Stream methods or struct methods.
+            obj_type = infer_type(expr.func.obj, env)
+            if obj_type is not None:
+                resolved = T.strip_typedefs(obj_type)
+                if isinstance(resolved, T.ReferenceType):
+                    resolved = T.strip_typedefs(resolved.target)
+                if isinstance(resolved, T.StreamType):
+                    if expr.func.name == "read":
+                        return resolved.elem
+                    return T.INT
+        return None
+    if isinstance(expr, N.Index):
+        base = infer_type(expr.base, env)
+        if base is None:
+            return None
+        resolved = T.strip_typedefs(base)
+        if isinstance(resolved, T.ArrayType):
+            return resolved.elem
+        if isinstance(resolved, T.PointerType):
+            return resolved.pointee
+        return None
+    if isinstance(expr, N.Member):
+        obj_type = infer_type(expr.obj, env)
+        if obj_type is None:
+            return None
+        resolved = T.strip_typedefs(obj_type)
+        if expr.arrow:
+            if isinstance(resolved, T.PointerType):
+                resolved = T.strip_typedefs(resolved.pointee)
+            else:
+                return None
+        if isinstance(resolved, T.ReferenceType):
+            resolved = T.strip_typedefs(resolved.target)
+        if isinstance(resolved, T.StructType):
+            return env.field_type(resolved.tag, expr.name)
+        return None
+    if isinstance(expr, (N.SizeofType, N.SizeofExpr)):
+        return T.ULONG
+    return None
+
+
+def _builtin_return(name: str) -> Optional[T.CType]:
+    float_builtins = {
+        "sqrt", "sqrtf", "sin", "cos", "tan", "exp", "log", "pow", "powl",
+        "fabs", "fabsf", "fmin", "fmax", "fmod", "floor", "ceil",
+    }
+    if name in float_builtins:
+        return T.DOUBLE
+    if name in ("abs", "labs", "printf", "puts"):
+        return T.INT
+    if name == "malloc":
+        return T.PointerType(T.VOID)
+    return None

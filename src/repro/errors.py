@@ -1,0 +1,68 @@
+"""Exception hierarchy shared across the HeteroGen reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so that callers can
+distinguish failures of the reproduction infrastructure from ordinary Python
+errors (which would indicate a bug in the library itself).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CFrontError(ReproError):
+    """Base class for errors from the C frontend (lexer/parser)."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.line = line
+        self.col = col
+        if line:
+            message = f"{line}:{col}: {message}"
+        super().__init__(message)
+
+
+class LexError(CFrontError):
+    """Raised when the lexer meets a character sequence it cannot tokenize."""
+
+
+class ParseError(CFrontError):
+    """Raised when the parser meets an unexpected token."""
+
+
+class InterpError(ReproError):
+    """Base class for runtime errors raised while interpreting C code."""
+
+
+class InterpLimitExceeded(InterpError):
+    """The interpreter exceeded its step or recursion budget."""
+
+
+class MemoryFault(InterpError):
+    """Out-of-bounds access, use-after-free, or invalid pointer arithmetic."""
+
+
+class HlsSimulationFault(InterpError):
+    """A finite-resource violation during HLS simulation.
+
+    Examples: overflowing a bounded software stack that replaced recursion,
+    or indexing past the end of a finitized array.  Differential testing
+    treats a fault as an observable divergence from the CPU run.
+    """
+
+
+class HlsToolError(ReproError):
+    """The HLS toolchain simulator was driven with invalid inputs."""
+
+
+class FuzzError(ReproError):
+    """Test generation failed (e.g. the kernel seed could not be captured)."""
+
+
+class RepairError(ReproError):
+    """The repair engine hit an unrecoverable condition."""
+
+
+class SubjectError(ReproError):
+    """A benchmark subject is unknown or malformed."""

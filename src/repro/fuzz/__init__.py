@@ -1,0 +1,28 @@
+"""Test generation substrate: coverage-guided, HLS-type-aware fuzzing.
+
+Replaces AFL 2.52b in the paper's toolchain (Algorithm 1, §4).
+"""
+
+from .corpus import Corpus, CorpusEntry
+from .fuzzer import (
+    FuzzConfig,
+    FuzzReport,
+    coverage_of_suite,
+    fuzz_kernel,
+    get_kernel_seed,
+)
+from .mutation import Mutator, clamp_to_type, is_type_valid, random_seed_args
+
+__all__ = [
+    "Corpus",
+    "CorpusEntry",
+    "FuzzConfig",
+    "FuzzReport",
+    "Mutator",
+    "clamp_to_type",
+    "coverage_of_suite",
+    "fuzz_kernel",
+    "get_kernel_seed",
+    "is_type_valid",
+    "random_seed_args",
+]

@@ -1,0 +1,63 @@
+"""Fuzzing corpus: the queue of coverage-increasing inputs.
+
+Mirrors AFL's queue: inputs that produced new branch coverage are kept
+and mutated further; everything else is discarded (but counted, since
+Table 4 reports the number of generated tests).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional
+
+
+def _canonical(args: List[Any]) -> str:
+    return json.dumps(args, sort_keys=True, default=str)
+
+
+@dataclass
+class CorpusEntry:
+    args: List[Any]
+    new_branches: int = 0
+    generation: int = 0
+
+
+class Corpus:
+    """Deduplicated queue of interesting kernel inputs."""
+
+    def __init__(self) -> None:
+        self.entries: List[CorpusEntry] = []
+        self._seen: set = set()
+        self._cursor = 0
+
+    def add(self, args: List[Any], new_branches: int = 0, generation: int = 0) -> bool:
+        key = _canonical(args)
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self.entries.append(
+            CorpusEntry(args=args, new_branches=new_branches, generation=generation)
+        )
+        return True
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[CorpusEntry]:
+        return iter(self.entries)
+
+    def next_input(self) -> Optional[CorpusEntry]:
+        """Round-robin pop for the mutation loop (never exhausts)."""
+        if not self.entries:
+            return None
+        entry = self.entries[self._cursor % len(self.entries)]
+        self._cursor += 1
+        return entry
+
+    def suite(self, cap: Optional[int] = None) -> List[List[Any]]:
+        """The argument vectors to use as a regression test suite."""
+        tests = [entry.args for entry in self.entries]
+        if cap is not None:
+            tests = tests[:cap]
+        return tests

@@ -1,0 +1,184 @@
+"""Coverage-guided kernel fuzzing — the paper's Algorithm 1.
+
+Differences from off-the-shelf AFL that the paper calls out (§4), both
+implemented here:
+
+1. the fuzzer targets the *kernel* function, seeded with the concrete
+   argument values captured at the kernel call site of the host program
+   (``getKernelSeed``), not the whole application;
+2. mutation is HLS-type-aware: mutants are clamped to the kernel's
+   declared parameter types so they exercise kernel logic instead of
+   bouncing off the entry point.
+
+The loop keeps an input iff it produced new branch coverage, and stops
+when the time budget runs out or coverage has plateaued (the paper stops
+30 minutes after the last new path; we count executions instead and
+charge the simulated clock so Table 4 can report minutes).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence
+
+from ..errors import FuzzError, InterpError
+from ..cfront import nodes as N
+from ..interp import CoverageRecorder, ExecLimits, Interpreter
+from ..hls.clock import ACT_FUZZING, SimulatedClock
+from .corpus import Corpus
+from .mutation import Mutator, random_seed_args
+
+#: Simulated seconds charged per kernel execution during fuzzing.
+FUZZ_SECONDS_PER_EXEC = 0.05
+
+
+@dataclass
+class FuzzConfig:
+    """Budgets and knobs for one fuzzing campaign."""
+
+    max_execs: int = 4000
+    plateau_execs: int = 600
+    """Stop once this many consecutive executions found nothing new
+    (the reproduction's analogue of AFL's 'no new path for 30 minutes')."""
+    mutations_per_input: int = 8
+    seed: int = 2022
+    array_len: int = 16
+    initial_random_seeds: int = 4
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzzing campaign (one row of Table 4)."""
+
+    tests_generated: int
+    corpus: Corpus
+    coverage: CoverageRecorder
+    coverage_ratio: float
+    execs: int
+    fuzz_seconds: float
+
+    @property
+    def fuzz_minutes(self) -> float:
+        return self.fuzz_seconds / 60.0
+
+    def suite(self, cap: Optional[int] = None) -> List[List[Any]]:
+        return self.corpus.suite(cap)
+
+
+def get_kernel_seed(
+    unit: N.TranslationUnit,
+    host_name: str,
+    kernel_name: str,
+    host_args: Sequence[Any],
+) -> List[List[Any]]:
+    """Algorithm 1's ``getKernelSeed``: run the host program and capture
+    the concrete arguments it passes to the kernel."""
+    interp = Interpreter(unit, capture_calls=kernel_name)
+    try:
+        interp.run(host_name, list(host_args))
+    except InterpError as exc:
+        raise FuzzError(f"host program failed while capturing seeds: {exc}") from exc
+    if not interp.captured:
+        raise FuzzError(
+            f"host function {host_name!r} never invoked kernel {kernel_name!r}"
+        )
+    return [list(args) for args in interp.captured]
+
+
+def fuzz_kernel(
+    unit: N.TranslationUnit,
+    kernel_name: str,
+    config: Optional[FuzzConfig] = None,
+    seeds: Optional[List[List[Any]]] = None,
+    clock: Optional[SimulatedClock] = None,
+    limits: Optional[ExecLimits] = None,
+) -> FuzzReport:
+    """Run Algorithm 1 against *kernel_name* of *unit*."""
+    config = config or FuzzConfig()
+    rng = random.Random(config.seed)
+    kernel = unit.function(kernel_name)
+    if kernel is None:
+        raise FuzzError(f"no kernel function named {kernel_name!r}")
+    param_types = [p.type for p in kernel.params]
+    mutator = Mutator(param_types, rng)
+    interp = Interpreter(unit, limits=limits or ExecLimits())
+
+    corpus = Corpus()
+    coverage = CoverageRecorder()
+    execs = 0
+    tests_generated = 0
+    since_new = 0
+
+    def execute(args: List[Any]) -> bool:
+        """Run one input; True if it uncovered new branches."""
+        nonlocal execs
+        execs += 1
+        try:
+            result = interp.run(kernel_name, args)
+        except InterpError:
+            return False  # crashing inputs exercise nothing repeatable
+        return coverage.merge(result.coverage)
+
+    # Seed the queue (line 4-6): captured kernel states first, random
+    # type-valid vectors as a fallback.
+    initial: List[List[Any]] = list(seeds or [])
+    for _ in range(config.initial_random_seeds if not initial else 1):
+        initial.append(random_seed_args(param_types, rng, config.array_len))
+    for args in initial:
+        tests_generated += 1
+        new = execute(args)
+        corpus.add(args, new_branches=len(coverage.hits) if new else 0)
+
+    generation = 0
+    while execs < config.max_execs and since_new < config.plateau_execs:
+        entry = corpus.next_input()
+        if entry is None:
+            break
+        generation += 1
+        mutants = mutator.mutate(entry.args, config.mutations_per_input)
+        for mutant in mutants:
+            if execs >= config.max_execs:
+                break
+            tests_generated += 1
+            if execute(mutant):
+                corpus.add(mutant, new_branches=len(coverage.hits),
+                           generation=generation)
+                since_new = 0
+            else:
+                since_new += 1
+
+    fuzz_seconds = execs * FUZZ_SECONDS_PER_EXEC
+    if clock is not None:
+        clock.charge(ACT_FUZZING, fuzz_seconds)
+    assert kernel.body is not None
+    return FuzzReport(
+        tests_generated=tests_generated,
+        corpus=corpus,
+        coverage=coverage,
+        coverage_ratio=coverage.ratio(kernel.body),
+        execs=execs,
+        fuzz_seconds=fuzz_seconds,
+    )
+
+
+def coverage_of_suite(
+    unit: N.TranslationUnit,
+    kernel_name: str,
+    tests: List[List[Any]],
+    limits: Optional[ExecLimits] = None,
+) -> float:
+    """Branch coverage a fixed test suite achieves (Table 4's 'Existing'
+    columns)."""
+    kernel = unit.function(kernel_name)
+    if kernel is None or kernel.body is None:
+        raise FuzzError(f"no kernel function named {kernel_name!r}")
+    interp = Interpreter(unit, limits=limits or ExecLimits())
+    coverage = CoverageRecorder()
+    for args in tests:
+        try:
+            result = interp.run(kernel_name, args)
+        except InterpError:
+            continue
+        coverage.merge(result.coverage)
+    return coverage.ratio(kernel.body)

@@ -1,0 +1,57 @@
+"""HLS toolchain simulator: the substitute for Vivado HLS + FPGA board.
+
+Subpackages:
+
+* :mod:`.diagnostics` — error messages/types (Table 1's six families);
+* :mod:`.pragmas` — ``#pragma HLS`` parsing and placement rules;
+* :mod:`.stylecheck` — the cheap pre-compile coding-style gate (§5.3);
+* :mod:`.compiler` — synthesizability checking (the expensive step);
+* :mod:`.schedule` — latency/resource model honouring pragmas;
+* :mod:`.simulator` — functional co-simulation with finite semantics;
+* :mod:`.platform` — device models (XCVU9P) and solution configuration;
+* :mod:`.clock` — simulated wall-clock preserving compile-cost asymmetry.
+"""
+
+from .clock import (
+    ACT_CPU_RUN,
+    ACT_FUZZING,
+    ACT_HLS_COMPILE,
+    ACT_SIMULATION,
+    ACT_STYLE_CHECK,
+    SimulatedClock,
+)
+from .compiler import compile_unit
+from .diagnostics import CompileReport, Diagnostic, ErrorType, FORUM_PROPORTIONS
+from .platform import DEVICES, Device, ResourceUsage, SolutionConfig
+from .pragmas import HlsPragma, collect_pragmas, parse_pragma
+from .schedule import ScheduleReport, estimate
+from .simulator import SimulationReport, simulate
+from .stylecheck import STYLE_CHECK_SECONDS, StyleViolation, check_style
+
+__all__ = [
+    "ACT_CPU_RUN",
+    "ACT_FUZZING",
+    "ACT_HLS_COMPILE",
+    "ACT_SIMULATION",
+    "ACT_STYLE_CHECK",
+    "CompileReport",
+    "DEVICES",
+    "Device",
+    "Diagnostic",
+    "ErrorType",
+    "FORUM_PROPORTIONS",
+    "HlsPragma",
+    "ResourceUsage",
+    "STYLE_CHECK_SECONDS",
+    "ScheduleReport",
+    "SimulatedClock",
+    "SimulationReport",
+    "SolutionConfig",
+    "StyleViolation",
+    "check_style",
+    "collect_pragmas",
+    "compile_unit",
+    "estimate",
+    "parse_pragma",
+    "simulate",
+]

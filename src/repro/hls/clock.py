@@ -1,0 +1,51 @@
+"""Simulated toolchain wall-clock.
+
+Real HLS compilation takes minutes to hours (§5.3); the reproduction runs
+in milliseconds but must preserve the *cost asymmetry* between a full
+compile and a style check, because that asymmetry is exactly what the
+Figure 9 ablation measures.  Every toolchain entry point charges this
+clock; benchmarks report its accumulated simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimulatedClock:
+    """Accumulates simulated seconds, tagged by activity."""
+
+    seconds: float = 0.0
+    by_activity: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def charge(self, activity: str, seconds: float) -> None:
+        self.seconds += seconds
+        self.by_activity[activity] = self.by_activity.get(activity, 0.0) + seconds
+        self.counts[activity] = self.counts.get(activity, 0) + 1
+
+    @property
+    def minutes(self) -> float:
+        return self.seconds / 60.0
+
+    @property
+    def hours(self) -> float:
+        return self.seconds / 3600.0
+
+    def count(self, activity: str) -> int:
+        return self.counts.get(activity, 0)
+
+    def reset(self) -> None:
+        self.seconds = 0.0
+        self.by_activity.clear()
+        self.counts.clear()
+
+
+#: Activity labels shared by the toolchain and the benchmarks.
+ACT_HLS_COMPILE = "hls_compile"
+ACT_STYLE_CHECK = "style_check"
+ACT_SIMULATION = "hls_simulation"
+ACT_FUZZING = "fuzzing"
+ACT_CPU_RUN = "cpu_run"

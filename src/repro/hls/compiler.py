@@ -1,0 +1,473 @@
+"""Synthesizability checking — the simulated Vivado HLS front end.
+
+Given a translation unit and a solution configuration, ``compile_unit``
+returns a :class:`CompileReport` whose diagnostics reproduce the six
+error families of the paper's forum study (Table 1):
+
+* **Dynamic Data Structures** — recursion, ``malloc``/``free``, arrays of
+  unknown size (VLAs);
+* **Unsupported Data Types** — non-interface pointers, ``long double``,
+  implicit conversions on custom HLS float types;
+* **Dataflow Optimization** — an array feeding two concurrent dataflow
+  stages, array_partition factors that do not divide the array size;
+* **Loop Parallelization** — unroll/dataflow pragma interaction (factor
+  ≥ 50 under dataflow, post 721719), unrolling variable-bound loops
+  without a tripcount, device resource exhaustion;
+* **Struct and Union** — structs with member functions but no explicit
+  constructor, non-static streams connecting dataflow processes;
+* **Top Function** — missing top function, invalid device/clock
+  configuration.
+
+A full compile charges minutes of simulated time proportional to design
+size; style checks (see :mod:`.stylecheck`) charge half a second.  This
+asymmetry is the subject of the Figure 9 ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..cfront import nodes as N
+from ..cfront import typesys as T
+from ..cfront.printer import count_loc
+from ..cfront.visitor import find_all
+from . import diagnostics as D
+from .clock import ACT_HLS_COMPILE, SimulatedClock
+from .platform import DEVICES, SolutionConfig
+from .pragmas import has_dataflow, loop_pragmas, parse_pragma
+from .schedule import estimate
+
+#: Simulated seconds charged per full compilation: a base plus a
+#: per-line cost, landing in the "minutes" regime the paper describes.
+COMPILE_BASE_SECONDS = 90.0
+COMPILE_SECONDS_PER_LOC = 1.5
+
+
+def compile_unit(
+    unit: N.TranslationUnit,
+    config: SolutionConfig,
+    clock: Optional[SimulatedClock] = None,
+) -> D.CompileReport:
+    """Run all synthesizability checks; charge the simulated clock."""
+    checker = _Checker(unit, config)
+    report = checker.run()
+    report.compile_seconds = COMPILE_BASE_SECONDS + COMPILE_SECONDS_PER_LOC * count_loc(unit)
+    if clock is not None:
+        clock.charge(ACT_HLS_COMPILE, report.compile_seconds)
+    return report
+
+
+class _Checker:
+    def __init__(self, unit: N.TranslationUnit, config: SolutionConfig) -> None:
+        self.unit = unit
+        self.config = config
+        self.diags: List[D.Diagnostic] = []
+        self.functions = {f.name: f for f in unit.functions() if f.body is not None}
+
+    def run(self) -> D.CompileReport:
+        self._check_top_function()
+        top_ok = not self.diags
+        self._check_recursion()
+        self._check_dynamic_memory()
+        self._check_unknown_arrays()
+        self._check_pointers()
+        self._check_unsupported_types()
+        self._check_implicit_conversions()
+        self._check_structs_and_streams()
+        self._check_array_partition()
+        self._check_dataflow_arguments()
+        self._check_loop_pragmas()
+        if not self.diags and top_ok:
+            self._check_resources()
+        return D.CompileReport(diagnostics=list(self.diags))
+
+    # -- Top Function ---------------------------------------------------------
+
+    def _check_top_function(self) -> None:
+        problems = self.config.validate()
+        for problem in problems:
+            if "top function" in problem:
+                self.diags.append(D.top_function_error(self.config.top_name))
+            else:
+                self.diags.append(D.config_error(problem))
+        if self.config.top_name and self.config.top_name not in self.functions:
+            self.diags.append(D.top_function_error(self.config.top_name))
+
+    # -- Dynamic Data Structures ------------------------------------------------
+
+    def _reachable_functions(self) -> List[N.FunctionDef]:
+        """Functions reachable from the top (or all, if top is missing)."""
+        start = self.config.top_name
+        if start not in self.functions:
+            return [f for f in self.functions.values()]
+        seen: Set[str] = set()
+        order: List[N.FunctionDef] = []
+        stack = [start]
+        while stack:
+            name = stack.pop()
+            if name in seen or name not in self.functions:
+                continue
+            seen.add(name)
+            func = self.functions[name]
+            order.append(func)
+            assert func.body is not None
+            for call in find_all(func.body, N.Call):
+                callee = call.callee_name
+                if callee:
+                    stack.append(callee)
+                elif isinstance(call.func, N.Member):
+                    # Struct method: reachable via its owner.
+                    pass
+        # Struct methods are reachable whenever their struct is used.
+        for decl in self.unit.decls:
+            if isinstance(decl, N.StructDef):
+                order.extend(m for m in decl.methods if m.body is not None)
+        return order
+
+    def _check_recursion(self) -> None:
+        graph: Dict[str, Set[str]] = {}
+        for func in self._reachable_functions():
+            assert func.body is not None
+            graph[func.name] = {
+                call.callee_name
+                for call in find_all(func.body, N.Call)
+                if call.callee_name
+            }
+        for name in graph:
+            if self._reaches(graph, name, name):
+                func = self.functions.get(name)
+                uid = func.uid if func else 0
+                self.diags.append(D.recursion_error(name, uid))
+
+    @staticmethod
+    def _reaches(graph: Dict[str, Set[str]], start: str, goal: str) -> bool:
+        stack = list(graph.get(start, ()))
+        seen: Set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(graph.get(node, ()))
+        return False
+
+    def _check_dynamic_memory(self) -> None:
+        for func in self._reachable_functions():
+            assert func.body is not None
+            for call in find_all(func.body, N.Call):
+                if call.callee_name in ("malloc", "calloc", "realloc", "free"):
+                    self.diags.append(
+                        D.dynamic_alloc_error(self._alloc_symbol(call, func), call.uid)
+                    )
+
+    @staticmethod
+    def _alloc_symbol(call: N.Call, func: N.FunctionDef) -> str:
+        return func.name
+
+    def _check_unknown_arrays(self) -> None:
+        for decl in self._all_var_decls():
+            resolved = T.strip_typedefs(decl.type)
+            if isinstance(resolved, T.ArrayType) and resolved.size is None:
+                self.diags.append(D.unknown_size_error(decl.name, decl.uid))
+
+    # -- Unsupported Data Types ------------------------------------------------------
+
+    def _all_var_decls(self) -> List[N.VarDecl]:
+        decls = list(self.unit.globals())
+        for func in self._reachable_functions():
+            assert func.body is not None
+            decls.extend(d.decl for d in find_all(func.body, N.DeclStmt))
+        return decls
+
+    def _check_pointers(self) -> None:
+        top = self.config.top_name
+        for func in self._reachable_functions():
+            for param in func.params:
+                if func.name == top:
+                    continue  # top-level pointers are hardware interfaces
+                if self._contains_pointer(param.type):
+                    self.diags.append(D.pointer_error(param.name, param.uid))
+        for decl in self._all_var_decls():
+            if self._contains_pointer(decl.type):
+                self.diags.append(D.pointer_error(decl.name, decl.uid))
+        for sdef in self.unit.decls:
+            if isinstance(sdef, N.StructDef):
+                assert isinstance(sdef.type, T.StructType)
+                for fld in sdef.type.fields:
+                    if self._contains_pointer(fld.type):
+                        self.diags.append(
+                            D.pointer_error(f"{sdef.tag}.{fld.name}", sdef.uid)
+                        )
+
+    @staticmethod
+    def _contains_pointer(ctype: T.CType) -> bool:
+        resolved = T.strip_typedefs(ctype)
+        if isinstance(resolved, T.PointerType):
+            return True
+        if isinstance(resolved, T.ArrayType):
+            return _Checker._contains_pointer(resolved.elem)
+        return False
+
+    def _check_unsupported_types(self) -> None:
+        for decl in self._all_var_decls():
+            resolved = T.strip_typedefs(decl.type)
+            if isinstance(resolved, T.FloatType) and not resolved.is_synthesizable():
+                self.diags.append(
+                    D.unsupported_type_error(decl.name, str(resolved), decl.uid)
+                )
+        for func in self._reachable_functions():
+            resolved = T.strip_typedefs(func.return_type)
+            if isinstance(resolved, T.FloatType) and not resolved.is_synthesizable():
+                self.diags.append(
+                    D.unsupported_type_error(func.name, str(resolved), func.uid)
+                )
+            for param in func.params:
+                presolved = T.strip_typedefs(param.type)
+                if isinstance(presolved, T.FloatType) and not presolved.is_synthesizable():
+                    self.diags.append(
+                        D.unsupported_type_error(param.name, str(presolved), param.uid)
+                    )
+
+    def _check_implicit_conversions(self) -> None:
+        """Custom HLS float types need explicit casts on mixed-type
+        literals (Figure 4: ``in_ld + 1``) and explicit operator overloads
+        for their arithmetic (Figure 4's ``sum_80``).
+
+        Functions prefixed ``thls_`` are treated as vendor overload
+        library code and exempted — that is where the ``op_overload``
+        repair puts the helpers it generates.
+        """
+        for func in self._reachable_functions():
+            if func.name.startswith("thls_"):
+                continue
+            assert func.body is not None
+            fpga_float_vars = self._fpga_float_vars(func)
+            if not fpga_float_vars:
+                continue
+            for binop in find_all(func.body, N.BinOp):
+                if binop.op not in ("+", "-", "*", "/"):
+                    continue
+                sides = (binop.left, binop.right)
+                custom = next(
+                    (
+                        s.name
+                        for s in sides
+                        if isinstance(s, N.Ident) and s.name in fpga_float_vars
+                    ),
+                    None,
+                )
+                if custom is None:
+                    continue
+                if any(isinstance(s, (N.IntLit, N.FloatLit)) for s in sides):
+                    self.diags.append(D.missing_cast_error(custom, binop.uid))
+                else:
+                    self.diags.append(D.overload_error(custom, binop.uid))
+            for assign in find_all(func.body, N.Assign):
+                if assign.op == "=":
+                    continue
+                if (
+                    isinstance(assign.target, N.Ident)
+                    and assign.target.name in fpga_float_vars
+                ):
+                    self.diags.append(
+                        D.overload_error(assign.target.name, assign.uid)
+                    )
+
+    def _fpga_float_vars(self, func: N.FunctionDef) -> Set[str]:
+        names: Set[str] = set()
+        for param in func.params:
+            if isinstance(T.strip_typedefs(param.type), T.FpgaFloatType):
+                names.add(param.name)
+        assert func.body is not None
+        for decl_stmt in find_all(func.body, N.DeclStmt):
+            if isinstance(T.strip_typedefs(decl_stmt.decl.type), T.FpgaFloatType):
+                names.add(decl_stmt.decl.name)
+        return names
+
+    # -- Struct and Union ----------------------------------------------------------------
+
+    def _check_structs_and_streams(self) -> None:
+        struct_defs: Dict[str, T.StructType] = {}
+        for decl in self.unit.decls:
+            if isinstance(decl, N.StructDef):
+                assert isinstance(decl.type, T.StructType)
+                struct_defs[decl.tag] = decl.type
+        for func in self._reachable_functions():
+            assert func.body is not None
+            in_dataflow = has_dataflow(func)
+            for decl_stmt in find_all(func.body, N.DeclStmt):
+                decl = decl_stmt.decl
+                resolved = T.strip_typedefs(decl.type)
+                if isinstance(resolved, T.StructType):
+                    definition = struct_defs.get(resolved.tag, resolved)
+                    if definition.method_names and not definition.has_constructor:
+                        self.diags.append(D.struct_error(resolved.tag, decl.uid))
+                if (
+                    isinstance(resolved, T.StreamType)
+                    and in_dataflow
+                    and not decl.is_static
+                ):
+                    self.diags.append(D.stream_storage_error(decl.name, decl.uid))
+
+    # -- Dataflow Optimization --------------------------------------------------------------
+
+    def _check_array_partition(self) -> None:
+        sizes = self._array_sizes()
+        for func in self._reachable_functions():
+            assert func.body is not None
+            for pragma_node in find_all(func.body, N.Pragma):
+                pragma = parse_pragma(pragma_node)
+                if pragma is None or pragma.directive != "array_partition":
+                    continue
+                factor = pragma.factor
+                variable = pragma.variable
+                if factor <= 0 or "complete" in pragma.options:
+                    continue
+                size = sizes.get(variable)
+                if size is not None and size % factor != 0:
+                    self.diags.append(
+                        D.partition_factor_error(variable, size, factor, pragma_node.uid)
+                    )
+
+    def _array_sizes(self) -> Dict[str, int]:
+        sizes: Dict[str, int] = {}
+        for decl in self._all_var_decls():
+            resolved = T.strip_typedefs(decl.type)
+            if isinstance(resolved, T.ArrayType) and resolved.size is not None:
+                sizes[decl.name] = resolved.size
+        for func in self._reachable_functions():
+            for param in func.params:
+                presolved = T.strip_typedefs(param.type)
+                if isinstance(presolved, T.ArrayType) and presolved.size is not None:
+                    sizes.setdefault(param.name, presolved.size)
+        return sizes
+
+    def _check_dataflow_arguments(self) -> None:
+        """Within a dataflow region, every array channel must obey the
+        single-producer/single-consumer rule: one array feeding two
+        process stages as *input* fails dataflow checking (post 595161),
+        as does one written by two stages.  A producer→consumer pair
+        (written by one stage, read by the next) is the legal ping-pong
+        channel pattern and passes."""
+        for func in self._reachable_functions():
+            if not has_dataflow(func):
+                continue
+            assert func.body is not None
+            readers: Dict[str, int] = {}
+            writers: Dict[str, int] = {}
+            first_use_uid: Dict[str, int] = {}
+            for stmt in func.body.items:
+                if not (isinstance(stmt, N.ExprStmt) and isinstance(stmt.expr, N.Call)):
+                    continue
+                call = stmt.expr
+                callee = (
+                    self.functions.get(call.callee_name)
+                    if call.callee_name
+                    else None
+                )
+                for position, arg in enumerate(call.args):
+                    if not isinstance(arg, N.Ident):
+                        continue
+                    name = arg.name
+                    if not self._is_array_name(func, name):
+                        continue
+                    first_use_uid.setdefault(name, stmt.uid)
+                    if callee is not None and self._param_is_written(
+                        callee, position
+                    ):
+                        writers[name] = writers.get(name, 0) + 1
+                    else:
+                        readers[name] = readers.get(name, 0) + 1
+            for name in set(readers) | set(writers):
+                if readers.get(name, 0) >= 2 or writers.get(name, 0) >= 2:
+                    self.diags.append(
+                        D.dataflow_check_error(name, first_use_uid[name])
+                    )
+
+    @staticmethod
+    def _param_is_written(callee: N.FunctionDef, position: int) -> bool:
+        """Does the callee store through its *position*-th parameter?"""
+        if callee.body is None or position >= len(callee.params):
+            return True  # unknown: assume the worst
+        param_name = callee.params[position].name
+        for assign in find_all(callee.body, N.Assign):
+            target = assign.target
+            if (
+                isinstance(target, N.Index)
+                and isinstance(target.base, N.Ident)
+                and target.base.name == param_name
+            ):
+                return True
+        for incdec in find_all(callee.body, N.IncDec):
+            operand = incdec.operand
+            if (
+                isinstance(operand, N.Index)
+                and isinstance(operand.base, N.Ident)
+                and operand.base.name == param_name
+            ):
+                return True
+        return False
+
+    def _is_array_name(self, func: N.FunctionDef, name: str) -> bool:
+        for param in func.params:
+            if param.name == name:
+                return isinstance(
+                    T.strip_typedefs(param.type), (T.ArrayType, T.PointerType)
+                )
+        assert func.body is not None
+        for decl_stmt in find_all(func.body, N.DeclStmt):
+            if decl_stmt.decl.name == name:
+                return isinstance(
+                    T.strip_typedefs(decl_stmt.decl.type), T.ArrayType
+                )
+        for decl in self.unit.globals():
+            if decl.name == name:
+                return isinstance(T.strip_typedefs(decl.type), T.ArrayType)
+        return False
+
+    # -- Loop Parallelization ---------------------------------------------------------------
+
+    def _check_loop_pragmas(self) -> None:
+        for func in self._reachable_functions():
+            assert func.body is not None
+            dataflow = has_dataflow(func)
+            for loop in find_all(func.body, N.For) + list(find_all(func.body, N.While)):
+                body = loop.body
+                pragmas = loop_pragmas(body)
+                unroll = next((p for p in pragmas if p.directive == "unroll"), None)
+                if unroll is None:
+                    continue
+                factor = unroll.factor
+                if dataflow and factor >= 50:
+                    # Post 721719: interacting dataflow + large unroll.
+                    self.diags.append(
+                        D.presynthesis_error(
+                            f"unroll factor {factor} interacts with the "
+                            "enclosing dataflow region",
+                            func.name,
+                            loop.uid,
+                        )
+                    )
+                static_n = None
+                if isinstance(loop, N.For):
+                    from .schedule import Scheduler
+
+                    static_n = Scheduler(self.unit, self.config)._static_tripcount(loop)
+                has_tripcount = any(
+                    p.directive == "loop_tripcount" for p in pragmas
+                )
+                if factor > 1 and static_n is None and not has_tripcount:
+                    self.diags.append(D.loop_bound_error(func.name, loop.uid))
+
+    # -- Resources ---------------------------------------------------------------------------
+
+    def _check_resources(self) -> None:
+        report = estimate(self.unit, self.config)
+        device = DEVICES.get(self.config.device)
+        if device is None:
+            return
+        for resource, used, available in report.resources.overflows(device):
+            self.diags.append(D.resource_error(resource, used, available))

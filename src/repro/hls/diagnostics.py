@@ -1,0 +1,269 @@
+"""HLS diagnostics: the error messages the repair loop steers by.
+
+The messages follow the shape of real Vivado HLS output (Table 1 of the
+paper), including the tool-internal codes (``XFORM 202-876``,
+``SYNCHK-31`` …), because HeteroGen's repair localization extracts both
+the *type* and the *symbol* from the message text.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+
+class ErrorType(enum.Enum):
+    """The six HLS-incompatibility categories from the forum study (§5.1)."""
+
+    DYNAMIC_DATA_STRUCTURES = "Dynamic Data Structures"
+    UNSUPPORTED_DATA_TYPES = "Unsupported Data Types"
+    DATAFLOW_OPTIMIZATION = "Dataflow Optimization"
+    LOOP_PARALLELIZATION = "Loop Parallelization"
+    STRUCT_AND_UNION = "Struct and Union"
+    TOP_FUNCTION = "Top Function"
+
+
+#: Figure 3 — proportions of each error type among 1,000 forum posts.
+FORUM_PROPORTIONS = {
+    ErrorType.UNSUPPORTED_DATA_TYPES: 0.257,
+    ErrorType.TOP_FUNCTION: 0.198,
+    ErrorType.DATAFLOW_OPTIMIZATION: 0.161,
+    ErrorType.LOOP_PARALLELIZATION: 0.161,
+    ErrorType.STRUCT_AND_UNION: 0.141,
+    ErrorType.DYNAMIC_DATA_STRUCTURES: 0.082,
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One synthesis error or warning."""
+
+    code: str
+    message: str
+    error_type: ErrorType
+    symbol: str = ""
+    node_uid: int = 0
+    severity: str = "error"
+
+    def __str__(self) -> str:
+        return f"ERROR: [{self.code}] {self.message}"
+
+
+# Factory helpers keep message wording consistent with the paper's examples.
+
+
+def recursion_error(func_name: str, uid: int) -> Diagnostic:
+    return Diagnostic(
+        code="XFORM 202-876",
+        message=(
+            "Synthesizability check failed: recursive functions are not "
+            f"supported ('{func_name}')."
+        ),
+        error_type=ErrorType.DYNAMIC_DATA_STRUCTURES,
+        symbol=func_name,
+        node_uid=uid,
+    )
+
+
+def dynamic_alloc_error(symbol: str, uid: int) -> Diagnostic:
+    return Diagnostic(
+        code="SYNCHK 200-31",
+        message=(
+            "dynamic memory allocation/deallocation is not supported "
+            f"(variable '{symbol}')."
+        ),
+        error_type=ErrorType.DYNAMIC_DATA_STRUCTURES,
+        symbol=symbol,
+        node_uid=uid,
+    )
+
+
+def unknown_size_error(symbol: str, uid: int) -> Diagnostic:
+    return Diagnostic(
+        code="SYNCHK 200-61",
+        message=(
+            f"unsupported memory access on variable '{symbol}' which is (or "
+            "contains) an array with unknown size at compile time."
+        ),
+        error_type=ErrorType.DYNAMIC_DATA_STRUCTURES,
+        symbol=symbol,
+        node_uid=uid,
+    )
+
+
+def pointer_error(symbol: str, uid: int) -> Diagnostic:
+    return Diagnostic(
+        code="SYNCHK 200-41",
+        message=(
+            f"pointer variable '{symbol}' is not synthesizable; pointers are "
+            "only supported for top-level interfaces."
+        ),
+        error_type=ErrorType.UNSUPPORTED_DATA_TYPES,
+        symbol=symbol,
+        node_uid=uid,
+    )
+
+
+def unsupported_type_error(symbol: str, type_name: str, uid: int) -> Diagnostic:
+    return Diagnostic(
+        code="SYNCHK 200-11",
+        message=(
+            f"variable '{symbol}' has unsupported type '{type_name}'; call of "
+            "overloaded arithmetic is ambiguous."
+        ),
+        error_type=ErrorType.UNSUPPORTED_DATA_TYPES,
+        symbol=symbol,
+        node_uid=uid,
+    )
+
+
+def missing_cast_error(symbol: str, uid: int) -> Diagnostic:
+    return Diagnostic(
+        code="SYNCHK 200-12",
+        message=(
+            f"implicit conversion involving '{symbol}' requires an explicit "
+            "cast and operator overload for custom HLS types."
+        ),
+        error_type=ErrorType.UNSUPPORTED_DATA_TYPES,
+        symbol=symbol,
+        node_uid=uid,
+    )
+
+
+def overload_error(symbol: str, uid: int) -> Diagnostic:
+    return Diagnostic(
+        code="SYNCHK 200-13",
+        message=(
+            f"call of overloaded operator on '{symbol}' is ambiguous; custom "
+            "HLS float types require explicit operator overloads."
+        ),
+        error_type=ErrorType.UNSUPPORTED_DATA_TYPES,
+        symbol=symbol,
+        node_uid=uid,
+    )
+
+
+def dataflow_check_error(symbol: str, uid: int) -> Diagnostic:
+    return Diagnostic(
+        code="XFORM 207-711",
+        message=f"Array '{symbol}' failed dataflow checking.",
+        error_type=ErrorType.DATAFLOW_OPTIMIZATION,
+        symbol=symbol,
+        node_uid=uid,
+    )
+
+
+def partition_factor_error(symbol: str, size: int, factor: int, uid: int) -> Diagnostic:
+    return Diagnostic(
+        code="XFORM 207-711",
+        message=(
+            f"Array '{symbol}' failed dataflow checking: size {size} is not a "
+            f"multiple of partition factor {factor}."
+        ),
+        error_type=ErrorType.DATAFLOW_OPTIMIZATION,
+        symbol=symbol,
+        node_uid=uid,
+    )
+
+
+def presynthesis_error(detail: str, symbol: str, uid: int) -> Diagnostic:
+    return Diagnostic(
+        code="HLS 200-70",
+        message=f"Pre-synthesis failed: {detail}",
+        error_type=ErrorType.LOOP_PARALLELIZATION,
+        symbol=symbol,
+        node_uid=uid,
+    )
+
+
+def loop_bound_error(symbol: str, uid: int) -> Diagnostic:
+    return Diagnostic(
+        code="HLS 200-70",
+        message=(
+            "Pre-synthesis failed: loop with variable bound near "
+            f"'{symbol}' requires a tripcount for unrolling."
+        ),
+        error_type=ErrorType.LOOP_PARALLELIZATION,
+        symbol=symbol,
+        node_uid=uid,
+    )
+
+
+def struct_error(tag: str, uid: int) -> Diagnostic:
+    return Diagnostic(
+        code="SYNCHK 200-91",
+        message=(
+            f"Argument 'this' has an unsynthesizable struct type '{tag}' "
+            "(no explicit constructor)."
+        ),
+        error_type=ErrorType.STRUCT_AND_UNION,
+        symbol=tag,
+        node_uid=uid,
+    )
+
+
+def stream_storage_error(symbol: str, uid: int) -> Diagnostic:
+    return Diagnostic(
+        code="SYNCHK 200-92",
+        message=(
+            f"hls::stream '{symbol}' connecting dataflow processes must have "
+            "static storage."
+        ),
+        error_type=ErrorType.STRUCT_AND_UNION,
+        symbol=symbol,
+        node_uid=uid,
+    )
+
+
+def top_function_error(top_name: str) -> Diagnostic:
+    return Diagnostic(
+        code="HLS 200-52",
+        message=f"Cannot find the top function '{top_name}' in the design.",
+        error_type=ErrorType.TOP_FUNCTION,
+        symbol=top_name,
+        node_uid=0,
+    )
+
+
+def config_error(detail: str, symbol: str = "") -> Diagnostic:
+    return Diagnostic(
+        code="HLS 200-54",
+        message=f"Invalid solution configuration: {detail}",
+        error_type=ErrorType.TOP_FUNCTION,
+        symbol=symbol,
+        node_uid=0,
+    )
+
+
+def resource_error(resource: str, used: int, available: int) -> Diagnostic:
+    return Diagnostic(
+        code="SYN 201-103",
+        message=(
+            f"Design requires {used} {resource} but the device provides only "
+            f"{available}; reduce parallelisation."
+        ),
+        error_type=ErrorType.LOOP_PARALLELIZATION,
+        symbol=resource,
+        node_uid=0,
+    )
+
+
+@dataclass
+class CompileReport:
+    """Outcome of one (simulated) HLS compilation."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    compile_seconds: float = 0.0
+    stage_reached: str = "synthesis"
+
+    @property
+    def ok(self) -> bool:
+        return not any(d.severity == "error" for d in self.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    def errors_of(self, error_type: ErrorType) -> List[Diagnostic]:
+        return [d for d in self.errors if d.error_type == error_type]

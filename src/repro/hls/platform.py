@@ -1,0 +1,134 @@
+"""FPGA device and solution-configuration model.
+
+Stands in for the Xilinx Virtex UltraScale+ XCVU9P on the VCU1525 board
+the paper targeted.  The resource counts bound how far the scheduler may
+parallelise a design; the solution configuration carries the knobs whose
+misconfiguration produces the "Top Function" error family (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class Device:
+    """An FPGA part."""
+
+    name: str
+    luts: int
+    ffs: int
+    bram_36k: int
+    dsps: int
+    max_clock_mhz: float
+
+
+#: Parts known to the (simulated) toolchain.
+DEVICES: Dict[str, Device] = {
+    "xcvu9p": Device(
+        name="xcvu9p",
+        luts=1_182_240,
+        ffs=2_364_480,
+        bram_36k=2_160,
+        dsps=6_840,
+        max_clock_mhz=775.0,
+    ),
+    "xc7z020": Device(
+        name="xc7z020",
+        luts=53_200,
+        ffs=106_400,
+        bram_36k=140,
+        dsps=220,
+        max_clock_mhz=464.0,
+    ),
+}
+
+DEFAULT_DEVICE = "xcvu9p"
+
+#: Fixed cost of moving data to/from the accelerator (PCIe + DMA setup).
+#: This is why tiny kernels (P1) end up *slower* on FPGA than on CPU.
+#: Scaled to the reproduction's kernel sizes so the overhead:compute
+#: ratio matches the paper's subjects (where a ~0.25 ms overhead sat
+#: under 0.2–100 ms kernels).
+OFFLOAD_OVERHEAD_NS = 1_000.0
+
+
+@dataclass(frozen=True)
+class SolutionConfig:
+    """One HLS "solution": top function + target + clock."""
+
+    top_name: str
+    device: str = DEFAULT_DEVICE
+    clock_period_ns: float = 3.33  # 300 MHz
+
+    def validate(self) -> List[str]:
+        """Human-readable configuration problems (empty when valid)."""
+        problems: List[str] = []
+        if not self.top_name:
+            problems.append("no top function specified")
+        if self.device not in DEVICES:
+            problems.append(f"unknown device '{self.device}'")
+        if self.clock_period_ns <= 0:
+            problems.append(f"invalid clock period {self.clock_period_ns}")
+        elif self.device in DEVICES:
+            min_period = 1_000.0 / DEVICES[self.device].max_clock_mhz
+            if self.clock_period_ns < min_period:
+                problems.append(
+                    f"clock period {self.clock_period_ns}ns exceeds device "
+                    f"limit ({min_period:.2f}ns)"
+                )
+        return problems
+
+    def with_top(self, top_name: str) -> "SolutionConfig":
+        return replace(self, top_name=top_name)
+
+    def with_clock(self, clock_period_ns: float) -> "SolutionConfig":
+        return replace(self, clock_period_ns=clock_period_ns)
+
+    def with_device(self, device: str) -> "SolutionConfig":
+        return replace(self, device=device)
+
+
+@dataclass
+class ResourceUsage:
+    """Estimated device resources consumed by a design."""
+
+    luts: int = 0
+    ffs: int = 0
+    bram_36k: int = 0
+    dsps: int = 0
+
+    def add(self, other: "ResourceUsage") -> None:
+        self.luts += other.luts
+        self.ffs += other.ffs
+        self.bram_36k += other.bram_36k
+        self.dsps += other.dsps
+
+    def scaled(self, factor: int) -> "ResourceUsage":
+        return ResourceUsage(
+            luts=self.luts * factor,
+            ffs=self.ffs * factor,
+            bram_36k=self.bram_36k,  # memories are shared, not duplicated
+            dsps=self.dsps * factor,
+        )
+
+    def fits(self, device: Device) -> bool:
+        return (
+            self.luts <= device.luts
+            and self.ffs <= device.ffs
+            and self.bram_36k <= device.bram_36k
+            and self.dsps <= device.dsps
+        )
+
+    def overflows(self, device: Device) -> List[tuple]:
+        out = []
+        if self.luts > device.luts:
+            out.append(("LUT", self.luts, device.luts))
+        if self.ffs > device.ffs:
+            out.append(("FF", self.ffs, device.ffs))
+        if self.bram_36k > device.bram_36k:
+            out.append(("BRAM", self.bram_36k, device.bram_36k))
+        if self.dsps > device.dsps:
+            out.append(("DSP", self.dsps, device.dsps))
+        return out

@@ -1,0 +1,32 @@
+"""C interpreter substrate: execution, coverage, value profiling.
+
+Replaces native compilation + AFL instrumentation in the original paper's
+toolchain (see DESIGN.md).
+"""
+
+from .coverage import CoverageRecorder, ValueProfile, branch_points
+from .interpreter import ExecLimits, ExecResult, Interpreter, run_program
+from .memory import (
+    MemBlock,
+    Pointer,
+    StreamValue,
+    StructValue,
+    c_to_python,
+    python_to_c,
+)
+
+__all__ = [
+    "CoverageRecorder",
+    "ExecLimits",
+    "ExecResult",
+    "Interpreter",
+    "MemBlock",
+    "Pointer",
+    "StreamValue",
+    "StructValue",
+    "ValueProfile",
+    "branch_points",
+    "c_to_python",
+    "python_to_c",
+    "run_program",
+]

@@ -1,0 +1,106 @@
+"""Builtin library functions available to interpreted programs.
+
+This stands in for the C standard library subset the subjects need.
+``malloc`` returns a :class:`RawAlloc` marker that becomes a typed heap
+block when cast (or stored) to a concrete pointer type — mirroring how C
+code types its allocations at the cast site.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, TYPE_CHECKING
+
+from ..errors import MemoryFault
+from .memory import Pointer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .interpreter import Interpreter
+
+
+@dataclass(frozen=True)
+class RawAlloc:
+    """Result of ``malloc`` before it is typed by a pointer cast."""
+
+    size: int
+
+
+def _malloc(interp: "Interpreter", args: List[Any]) -> RawAlloc:
+    size = int(args[0])
+    if size < 0:
+        raise MemoryFault("malloc with negative size")
+    return RawAlloc(size)
+
+
+def _free(interp: "Interpreter", args: List[Any]) -> None:
+    ptr = args[0]
+    if isinstance(ptr, RawAlloc):
+        return None
+    if not isinstance(ptr, Pointer):
+        raise MemoryFault("free of a non-pointer value")
+    if ptr.is_null:
+        return None
+    if ptr.offset != 0:
+        raise MemoryFault("free of an interior pointer")
+    block = ptr.deref_block()
+    if not block.alive:
+        raise MemoryFault("double free")
+    block.alive = False
+    return None
+
+
+def _math1(fn: Callable[[float], float]) -> Callable[["Interpreter", List[Any]], float]:
+    def wrapper(interp: "Interpreter", args: List[Any]) -> float:
+        return fn(float(args[0]))
+
+    return wrapper
+
+
+def _math2(fn: Callable[[float, float], float]) -> Callable[["Interpreter", List[Any]], float]:
+    def wrapper(interp: "Interpreter", args: List[Any]) -> float:
+        return fn(float(args[0]), float(args[1]))
+
+    return wrapper
+
+
+def _abs(interp: "Interpreter", args: List[Any]) -> int:
+    return abs(int(args[0]))
+
+
+def _printf(interp: "Interpreter", args: List[Any]) -> int:
+    # Output is not part of the kernel's observable behaviour; swallow it.
+    return 0
+
+
+def _assert(interp: "Interpreter", args: List[Any]) -> None:
+    if not args[0]:
+        raise MemoryFault("assertion failed in interpreted program")
+    return None
+
+
+BUILTINS: Dict[str, Callable[["Interpreter", List[Any]], Any]] = {
+    "malloc": _malloc,
+    "free": _free,
+    "abs": _abs,
+    "labs": _abs,
+    "fabs": _math1(abs),
+    "fabsf": _math1(abs),
+    "sqrt": _math1(math.sqrt),
+    "sqrtf": _math1(math.sqrt),
+    "sin": _math1(math.sin),
+    "cos": _math1(math.cos),
+    "tan": _math1(math.tan),
+    "exp": _math1(math.exp),
+    "log": _math1(math.log),
+    "floor": _math1(math.floor),
+    "ceil": _math1(math.ceil),
+    "pow": _math2(math.pow),
+    "powl": _math2(math.pow),
+    "fmin": _math2(min),
+    "fmax": _math2(max),
+    "fmod": _math2(math.fmod),
+    "printf": _printf,
+    "puts": _printf,
+    "assert": _assert,
+}

@@ -1,0 +1,17 @@
+"""The forum-post error study (§5.1, Figure 3, Table 1)."""
+
+from .analyze import StudyReport, analyze_corpus, classify_post
+from .corpus import ForumPost, generate_corpus
+from .taxonomy import TAXONOMY, TaxonomyEntry, render_table1, taxonomy_by_type
+
+__all__ = [
+    "ForumPost",
+    "StudyReport",
+    "TAXONOMY",
+    "TaxonomyEntry",
+    "analyze_corpus",
+    "classify_post",
+    "generate_corpus",
+    "render_table1",
+    "taxonomy_by_type",
+]

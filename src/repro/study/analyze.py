@@ -1,0 +1,72 @@
+"""Classify forum posts and recover the Figure 3 proportions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..hls.diagnostics import FORUM_PROPORTIONS, ErrorType
+from .corpus import ForumPost
+from .taxonomy import TAXONOMY
+
+
+def classify_post(post: ForumPost) -> Optional[ErrorType]:
+    """Keyword classification of one post (same mechanism as §5.2's error
+    message classification, applied to free-form forum text)."""
+    text = post.text.lower()
+    best: Optional[ErrorType] = None
+    best_score = 0
+    for entry in TAXONOMY:
+        score = sum(1 for kw in entry.keywords if kw in text)
+        if score > best_score:
+            best_score = score
+            best = entry.error_type
+    return best
+
+
+@dataclass
+class StudyReport:
+    """Figure 3: proportions of the six error families in the corpus."""
+
+    total: int
+    counts: Dict[ErrorType, int] = field(default_factory=dict)
+    unclassified: int = 0
+    accuracy: float = 0.0
+
+    def proportion(self, error_type: ErrorType) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.counts.get(error_type, 0) / self.total
+
+    def render(self) -> str:
+        """The pie chart of Figure 3, as text."""
+        lines = ["HLS compatibility error types (n=%d):" % self.total]
+        ordered = sorted(
+            ErrorType, key=lambda t: self.proportion(t), reverse=True
+        )
+        for error_type in ordered:
+            measured = self.proportion(error_type)
+            published = FORUM_PROPORTIONS[error_type]
+            bar = "#" * int(round(measured * 50))
+            lines.append(
+                f"  {error_type.value:26} {measured:6.1%} "
+                f"(paper {published:5.1%}) {bar}"
+            )
+        lines.append(f"  classifier accuracy: {self.accuracy:.1%}")
+        return "\n".join(lines)
+
+
+def analyze_corpus(posts: Sequence[ForumPost]) -> StudyReport:
+    """Classify every post and tally the family proportions."""
+    report = StudyReport(total=len(posts))
+    correct = 0
+    for post in posts:
+        predicted = classify_post(post)
+        if predicted is None:
+            report.unclassified += 1
+            continue
+        report.counts[predicted] = report.counts.get(predicted, 0) + 1
+        if predicted == post.true_type:
+            correct += 1
+    report.accuracy = correct / len(posts) if posts else 0.0
+    return report

@@ -1,0 +1,104 @@
+"""Synthetic Xilinx-forum post corpus (the study input of §5.1).
+
+The paper examined 1,000 Q&A posts found with the search terms "high
+level synthesis error" and "C synthesis error" and grouped them into six
+root-cause categories (Figure 3).  The forum itself is proprietary and
+long since reorganised, so the reproduction regenerates a corpus with
+the *published* category mix: each synthetic post embeds the phrase
+patterns of its category (drawn from the taxonomy) inside templated
+question text.  The analysis half (:mod:`.analyze`) then classifies the
+posts from their text alone and recovers the proportions — validating
+the keyword classifier the repair pipeline relies on (§5.2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..hls.diagnostics import FORUM_PROPORTIONS, ErrorType
+from .taxonomy import taxonomy_by_type
+
+#: Question templates; ``{phrase}`` is replaced with a category keyword.
+_TEMPLATES = [
+    "Hi all, when I run C synthesis Vivado reports '{phrase}' and I do "
+    "not understand why. My kernel worked fine in software.",
+    "I keep hitting a high level synthesis error: {phrase}. Is there a "
+    "recommended rewrite?",
+    "After upgrading to 2019.2 my design stopped building with "
+    "'{phrase}'. The same C code compiles with gcc.",
+    "Synthesis fails with {phrase} — what is the correct coding style "
+    "for this on an Ultrascale+ part?",
+    "ERROR during csynth: {phrase}. I followed UG902 but the message "
+    "persists. Any pointers appreciated.",
+    "My testbench passes C simulation but C synthesis aborts with "
+    "'{phrase}'. How do people usually fix this?",
+]
+
+#: Filler sentences so posts are not trivially identical.
+_FILLERS = [
+    "The project targets a VCU1525 acceleration card.",
+    "I am new to HLS and come from a software background.",
+    "The kernel is about 300 lines of C.",
+    "Reducing the design did not make the message go away.",
+    "I attached the relevant snippet below.",
+    "The same code synthesises fine without the pragma.",
+]
+
+
+@dataclass(frozen=True)
+class ForumPost:
+    """One synthetic Q&A post."""
+
+    post_id: int
+    title: str
+    body: str
+    true_type: ErrorType
+
+    @property
+    def text(self) -> str:
+        return f"{self.title}\n{self.body}"
+
+
+def generate_corpus(
+    n_posts: int = 1000,
+    seed: int = 2022,
+    proportions: Optional[Dict[ErrorType, float]] = None,
+) -> List[ForumPost]:
+    """Generate *n_posts* posts with the published category mix."""
+    proportions = proportions or FORUM_PROPORTIONS
+    rng = random.Random(seed)
+    by_type = taxonomy_by_type()
+
+    # Deterministic counts per category (largest-remainder rounding).
+    raw = {t: n_posts * p for t, p in proportions.items()}
+    counts = {t: int(v) for t, v in raw.items()}
+    shortfall = n_posts - sum(counts.values())
+    for t in sorted(raw, key=lambda t: raw[t] - counts[t], reverse=True):
+        if shortfall <= 0:
+            break
+        counts[t] += 1
+        shortfall -= 1
+
+    posts: List[ForumPost] = []
+    post_id = 100000
+    for error_type, count in counts.items():
+        entry = by_type[error_type]
+        for _ in range(count):
+            phrase = rng.choice(entry.keywords)
+            template = rng.choice(_TEMPLATES)
+            filler = rng.choice(_FILLERS)
+            title = f"[HLS] {phrase} ?"
+            body = template.format(phrase=phrase) + " " + filler
+            posts.append(
+                ForumPost(
+                    post_id=post_id,
+                    title=title,
+                    body=body,
+                    true_type=error_type,
+                )
+            )
+            post_id += 1
+    rng.shuffle(posts)
+    return posts

@@ -1,0 +1,144 @@
+"""The HLS-compatibility error taxonomy (Table 1).
+
+Each entry records an error family, the representative Xilinx forum post
+the paper cites, its error symptom, and the repair strategy — the
+knowledge the fix patterns of Table 2 were distilled from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..hls.diagnostics import ErrorType
+
+
+@dataclass(frozen=True)
+class TaxonomyEntry:
+    """One row of Table 1."""
+
+    error_type: ErrorType
+    post_id: str
+    symptom: str
+    repair: str
+    keywords: Tuple[str, ...]
+    """Phrases that identify posts of this family (used both by the
+    classifier and by the synthetic corpus generator)."""
+
+
+TAXONOMY: List[TaxonomyEntry] = [
+    TaxonomyEntry(
+        error_type=ErrorType.DYNAMIC_DATA_STRUCTURES,
+        post_id="729976",
+        symptom=(
+            "Allocating an array with unknown size leads to 'ERROR: "
+            "Dynamic memory allocation is not supported'"
+        ),
+        repair="Specify the array size",
+        keywords=(
+            "dynamic memory allocation",
+            "malloc",
+            "recursive function",
+            "unknown size at compile time",
+            "free is not supported",
+        ),
+    ),
+    TaxonomyEntry(
+        error_type=ErrorType.UNSUPPORTED_DATA_TYPES,
+        post_id="752508",
+        symptom=(
+            "The long double variable leads to 'ERROR: Call of overloaded "
+            "pow() is ambiguous'"
+        ),
+        repair=(
+            "Type transformation, followed by explicit type casting and "
+            "operator overloading"
+        ),
+        keywords=(
+            "long double",
+            "overloaded",
+            "fixed point",
+            "ap_fixed",
+            "pointer to pointer is not supported",
+            "unsupported type",
+        ),
+    ),
+    TaxonomyEntry(
+        error_type=ErrorType.DATAFLOW_OPTIMIZATION,
+        post_id="595161",
+        symptom="Inserting dataflow pragma leads to 'ERROR: Argument "
+        "data failed dataflow checking'",
+        repair="Pragma exploration",
+        keywords=(
+            "failed dataflow checking",
+            "dataflow directive",
+            "dataflow region",
+            "single producer consumer",
+        ),
+    ),
+    TaxonomyEntry(
+        error_type=ErrorType.LOOP_PARALLELIZATION,
+        post_id="721719",
+        symptom=(
+            "Inserting dataflow pragma and unroll pragma fails the "
+            "pre-synthesis"
+        ),
+        repair="Pragma exploration",
+        keywords=(
+            "unroll factor",
+            "pre-synthesis failed",
+            "pipeline ii",
+            "loop tripcount",
+            "initiation interval",
+        ),
+    ),
+    TaxonomyEntry(
+        error_type=ErrorType.STRUCT_AND_UNION,
+        post_id="1117215",
+        symptom=(
+            "Struct leads to 'ERROR: Argument this has an unsynthesizable "
+            "struct type'"
+        ),
+        repair=(
+            "Insert an explicit constructor and make the connecting "
+            "stream static"
+        ),
+        keywords=(
+            "unsynthesizable struct",
+            "union is not supported",
+            "hls::stream in struct",
+            "struct constructor",
+        ),
+    ),
+    TaxonomyEntry(
+        error_type=ErrorType.TOP_FUNCTION,
+        post_id="810885",
+        symptom=(
+            "Incorrect configuration leads to 'ERROR: Cannot find the top "
+            "function in the design'"
+        ),
+        repair="Configuration Exploration",
+        keywords=(
+            "cannot find the top function",
+            "set_top",
+            "clock period",
+            "target device",
+            "top function name",
+        ),
+    ),
+]
+
+
+def taxonomy_by_type() -> Dict[ErrorType, TaxonomyEntry]:
+    return {entry.error_type: entry for entry in TAXONOMY}
+
+
+def render_table1() -> str:
+    """Table 1 as aligned text, one row per error family."""
+    header = f"{'Type':26} {'Post':8} Repair"
+    lines = [header, "-" * len(header)]
+    for entry in TAXONOMY:
+        lines.append(
+            f"{entry.error_type.value:26} {entry.post_id:8} {entry.repair}"
+        )
+    return "\n".join(lines)

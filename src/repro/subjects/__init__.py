@@ -1,0 +1,40 @@
+"""The ten benchmark subjects of Table 3."""
+
+from typing import Dict, List
+
+from ..errors import SubjectError
+from .base import Subject
+
+
+from .p01_signal import SUBJECT as P1
+from .p02_arith import SUBJECT as P2
+from .p03_merge_sort import SUBJECT as P3
+from .p04_image import SUBJECT as P4
+from .p05_graph import SUBJECT as P5
+from .p06_matmul import SUBJECT as P6
+from .p07_bubble import SUBJECT as P7
+from .p08_linked_list import SUBJECT as P8
+from .p09_face_detect import SUBJECT as P9
+from .p10_digit import SUBJECT as P10
+
+_SUBJECTS: Dict[str, Subject] = {
+    s.id: s for s in (P1, P2, P3, P4, P5, P6, P7, P8, P9, P10)
+}
+
+
+def all_subjects() -> List[Subject]:
+    """All ten subjects, in Table 3 order."""
+    return [_SUBJECTS[f"P{i}"] for i in range(1, 11)]
+
+
+def get_subject(subject_id: str) -> Subject:
+    """Look up a subject by id (``"P1"`` … ``"P10"``)."""
+    try:
+        return _SUBJECTS[subject_id.upper()]
+    except KeyError:
+        raise SubjectError(
+            f"unknown subject {subject_id!r}; expected P1..P10"
+        ) from None
+
+
+__all__ = ["Subject", "all_subjects", "get_subject"]

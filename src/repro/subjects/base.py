@@ -1,0 +1,48 @@
+"""Benchmark subject definitions (Table 3).
+
+Each subject bundles the original C program, the HLS build configuration,
+an optional host program for kernel-seed capture, the pre-existing test
+suite (where the paper's Table 4 lists one), and a hand-ported HLS
+version standing in for the human-written code of Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..cfront import nodes as N
+from ..cfront.parser import parse
+from ..hls.diagnostics import ErrorType
+from ..hls.platform import SolutionConfig
+
+
+@dataclass(frozen=True)
+class Subject:
+    """One benchmark program."""
+
+    id: str
+    name: str
+    kernel: str
+    source: str
+    solution: SolutionConfig
+    host: str = ""
+    host_args: Tuple[Any, ...] = ()
+    existing_tests: Tuple[Tuple[Any, ...], ...] = ()
+    manual_source: str = ""
+    manual_solution: Optional[SolutionConfig] = None
+    expected_error_types: Tuple[ErrorType, ...] = ()
+    expect_perf_improvement: bool = True
+    notes: str = ""
+
+    def parse(self) -> N.TranslationUnit:
+        return parse(self.source, top_name=self.solution.top_name)
+
+    def parse_manual(self) -> Optional[N.TranslationUnit]:
+        if not self.manual_source:
+            return None
+        solution = self.manual_solution or self.solution
+        return parse(self.manual_source, top_name=solution.top_name)
+
+    def existing_test_list(self) -> List[List[Any]]:
+        return [list(t) for t in self.existing_tests]

@@ -1,0 +1,59 @@
+"""P1 — signal transmission (RGB → YUV).
+
+The paper's P1: pure 3-channel arithmetic with no loops or arrays, so no
+performance-improving edit applies and the converted kernel is *slower*
+than the CPU original (Table 3's single ✗).  Seeded incompatibility:
+``long double`` intermediates (Unsupported Data Types).
+"""
+
+from ..hls.diagnostics import ErrorType
+from ..hls.platform import SolutionConfig
+from .base import Subject
+
+SOURCE = """
+void rgb_to_yuv(float rgb[3], float yuv[3]) {
+    long double y = 0.299 * rgb[0] + 0.587 * rgb[1] + 0.114 * rgb[2];
+    long double u = 0.492 * (rgb[2] - y);
+    long double v = 0.877 * (rgb[0] - y);
+    yuv[0] = (float)y;
+    yuv[1] = (float)u;
+    yuv[2] = (float)v;
+}
+
+void host(int seed) {
+    float rgb[3];
+    float yuv[3];
+    rgb[0] = seed * 0.25;
+    rgb[1] = seed * 0.5;
+    rgb[2] = seed * 0.125;
+    rgb_to_yuv(rgb, yuv);
+}
+"""
+
+MANUAL_SOURCE = """
+void rgb_to_yuv(float rgb[3], float yuv[3]) {
+    float y = 0.299 * rgb[0] + 0.587 * rgb[1] + 0.114 * rgb[2];
+    float u = 0.492 * (rgb[2] - y);
+    float v = 0.877 * (rgb[0] - y);
+    yuv[0] = y;
+    yuv[1] = u;
+    yuv[2] = v;
+}
+"""
+
+SUBJECT = Subject(
+    id="P1",
+    name="signal transmission",
+    kernel="rgb_to_yuv",
+    source=SOURCE,
+    solution=SolutionConfig(top_name="rgb_to_yuv"),
+    host="host",
+    host_args=(2,),
+    manual_source=MANUAL_SOURCE,
+    expected_error_types=(ErrorType.UNSUPPORTED_DATA_TYPES,),
+    expect_perf_improvement=False,
+    notes=(
+        "No loops or arrays, so HeteroGen has no parallelising edit to "
+        "apply; the offload overhead makes the FPGA version slower."
+    ),
+)

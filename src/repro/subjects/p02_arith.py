@@ -1,0 +1,68 @@
+"""P2 — arithmetic computation (polynomial evaluation).
+
+Seeded incompatibility: ``long double`` accumulators with implicit
+mixed-type arithmetic — the full Figure 4 repair chain
+(``type_trans`` → ``type_casting`` → ``op_overload``).
+"""
+
+from ..hls.diagnostics import ErrorType
+from ..hls.platform import SolutionConfig
+from .base import Subject
+
+SOURCE = """
+float poly_eval(float xs[16], float out[16]) {
+    long double acc = 0.0;
+    for (int i = 0; i < 16; i++) {
+        long double x = xs[i];
+        long double r = x * 2.0;
+        r = r + 3.0;
+        r = r * x;
+        r = r + 5.0;
+        r = r * x;
+        r = r + 7.0;
+        out[i] = (float)r;
+        acc = acc + r;
+    }
+    return (float)acc;
+}
+
+void host(int seed) {
+    float xs[16];
+    float out[16];
+    for (int i = 0; i < 16; i++) {
+        xs[i] = (seed + i) * 0.5;
+    }
+    poly_eval(xs, out);
+}
+"""
+
+MANUAL_SOURCE = """
+float poly_eval(float xs[16], float out[16]) {
+    float acc = 0.0;
+    for (int i = 0; i < 16; i++) {
+        #pragma HLS pipeline II=1
+        float x = xs[i];
+        float r = x * 2.0;
+        r = r + 3.0;
+        r = r * x;
+        r = r + 5.0;
+        r = r * x;
+        r = r + 7.0;
+        out[i] = r;
+        acc = acc + r;
+    }
+    return acc;
+}
+"""
+
+SUBJECT = Subject(
+    id="P2",
+    name="arithmetic computation",
+    kernel="poly_eval",
+    source=SOURCE,
+    solution=SolutionConfig(top_name="poly_eval"),
+    host="host",
+    host_args=(3,),
+    manual_source=MANUAL_SOURCE,
+    expected_error_types=(ErrorType.UNSUPPORTED_DATA_TYPES,),
+)

@@ -1,0 +1,183 @@
+"""P3 — merge sort (recursive).
+
+Seeded incompatibility: recursion (Dynamic Data Structures).  This is
+the §6.2 subject: the ``stack_trans`` repair starts with a deliberately
+small software stack; the generated tests overflow it and force the
+``resize`` repair, while the sparse pre-existing suite never would
+(Figure 8's 1024 → 2048 story, scaled to this reproduction's sizes).
+
+The only error family is Dynamic Data Structures, so the HeteroRefactor
+baseline can also transpile it (Table 5).
+"""
+
+from ..hls.diagnostics import ErrorType
+from ..hls.platform import SolutionConfig
+from .base import Subject
+
+SOURCE = """
+static float ms_tmp[64];
+
+void ms_merge(float a[64], int lo, int mid, int hi) {
+    int i = lo;
+    int j = mid;
+    int k = lo;
+    while (i < mid && j < hi) {
+        if (a[i] <= a[j]) {
+            ms_tmp[k] = a[i];
+            i++;
+        } else {
+            ms_tmp[k] = a[j];
+            j++;
+        }
+        k++;
+    }
+    while (i < mid) {
+        ms_tmp[k] = a[i];
+        i++;
+        k++;
+    }
+    while (j < hi) {
+        ms_tmp[k] = a[j];
+        j++;
+        k++;
+    }
+    for (int t = lo; t < hi; t++) {
+        a[t] = ms_tmp[t];
+    }
+}
+
+void merge_sort(float a[64], int lo, int hi) {
+    if (hi - lo <= 1) {
+        return;
+    }
+    int mid = lo + (hi - lo) / 2;
+    merge_sort(a, lo, mid);
+    merge_sort(a, mid, hi);
+    ms_merge(a, lo, mid, hi);
+}
+
+float sort_kernel(float input[64], int n) {
+    if (n < 0) {
+        n = 0;
+    }
+    if (n > 64) {
+        n = 64;
+    }
+    merge_sort(input, 0, n);
+    float checksum = 0.0;
+    for (int i = 0; i < n; i++) {
+        checksum += input[i] * (i + 1);
+    }
+    return checksum;
+}
+
+void host(int seed) {
+    float data[64];
+    for (int i = 0; i < 64; i++) {
+        data[i] = (seed * 37 + i * 29) % 101 - 50;
+    }
+    sort_kernel(data, 64);
+}
+"""
+
+MANUAL_SOURCE = """
+static float ms_tmp[64];
+
+void ms_merge(float a[64], int lo, int mid, int hi) {
+    int i = lo;
+    int j = mid;
+    int k = lo;
+    while (i < mid && j < hi) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount min=1 max=8 avg=4
+        if (a[i] <= a[j]) {
+            ms_tmp[k] = a[i];
+            i++;
+        } else {
+            ms_tmp[k] = a[j];
+            j++;
+        }
+        k++;
+    }
+    while (i < mid) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount min=1 max=8 avg=4
+        ms_tmp[k] = a[i];
+        i++;
+        k++;
+    }
+    while (j < hi) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount min=1 max=8 avg=4
+        ms_tmp[k] = a[j];
+        j++;
+        k++;
+    }
+    for (int t = lo; t < hi; t++) {
+        #pragma HLS pipeline II=1
+        #pragma HLS loop_tripcount min=1 max=8 avg=8
+        a[t] = ms_tmp[t];
+    }
+}
+
+void merge_sort_iter(float a[64], int n) {
+    for (int width = 1; width < 64; width = width * 2) {
+        #pragma HLS loop_tripcount min=6 max=6 avg=6
+        for (int lo = 0; lo < n; lo += width * 2) {
+            #pragma HLS loop_tripcount min=1 max=8 avg=4
+            int mid = lo + width;
+            int hi = lo + width * 2;
+            if (mid > n) {
+                mid = n;
+            }
+            if (hi > n) {
+                hi = n;
+            }
+            if (mid < hi) {
+                ms_merge(a, lo, mid, hi);
+            }
+        }
+    }
+}
+
+float sort_kernel(float input[64], int n) {
+    if (n < 0) {
+        n = 0;
+    }
+    if (n > 64) {
+        n = 64;
+    }
+    merge_sort_iter(input, n);
+    float checksum = 0.0;
+    for (int i = 0; i < n; i++) {
+        #pragma HLS pipeline II=1
+        checksum += input[i] * (i + 1);
+    }
+    return checksum;
+}
+"""
+
+# Paper Table 4: P3 ships with 10 tests reaching only 25% branch
+# coverage.  These sparse tests sort short, already-ordered arrays —
+# they never drive the recursion deep (the point of §6.2).
+_SHORT = [float(i) for i in range(8)] + [0.0] * 56
+EXISTING_TESTS = (
+    (list(_SHORT), 0),
+    (list(_SHORT), 1),
+    (list(_SHORT), 2),
+    (list(_SHORT), 4),
+    (list(_SHORT), 8),
+)
+
+SUBJECT = Subject(
+    id="P3",
+    name="merge sort",
+    kernel="sort_kernel",
+    source=SOURCE,
+    solution=SolutionConfig(top_name="sort_kernel"),
+    host="host",
+    host_args=(7,),
+    existing_tests=EXISTING_TESTS,
+    manual_source=MANUAL_SOURCE,
+    expected_error_types=(ErrorType.DYNAMIC_DATA_STRUCTURES,),
+)

@@ -1,0 +1,189 @@
+"""P4 — image processing (blur + edge pipeline over an 8×8 tile).
+
+Seeded incompatibilities:
+
+* a VLA row-accumulator sized by a runtime parameter (Dynamic Data
+  Structures — post 729976's ``line_buf_a[WIDTH][cols]``);
+* the same source tile feeding two concurrent dataflow stages (Dataflow
+  Optimization — post 595161);
+* ``array_partition factor=4`` on a 13-element buffer (Dataflow
+  Optimization — the XFORM-711 example from §2).
+"""
+
+from ..hls.diagnostics import ErrorType
+from ..hls.platform import SolutionConfig
+from .base import Subject
+
+SOURCE = """
+void blur_pass(float src[64], float dst[64]) {
+    for (int y = 0; y < 8; y++) {
+        for (int x = 0; x < 8; x++) {
+            float acc = src[y * 8 + x] * 4.0;
+            if (x > 0) {
+                acc += src[y * 8 + x - 1];
+            }
+            if (x < 7) {
+                acc += src[y * 8 + x + 1];
+            }
+            if (y > 0) {
+                acc += src[y * 8 + x - 8];
+            }
+            if (y < 7) {
+                acc += src[y * 8 + x + 8];
+            }
+            dst[y * 8 + x] = acc * 0.125;
+        }
+    }
+}
+
+void edge_pass(float src[64], float dst[64]) {
+    for (int y = 0; y < 8; y++) {
+        for (int x = 0; x < 8; x++) {
+            float gx = 0.0;
+            float gy = 0.0;
+            if (x > 0 && x < 7) {
+                gx = src[y * 8 + x + 1] - src[y * 8 + x - 1];
+            }
+            if (y > 0 && y < 7) {
+                gy = src[y * 8 + x + 8] - src[y * 8 + x - 8];
+            }
+            float mag = gx * gx + gy * gy;
+            if (mag > 1.0) {
+                dst[y * 8 + x] = 1.0;
+            } else {
+                dst[y * 8 + x] = mag;
+            }
+        }
+    }
+}
+
+void img_kernel(float src[64], float out[64], int cols) {
+    #pragma HLS dataflow
+    if (cols < 1) {
+        cols = 1;
+    }
+    if (cols > 13) {
+        cols = 13;
+    }
+    static float blurred[64];
+    static float edges[64];
+    float line_buf[13];
+    #pragma HLS array_partition variable=line_buf factor=4
+    float row_acc[cols];
+    blur_pass(src, blurred);
+    edge_pass(src, edges);
+    for (int i = 0; i < 64; i++) {
+        out[i] = blurred[i] * 0.5 + edges[i] * 0.5;
+    }
+    for (int c = 0; c < cols; c++) {
+        row_acc[c] = out[c] + out[c + 8];
+    }
+    for (int c = 0; c < cols; c++) {
+        line_buf[c] = row_acc[c];
+        out[c] = out[c] + line_buf[c] * 0.25;
+    }
+}
+
+void host(int seed) {
+    float src[64];
+    float out[64];
+    for (int i = 0; i < 64; i++) {
+        src[i] = ((seed + i) % 16) * 0.125;
+    }
+    img_kernel(src, out, 8);
+}
+"""
+
+MANUAL_SOURCE = """
+void blur_pass(float src[64], float dst[64]) {
+    for (int y = 0; y < 8; y++) {
+        for (int x = 0; x < 8; x++) {
+            #pragma HLS pipeline II=1
+            float acc = src[y * 8 + x] * 4.0;
+            if (x > 0) {
+                acc += src[y * 8 + x - 1];
+            }
+            if (x < 7) {
+                acc += src[y * 8 + x + 1];
+            }
+            if (y > 0) {
+                acc += src[y * 8 + x - 8];
+            }
+            if (y < 7) {
+                acc += src[y * 8 + x + 8];
+            }
+            dst[y * 8 + x] = acc * 0.125;
+        }
+    }
+}
+
+void edge_pass(float src[64], float dst[64]) {
+    for (int y = 0; y < 8; y++) {
+        for (int x = 0; x < 8; x++) {
+            #pragma HLS pipeline II=1
+            float gx = 0.0;
+            float gy = 0.0;
+            if (x > 0 && x < 7) {
+                gx = src[y * 8 + x + 1] - src[y * 8 + x - 1];
+            }
+            if (y > 0 && y < 7) {
+                gy = src[y * 8 + x + 8] - src[y * 8 + x - 8];
+            }
+            float mag = gx * gx + gy * gy;
+            if (mag > 1.0) {
+                dst[y * 8 + x] = 1.0;
+            } else {
+                dst[y * 8 + x] = mag;
+            }
+        }
+    }
+}
+
+void img_kernel(float src[64], float out[64], int cols) {
+    #pragma HLS dataflow
+    if (cols < 1) {
+        cols = 1;
+    }
+    if (cols > 13) {
+        cols = 13;
+    }
+    static float blurred[64];
+    static float edges[64];
+    static float src_copy[64];
+    float line_buf[16];
+    #pragma HLS array_partition variable=line_buf factor=4
+    float row_acc[16];
+    for (int s = 0; s < 64; s++) {
+        #pragma HLS pipeline II=1
+        src_copy[s] = src[s];
+    }
+    blur_pass(src, blurred);
+    edge_pass(src_copy, edges);
+    for (int i = 0; i < 64; i++) {
+        #pragma HLS pipeline II=1
+        out[i] = blurred[i] * 0.5 + edges[i] * 0.5;
+    }
+    for (int c = 0; c < cols; c++) {
+        row_acc[c] = out[c] + out[c + 8];
+    }
+    for (int c = 0; c < cols; c++) {
+        line_buf[c] = row_acc[c];
+        out[c] = out[c] + line_buf[c] * 0.25;
+    }
+}
+"""
+
+SUBJECT = Subject(
+    id="P4",
+    name="image processing",
+    kernel="img_kernel",
+    source=SOURCE,
+    solution=SolutionConfig(top_name="img_kernel"),
+    host="host",
+    host_args=(4,),
+    manual_source=MANUAL_SOURCE,
+    expected_error_types=(
+        ErrorType.DYNAMIC_DATA_STRUCTURES,
+        ErrorType.DATAFLOW_OPTIMIZATION,
+    ),
+)

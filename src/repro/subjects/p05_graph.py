@@ -1,0 +1,210 @@
+"""P5 — graph traversal (binary search tree build + recursive DFS).
+
+The paper's working example (Figure 2): ``malloc``-built nodes, struct
+pointers, a recursive ``traverse``, plus a ``long double`` weight in the
+visitor.  Exercises the longest repair chain in the suite:
+``insert`` → ``pointer`` → ``stack_trans`` (+ ``resize`` on divergence)
+→ ``type_trans`` → ``type_casting`` → ``op_overload``.
+"""
+
+from ..hls.diagnostics import ErrorType
+from ..hls.platform import SolutionConfig
+from .base import Subject
+
+SOURCE = """
+struct Node {
+    int val;
+    struct Node *left;
+    struct Node *right;
+};
+
+static float g_sum = 0.0;
+
+struct Node *tree_insert(struct Node *root, int v) {
+    struct Node *n = (struct Node *)malloc(sizeof(struct Node));
+    n->val = v;
+    n->left = 0;
+    n->right = 0;
+    if (root == 0) {
+        return n;
+    }
+    struct Node *curr = root;
+    while (1) {
+        if (v < curr->val) {
+            if (curr->left == 0) {
+                curr->left = n;
+                break;
+            }
+            curr = curr->left;
+        } else {
+            if (curr->right == 0) {
+                curr->right = n;
+                break;
+            }
+            curr = curr->right;
+        }
+    }
+    return root;
+}
+
+void visit(int v) {
+    long double w = v * 0.5 + 1.0;
+    w = w * 0.25;
+    g_sum = g_sum + (float)w;
+}
+
+void traverse(struct Node *curr) {
+    if (curr == 0) {
+        return;
+    }
+    visit(curr->val);
+    traverse(curr->left);
+    traverse(curr->right);
+}
+
+float graph_kernel(int input[32], int n) {
+    if (n < 0) {
+        n = 0;
+    }
+    if (n > 32) {
+        n = 32;
+    }
+    g_sum = 0.0;
+    struct Node *root = 0;
+    for (int i = 0; i < n; i++) {
+        root = tree_insert(root, input[i]);
+    }
+    traverse(root);
+    return g_sum;
+}
+
+void host(int seed) {
+    int data[32];
+    for (int i = 0; i < 32; i++) {
+        data[i] = (seed * 31 + i * 17) % 64;
+    }
+    graph_kernel(data, 32);
+}
+"""
+
+MANUAL_SOURCE = """
+typedef int Node_ptr;
+
+struct Node {
+    int val;
+    Node_ptr left;
+    Node_ptr right;
+};
+
+static struct Node node_arr[65];
+static int node_next = 1;
+static float g_sum = 0.0;
+
+Node_ptr node_alloc(int v) {
+    if (node_next >= 65) {
+        return 0;
+    }
+    Node_ptr p = node_next;
+    node_next = node_next + 1;
+    node_arr[p].val = v;
+    node_arr[p].left = 0;
+    node_arr[p].right = 0;
+    return p;
+}
+
+Node_ptr tree_insert(Node_ptr root, int v) {
+    Node_ptr n = node_alloc(v);
+    if (root == 0) {
+        return n;
+    }
+    Node_ptr curr = root;
+    while (1) {
+        #pragma HLS loop_tripcount min=1 max=32 avg=5
+        if (v < node_arr[curr].val) {
+            if (node_arr[curr].left == 0) {
+                node_arr[curr].left = n;
+                break;
+            }
+            curr = node_arr[curr].left;
+        } else {
+            if (node_arr[curr].right == 0) {
+                node_arr[curr].right = n;
+                break;
+            }
+            curr = node_arr[curr].right;
+        }
+    }
+    return root;
+}
+
+void visit(int v) {
+    float w = v * 0.5 + 1.0;
+    w = w * 0.25;
+    g_sum = g_sum + w;
+}
+
+void traverse_iter(Node_ptr root) {
+    static Node_ptr stack[128];
+    int sp = 0;
+    stack[sp] = root;
+    sp = sp + 1;
+    while (sp > 0) {
+        #pragma HLS pipeline II=2
+        #pragma HLS loop_tripcount min=1 max=65 avg=48
+        sp = sp - 1;
+        Node_ptr curr = stack[sp];
+        if (curr == 0) {
+            continue;
+        }
+        visit(node_arr[curr].val);
+        if (sp + 2 <= 128) {
+            stack[sp] = node_arr[curr].right;
+            sp = sp + 1;
+            stack[sp] = node_arr[curr].left;
+            sp = sp + 1;
+        }
+    }
+}
+
+float graph_kernel(int input[32], int n) {
+    if (n < 0) {
+        n = 0;
+    }
+    if (n > 32) {
+        n = 32;
+    }
+    g_sum = 0.0;
+    node_next = 1;
+    Node_ptr root = 0;
+    for (int i = 0; i < n; i++) {
+        root = tree_insert(root, input[i]);
+    }
+    traverse_iter(root);
+    return g_sum;
+}
+"""
+
+_RAMP = [(i * 3) % 32 for i in range(32)]
+EXISTING_TESTS = (
+    (list(_RAMP), 0),
+    (list(_RAMP), 1),
+    (list(_RAMP), 2),
+    (list(_RAMP), 3),
+    (list(_RAMP), 4),
+)
+
+SUBJECT = Subject(
+    id="P5",
+    name="graph traversal",
+    kernel="graph_kernel",
+    source=SOURCE,
+    solution=SolutionConfig(top_name="graph_kernel"),
+    host="host",
+    host_args=(5,),
+    existing_tests=EXISTING_TESTS,
+    manual_source=MANUAL_SOURCE,
+    expected_error_types=(
+        ErrorType.DYNAMIC_DATA_STRUCTURES,
+        ErrorType.UNSUPPORTED_DATA_TYPES,
+    ),
+)

@@ -1,0 +1,79 @@
+"""P6 — matrix multiplication (8×8 integer).
+
+Seeded incompatibility: an ``unroll factor=64`` pragma interacting with
+an enclosing ``dataflow`` region — post 721719's "this error occurs only
+with an unrolling factor of 50 or more" (Loop Parallelization).  The
+repair explores smaller factors / pragma deletion and keeps the fastest
+behaviour-preserving variant.
+"""
+
+from ..hls.diagnostics import ErrorType
+from ..hls.platform import SolutionConfig
+from .base import Subject
+
+SOURCE = """
+void mmul(int a[64], int b[64], int c[64]) {
+    #pragma HLS dataflow
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 8; j++) {
+            #pragma HLS unroll factor=64
+            int acc = 0;
+            for (int k = 0; k < 8; k++) {
+                acc += a[i * 8 + k] * b[k * 8 + j];
+            }
+            c[i * 8 + j] = acc;
+        }
+    }
+}
+
+void host(int seed) {
+    int a[64];
+    int b[64];
+    int c[64];
+    for (int i = 0; i < 64; i++) {
+        a[i] = (seed + i) % 7;
+        b[i] = (seed * 3 + i) % 5;
+    }
+    mmul(a, b, c);
+}
+"""
+
+MANUAL_SOURCE = """
+void mmul(int a[64], int b[64], int c[64]) {
+    #pragma HLS array_partition variable=a factor=4
+    #pragma HLS array_partition variable=b factor=4
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 8; j++) {
+            int acc = 0;
+            for (int k = 0; k < 8; k++) {
+                #pragma HLS unroll factor=8
+                acc += a[i * 8 + k] * b[k * 8 + j];
+            }
+            c[i * 8 + j] = acc;
+        }
+    }
+}
+"""
+
+_A = [(i * 5 + 1) % 9 for i in range(64)]
+_B = [(i * 7 + 2) % 6 for i in range(64)]
+_Z = [0] * 64
+EXISTING_TESTS = (
+    (list(_A), list(_B), list(_Z)),
+    (list(_Z), list(_B), list(_Z)),
+    (list(_A), list(_Z), list(_Z)),
+    (list(_Z), list(_Z), list(_Z)),
+)
+
+SUBJECT = Subject(
+    id="P6",
+    name="matrix multiplication",
+    kernel="mmul",
+    source=SOURCE,
+    solution=SolutionConfig(top_name="mmul"),
+    host="host",
+    host_args=(6,),
+    existing_tests=EXISTING_TESTS,
+    manual_source=MANUAL_SOURCE,
+    expected_error_types=(ErrorType.LOOP_PARALLELIZATION,),
+)

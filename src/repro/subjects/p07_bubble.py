@@ -1,0 +1,85 @@
+"""P7 — bubble sort.
+
+Seeded incompatibility: an ``unroll`` pragma on a loop whose bound is a
+runtime expression, with no ``loop_tripcount`` to bound the hardware
+(Loop Parallelization).  Repaired by ``index_static`` — the "explicit
+total number of iterations" fix of §5.1.
+"""
+
+from ..hls.diagnostics import ErrorType
+from ..hls.platform import SolutionConfig
+from .base import Subject
+
+SOURCE = """
+int bubble_kernel(int data[32], int n) {
+    if (n < 0) {
+        n = 0;
+    }
+    if (n > 32) {
+        n = 32;
+    }
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j + 1 < n - i; j++) {
+            #pragma HLS unroll factor=4
+            if (data[j] > data[j + 1]) {
+                int t = data[j];
+                data[j] = data[j + 1];
+                data[j + 1] = t;
+            }
+        }
+    }
+    int checksum = 0;
+    for (int i = 0; i < n; i++) {
+        checksum += data[i] * (i + 1);
+    }
+    return checksum;
+}
+
+void host(int seed) {
+    int data[32];
+    for (int i = 0; i < 32; i++) {
+        data[i] = (seed * 13 + i * 11) % 97 - 48;
+    }
+    bubble_kernel(data, 32);
+}
+"""
+
+MANUAL_SOURCE = """
+int bubble_kernel(int data[32], int n) {
+    if (n < 0) {
+        n = 0;
+    }
+    if (n > 32) {
+        n = 32;
+    }
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j + 1 < n - i; j++) {
+            #pragma HLS loop_tripcount min=1 max=32
+            #pragma HLS pipeline II=1
+            if (data[j] > data[j + 1]) {
+                int t = data[j];
+                data[j] = data[j + 1];
+                data[j + 1] = t;
+            }
+        }
+    }
+    int checksum = 0;
+    for (int i = 0; i < n; i++) {
+        #pragma HLS pipeline II=1
+        checksum += data[i] * (i + 1);
+    }
+    return checksum;
+}
+"""
+
+SUBJECT = Subject(
+    id="P7",
+    name="bubble sort",
+    kernel="bubble_kernel",
+    source=SOURCE,
+    solution=SolutionConfig(top_name="bubble_kernel"),
+    host="host",
+    host_args=(9,),
+    manual_source=MANUAL_SOURCE,
+    expected_error_types=(ErrorType.LOOP_PARALLELIZATION,),
+)

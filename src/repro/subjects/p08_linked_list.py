@@ -1,0 +1,126 @@
+"""P8 — linked list (build, reverse, alternating-sign fold, free).
+
+Seeded incompatibilities: ``malloc``/``free`` and struct-pointer chains
+(Dynamic Data Structures + pointer elimination).  Like P3, the errors
+stay inside HeteroRefactor's scope, so the baseline can transpile it
+(Table 5's second HR success).
+"""
+
+from ..hls.diagnostics import ErrorType
+from ..hls.platform import SolutionConfig
+from .base import Subject
+
+SOURCE = """
+struct Cell {
+    int value;
+    struct Cell *next;
+};
+
+int list_kernel(int input[32], int n) {
+    if (n < 0) {
+        n = 0;
+    }
+    if (n > 32) {
+        n = 32;
+    }
+    struct Cell *head = 0;
+    for (int i = 0; i < n; i++) {
+        struct Cell *c = (struct Cell *)malloc(sizeof(struct Cell));
+        c->value = input[i];
+        c->next = head;
+        head = c;
+    }
+    struct Cell *prev = 0;
+    struct Cell *curr = head;
+    while (curr != 0) {
+        struct Cell *nx = curr->next;
+        curr->next = prev;
+        prev = curr;
+        curr = nx;
+    }
+    int total = 0;
+    int sign = 1;
+    struct Cell *p = prev;
+    while (p != 0) {
+        total += sign * p->value;
+        sign = -sign;
+        p = p->next;
+    }
+    while (prev != 0) {
+        struct Cell *nx = prev->next;
+        free(prev);
+        prev = nx;
+    }
+    return total;
+}
+
+void host(int seed) {
+    int data[32];
+    for (int i = 0; i < 32; i++) {
+        data[i] = (seed * 23 + i * 7) % 51 - 25;
+    }
+    list_kernel(data, 32);
+}
+"""
+
+MANUAL_SOURCE = """
+typedef int Cell_ptr;
+
+struct Cell {
+    int value;
+    Cell_ptr next;
+};
+
+static struct Cell cell_arr[65];
+static int cell_next = 1;
+
+int list_kernel(int input[32], int n) {
+    if (n < 0) {
+        n = 0;
+    }
+    if (n > 32) {
+        n = 32;
+    }
+    cell_next = 1;
+    Cell_ptr head = 0;
+    for (int i = 0; i < n; i++) {
+        Cell_ptr c = cell_next;
+        cell_next = cell_next + 1;
+        cell_arr[c].value = input[i];
+        cell_arr[c].next = head;
+        head = c;
+    }
+    Cell_ptr prev = 0;
+    Cell_ptr curr = head;
+    while (curr != 0) {
+        Cell_ptr nx = cell_arr[curr].next;
+        cell_arr[curr].next = prev;
+        prev = curr;
+        curr = nx;
+    }
+    int total = 0;
+    int sign = 1;
+    Cell_ptr p = prev;
+    while (p != 0) {
+        total += sign * cell_arr[p].value;
+        sign = -sign;
+        p = cell_arr[p].next;
+    }
+    return total;
+}
+"""
+
+SUBJECT = Subject(
+    id="P8",
+    name="linked list",
+    kernel="list_kernel",
+    source=SOURCE,
+    solution=SolutionConfig(top_name="list_kernel"),
+    host="host",
+    host_args=(8,),
+    manual_source=MANUAL_SOURCE,
+    expected_error_types=(
+        ErrorType.DYNAMIC_DATA_STRUCTURES,
+        ErrorType.UNSUPPORTED_DATA_TYPES,
+    ),
+)

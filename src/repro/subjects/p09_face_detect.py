@@ -1,0 +1,242 @@
+"""P9 — face detection (simplified Viola-Jones cascade over streams).
+
+The largest subject.  A sliding-window detector: windows are reduced to
+integer features, then a two-stage classifier cascade connected by
+``hls::stream`` channels accepts or rejects each window.  Seeded
+incompatibilities (Struct and Union — Figure 5's exact shape):
+
+* ``struct StageFilter`` has member functions but no explicit
+  constructor ("Argument 'this' has an unsynthesizable struct type");
+* the stream connecting the two cascade stages is declared non-static
+  inside the ``dataflow`` region.
+
+Two alternative repair chains exist, as in Figure 7: ``constructor`` →
+``stream_static`` (keep the struct) or ``flatten`` → ``inst_update``
+(dissolve it).
+"""
+
+from ..hls.diagnostics import ErrorType
+from ..hls.platform import SolutionConfig
+from .base import Subject
+
+SOURCE = """
+struct StageFilter {
+    hls::stream<unsigned> &in;
+    hls::stream<unsigned> &out;
+    unsigned threshold;
+    unsigned weight;
+
+    unsigned doRead() {
+        return this->in.read();
+    }
+
+    void doWrite(unsigned v) {
+        this->out.write(v);
+    }
+
+    unsigned score(unsigned feat) {
+        unsigned s = feat * this->weight;
+        if (s > 4095) {
+            s = 4095;
+        }
+        return s;
+    }
+
+    void do1() {
+        for (int i = 0; i < 16; i++) {
+            if (this->in.empty()) {
+                break;
+            }
+            unsigned v = this->doRead();
+            unsigned feat = (v >> 2) + (v & 3);
+            unsigned s = this->score(feat);
+            if (s > this->threshold) {
+                this->doWrite(v);
+            } else {
+                this->doWrite(0);
+            }
+        }
+    }
+};
+
+unsigned window_feature(unsigned pixels[64], int wx, int wy) {
+    unsigned acc = 0;
+    for (int y = 0; y < 4; y++) {
+        for (int x = 0; x < 4; x++) {
+            unsigned p = pixels[(wy + y) * 8 + wx + x];
+            if (y < 2) {
+                acc = acc + p;
+            } else {
+                if (acc > p) {
+                    acc = acc - p;
+                } else {
+                    acc = 0;
+                }
+            }
+        }
+    }
+    return acc;
+}
+
+void detect_faces(unsigned pixels[64], unsigned hits[16]) {
+    #pragma HLS dataflow
+    hls::stream<unsigned> feats;
+    hls::stream<unsigned> tmp;
+    hls::stream<unsigned> found;
+    int w = 0;
+    for (int wy = 0; wy < 4; wy++) {
+        for (int wx = 0; wx < 4; wx++) {
+            unsigned f = window_feature(pixels, wx, wy);
+            feats.write(f);
+            w = w + 1;
+        }
+    }
+    struct StageFilter stage1;
+    stage1.in = feats;
+    stage1.out = tmp;
+    stage1.threshold = 40;
+    stage1.weight = 3;
+    struct StageFilter stage2;
+    stage2.in = tmp;
+    stage2.out = found;
+    stage2.threshold = 96;
+    stage2.weight = 2;
+    stage1.do1();
+    stage2.do1();
+    for (int i = 0; i < 16; i++) {
+        if (found.empty()) {
+            hits[i] = 0;
+        } else {
+            hits[i] = found.read();
+        }
+    }
+}
+
+void host(int seed) {
+    unsigned pixels[64];
+    unsigned hits[16];
+    for (int i = 0; i < 64; i++) {
+        pixels[i] = (seed * 29 + i * 13) % 256;
+    }
+    detect_faces(pixels, hits);
+}
+"""
+
+MANUAL_SOURCE = """
+struct StageFilter {
+    hls::stream<unsigned> &in;
+    hls::stream<unsigned> &out;
+    unsigned threshold;
+    unsigned weight;
+
+    StageFilter(hls::stream<unsigned> &i, hls::stream<unsigned> &o)
+        : in(i), out(o) {
+    }
+
+    unsigned doRead() {
+        return this->in.read();
+    }
+
+    void doWrite(unsigned v) {
+        this->out.write(v);
+    }
+
+    unsigned score(unsigned feat) {
+        unsigned s = feat * this->weight;
+        if (s > 4095) {
+            s = 4095;
+        }
+        return s;
+    }
+
+    void do1() {
+        for (int i = 0; i < 16; i++) {
+            #pragma HLS pipeline II=1
+            if (this->in.empty()) {
+                break;
+            }
+            unsigned v = this->doRead();
+            unsigned feat = (v >> 2) + (v & 3);
+            unsigned s = this->score(feat);
+            if (s > this->threshold) {
+                this->doWrite(v);
+            } else {
+                this->doWrite(0);
+            }
+        }
+    }
+};
+
+unsigned window_feature(unsigned pixels[64], int wx, int wy) {
+    unsigned acc = 0;
+    for (int y = 0; y < 4; y++) {
+        for (int x = 0; x < 4; x++) {
+            #pragma HLS pipeline II=1
+            unsigned p = pixels[(wy + y) * 8 + wx + x];
+            if (y < 2) {
+                acc = acc + p;
+            } else {
+                if (acc > p) {
+                    acc = acc - p;
+                } else {
+                    acc = 0;
+                }
+            }
+        }
+    }
+    return acc;
+}
+
+void detect_faces(unsigned pixels[64], unsigned hits[16]) {
+    #pragma HLS dataflow
+    static hls::stream<unsigned> feats;
+    static hls::stream<unsigned> tmp;
+    static hls::stream<unsigned> found;
+    int w = 0;
+    for (int wy = 0; wy < 4; wy++) {
+        for (int wx = 0; wx < 4; wx++) {
+            unsigned f = window_feature(pixels, wx, wy);
+            feats.write(f);
+            w = w + 1;
+        }
+    }
+    struct StageFilter stage1;
+    stage1.in = feats;
+    stage1.out = tmp;
+    stage1.threshold = 40;
+    stage1.weight = 3;
+    struct StageFilter stage2;
+    stage2.in = tmp;
+    stage2.out = found;
+    stage2.threshold = 96;
+    stage2.weight = 2;
+    stage1.do1();
+    stage2.do1();
+    for (int i = 0; i < 16; i++) {
+        #pragma HLS pipeline II=1
+        if (found.empty()) {
+            hits[i] = 0;
+        } else {
+            hits[i] = found.read();
+        }
+    }
+}
+"""
+
+_PIXELS = [(i * 37) % 256 for i in range(64)]
+EXISTING_TESTS = (
+    (list(_PIXELS), [0] * 16),
+)
+
+SUBJECT = Subject(
+    id="P9",
+    name="face detection",
+    kernel="detect_faces",
+    source=SOURCE,
+    solution=SolutionConfig(top_name="detect_faces"),
+    host="host",
+    host_args=(11,),
+    existing_tests=EXISTING_TESTS,
+    manual_source=MANUAL_SOURCE,
+    expected_error_types=(ErrorType.STRUCT_AND_UNION,),
+)

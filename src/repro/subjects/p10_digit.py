@@ -1,0 +1,123 @@
+"""P10 — digit recognition (KNN over packed bit-vector digits).
+
+Rosetta-style digit recognition: each digit is a packed bit-vector;
+classification picks the training digit with the smallest Hamming
+distance (popcount of XOR) and returns its label.
+
+Seeded incompatibility: a broken solution configuration (Top Function —
+post 810885): the top function name is misspelled, the clock period is
+below what the device can close, and the device name is unknown.  The
+repair explores configurations (``set_top`` / ``fix_clock`` /
+``fix_device``) until compilation and differential testing pass.
+"""
+
+from ..hls.diagnostics import ErrorType
+from ..hls.platform import SolutionConfig
+from .base import Subject
+
+SOURCE = """
+int popcount(unsigned x) {
+    int count = 0;
+    while (x != 0) {
+        count += x & 1;
+        x = x >> 1;
+    }
+    return count;
+}
+
+int digitrec(unsigned train[64], unsigned sample, int n) {
+    if (n < 1) {
+        n = 1;
+    }
+    if (n > 64) {
+        n = 64;
+    }
+    int best_label = 0;
+    int best_dist = 33;
+    for (int i = 0; i < n; i++) {
+        unsigned vec = train[i] >> 4;
+        int label = train[i] & 15;
+        int dist = popcount(vec ^ (sample >> 4));
+        if (dist < best_dist) {
+            best_dist = dist;
+            best_label = label;
+        } else {
+            if (dist == best_dist && label < best_label) {
+                best_label = label;
+            }
+        }
+    }
+    return best_label;
+}
+
+void host(int seed) {
+    unsigned train[64];
+    for (int i = 0; i < 64; i++) {
+        train[i] = ((seed * 2654435761 + i * 40503) % 65536) * 16 + (i % 10);
+    }
+    unsigned sample = (seed * 48271 % 65536) * 16;
+    digitrec(train, sample, 64);
+}
+"""
+
+MANUAL_SOURCE = """
+int popcount(unsigned x) {
+    int count = 0;
+    while (x != 0) {
+        count += x & 1;
+        x = x >> 1;
+    }
+    return count;
+}
+
+int digitrec(unsigned train[64], unsigned sample, int n) {
+    #pragma HLS array_partition variable=train factor=8
+    if (n < 1) {
+        n = 1;
+    }
+    if (n > 64) {
+        n = 64;
+    }
+    int best_label = 0;
+    int best_dist = 33;
+    for (int i = 0; i < n; i++) {
+        #pragma HLS loop_tripcount min=1 max=64
+        #pragma HLS pipeline II=1
+        unsigned vec = train[i] >> 4;
+        int label = train[i] & 15;
+        int dist = popcount(vec ^ (sample >> 4));
+        if (dist < best_dist) {
+            best_dist = dist;
+            best_label = label;
+        } else {
+            if (dist == best_dist && label < best_label) {
+                best_label = label;
+            }
+        }
+    }
+    return best_label;
+}
+"""
+
+_TRAIN = [((i * 2654435761 + 12345) % 65536) * 16 + (i % 10) for i in range(64)]
+EXISTING_TESTS = tuple(
+    (list(_TRAIN), ((s * 48271) % 65536) * 16, 64) for s in range(1, 12)
+)
+
+SUBJECT = Subject(
+    id="P10",
+    name="digit recognition",
+    kernel="digitrec",
+    source=SOURCE,
+    # Deliberately broken configuration: misspelled top, unknown part,
+    # clock beyond the device limit.
+    solution=SolutionConfig(
+        top_name="digitrec_top", device="xcvu9pe", clock_period_ns=0.8
+    ),
+    host="host",
+    host_args=(10,),
+    existing_tests=EXISTING_TESTS,
+    manual_source=MANUAL_SOURCE,
+    manual_solution=SolutionConfig(top_name="digitrec"),
+    expected_error_types=(ErrorType.TOP_FUNCTION,),
+)

@@ -1,0 +1,99 @@
+"""Baseline tests: HeteroRefactor scope and the Figure 9 ablation knobs."""
+
+import pytest
+
+from repro.baselines import (
+    default_config,
+    heterorefactor_registry,
+    make_heterogen,
+    make_heterorefactor,
+    make_without_checker,
+    make_without_dependence,
+    run_variant,
+)
+from repro.hls.diagnostics import ErrorType
+from repro.subjects import get_subject
+
+
+def quick_config(**kwargs):
+    kwargs.setdefault("fuzz_execs", 300)
+    kwargs.setdefault("max_iterations", 100)
+    return default_config(**kwargs)
+
+
+class TestHeteroRefactorScope:
+    def test_registry_limited_to_dynamic_structures(self):
+        registry = heterorefactor_registry()
+        names = {e.name for e in registry.all_edits()}
+        assert names == {
+            "array_static", "insert", "resize", "stack_trans", "pointer"
+        }
+        assert registry.perf_edits == []
+
+    def test_no_edits_for_other_families(self):
+        registry = heterorefactor_registry()
+        assert registry.edits_for(ErrorType.STRUCT_AND_UNION) == []
+        assert registry.edits_for(ErrorType.TOP_FUNCTION) == []
+        assert registry.edits_for(ErrorType.LOOP_PARALLELIZATION) == []
+
+    def test_succeeds_on_p3(self):
+        result = run_variant(get_subject("P3"), "HeteroRefactor", quick_config())
+        assert result.success
+
+    def test_fails_on_type_errors_p2(self):
+        result = run_variant(get_subject("P2"), "HeteroRefactor", quick_config())
+        assert not result.success
+
+    def test_fails_on_struct_errors_p9(self):
+        result = run_variant(get_subject("P9"), "HeteroRefactor", quick_config())
+        assert not result.success
+
+
+class TestVariantFactories:
+    def test_heterogen_defaults(self):
+        tool = make_heterogen(quick_config())
+        assert tool.config.search.use_style_checker
+        assert tool.config.search.use_dependence
+
+    def test_without_checker_flag(self):
+        tool = make_without_checker(quick_config())
+        assert not tool.config.search.use_style_checker
+        assert tool.config.search.use_dependence
+
+    def test_without_dependence_flag_and_budget(self):
+        tool = make_without_dependence()
+        assert not tool.config.search.use_dependence
+        assert tool.config.search.budget_seconds == 12 * 3600.0
+
+    def test_heterorefactor_no_perf_exploration(self):
+        tool = make_heterorefactor(quick_config())
+        assert not tool.config.search.perf_exploration
+
+
+class TestAblationShape:
+    """Figure 9's qualitative claims, on one small subject."""
+
+    def test_checker_reduces_hls_invocations(self):
+        subject = get_subject("P2")
+        with_checker = run_variant(subject, "HeteroGen", quick_config(seed=3))
+        without = run_variant(subject, "WithoutChecker", quick_config(seed=3))
+        assert with_checker.success and without.success
+        assert without.search_result.stats.hls_invocation_ratio == 1.0
+        assert (
+            with_checker.search_result.stats.hls_invocation_ratio
+            <= without.search_result.stats.hls_invocation_ratio
+        )
+
+    def test_dependence_reduces_repair_time(self):
+        subject = get_subject("P2")
+        guided = run_variant(subject, "HeteroGen", quick_config(seed=3))
+        blind = run_variant(
+            subject, "WithoutDependence",
+            quick_config(seed=3, max_iterations=400,
+                         budget_seconds=12 * 3600.0),
+        )
+        assert guided.success
+        assert (
+            blind.search_result.repair_seconds
+            >= guided.search_result.repair_seconds
+        )

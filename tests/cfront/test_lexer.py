@@ -1,0 +1,169 @@
+"""Lexer tests: tokens, literals, preprocessor handling, errors."""
+
+import pytest
+
+from repro.cfront.lexer import Lexer, Token, tokenize
+from repro.errors import LexError
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind == "eof"
+
+    def test_identifier(self):
+        toks = tokenize("foo_bar42")
+        assert toks[0].kind == "ident"
+        assert toks[0].text == "foo_bar42"
+
+    def test_keywords_are_distinguished(self):
+        toks = tokenize("int foo")
+        assert toks[0].kind == "keyword"
+        assert toks[1].kind == "ident"
+
+    def test_all_keywords(self):
+        for kw in ("void", "struct", "union", "typedef", "return", "while",
+                   "for", "break", "continue", "sizeof", "static", "const"):
+            assert tokenize(kw)[0].kind == "keyword"
+
+    def test_punctuators_maximal_munch(self):
+        assert texts("a >>= b") == ["a", ">>=", "b"]
+        assert texts("a >> b") == ["a", ">>", "b"]
+        assert texts("a > b") == ["a", ">", "b"]
+        assert texts("x->y") == ["x", "->", "y"]
+        assert texts("x - >y") == ["x", "-", ">", "y"]
+
+    def test_scope_resolution_token(self):
+        assert texts("hls::stream") == ["hls", "::", "stream"]
+
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+class TestNumbers:
+    def test_decimal_int(self):
+        tok = tokenize("12345")[0]
+        assert tok.kind == "int"
+        assert tok.text == "12345"
+
+    def test_hex_int(self):
+        tok = tokenize("0xFF")[0]
+        assert tok.kind == "int"
+        assert int(tok.text, 0) == 255
+
+    def test_int_suffixes(self):
+        assert tokenize("42u")[0].kind == "int"
+        assert tokenize("42UL")[0].kind == "int"
+        assert tokenize("42ll")[0].kind == "int"
+
+    def test_float_forms(self):
+        for text in ("1.5", "0.25f", ".5", "2.", "1e3", "1.5e-2", "3E+4f"):
+            tok = tokenize(text)[0]
+            assert tok.kind == "float", text
+
+    def test_integer_then_member_access_is_not_float(self):
+        # `a[1].x` must not lex `1.` as a float... the subset never
+        # indexes literals with member access, but `1..5` style ranges
+        # don't exist either; check plain int stays int.
+        assert tokenize("7")[0].kind == "int"
+
+    def test_float_at_end_of_input_terminates(self):
+        tok = tokenize("1.5")[0]
+        assert tok.kind == "float"
+
+
+class TestCharAndString:
+    def test_char_literal(self):
+        tok = tokenize("'a'")[0]
+        assert tok.kind == "char"
+        assert tok.text == "a"
+
+    def test_char_escapes(self):
+        assert tokenize(r"'\n'")[0].text == "\n"
+        assert tokenize(r"'\t'")[0].text == "\t"
+        assert tokenize(r"'\0'")[0].text == "\0"
+
+    def test_string_literal(self):
+        tok = tokenize('"hello world"')[0]
+        assert tok.kind == "string"
+        assert tok.text == "hello world"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\nb"')[0].text == "a\nb"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_unknown_escape_raises(self):
+        with pytest.raises(LexError):
+            tokenize(r"'\q'")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\n y */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+
+class TestPreprocessor:
+    def test_include_skipped(self):
+        assert texts("#include <stdio.h>\nint x") == ["int", "x"]
+
+    def test_define_substitution(self):
+        assert texts("#define N 16\nint a[N];") == ["int", "a", "[", "16", "]", ";"]
+
+    def test_define_expression_body(self):
+        assert texts("#define SZ 4 * 4\nSZ") == ["4", "*", "4"]
+
+    def test_function_like_macro_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("#define SQ(x) ((x)*(x))\n")
+
+    def test_pragma_token(self):
+        toks = tokenize("#pragma HLS pipeline II=1\nint x;")
+        assert toks[0].kind == "pragma"
+        assert toks[0].text == "HLS pipeline II=1"
+
+    def test_ifdef_lines_skipped(self):
+        assert texts("#ifdef FOO\n#endif\nint x") == ["int", "x"]
+
+    def test_unknown_directive_raises(self):
+        with pytest.raises(LexError):
+            tokenize("#error nope\n")
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("int @ x")
+
+    def test_error_carries_location(self):
+        try:
+            tokenize("x\n  @")
+        except LexError as exc:
+            assert exc.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected LexError")
+
+    def test_eof_inside_suffix_scan_terminates(self):
+        # Regression: "" was `in` every membership test, hanging the lexer.
+        toks = tokenize("42u")
+        assert toks[-1].kind == "eof"

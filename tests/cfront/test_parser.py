@@ -1,0 +1,304 @@
+"""Parser tests: declarations, types, statements, expressions, fragments."""
+
+import pytest
+
+from repro.cfront import nodes as N
+from repro.cfront import typesys as T
+from repro.cfront.parser import (
+    parse,
+    parse_fragment_decls,
+    parse_fragment_expr,
+    parse_fragment_stmts,
+)
+from repro.cfront.visitor import find_all
+from repro.errors import ParseError
+
+
+class TestDeclarations:
+    def test_global_variable(self):
+        unit = parse("int counter = 3;")
+        decl = unit.globals()[0]
+        assert decl.name == "counter"
+        assert decl.init.value == 3
+
+    def test_static_const(self):
+        unit = parse("static const int limit = 8;")
+        decl = unit.globals()[0]
+        assert decl.is_static and decl.is_const
+
+    def test_global_array_with_initializer(self):
+        unit = parse("int table[3] = {1, 2, 3};")
+        decl = unit.globals()[0]
+        assert isinstance(decl.type, T.ArrayType)
+        assert decl.type.size == 3
+        assert isinstance(decl.init, N.InitList)
+
+    def test_function_definition(self):
+        unit = parse("int add(int a, int b) { return a + b; }")
+        func = unit.function("add")
+        assert [p.name for p in func.params] == ["a", "b"]
+        assert func.return_type == T.INT
+
+    def test_function_prototype(self):
+        unit = parse("int add(int a, int b);")
+        assert isinstance(unit.decls[0], N.FunctionDef)
+        assert unit.decls[0].body is None
+
+    def test_void_param_list(self):
+        unit = parse("int f(void) { return 1; }")
+        assert unit.decls[0].params == []
+
+    def test_typedef(self):
+        unit = parse("typedef int Node_ptr;\nNode_ptr p = 0;")
+        decl = unit.globals()[0]
+        assert isinstance(decl.type, T.NamedType)
+        assert decl.type.name == "Node_ptr"
+
+    def test_top_name_recorded(self):
+        unit = parse("void k() {}", top_name="k")
+        assert unit.top_name == "k"
+
+
+class TestTypes:
+    def test_builtin_type_table(self):
+        unit = parse(
+            "char a; unsigned char b; short c; int d; unsigned e; "
+            "long f; float g; double h; long double i;"
+        )
+        types = [d.type for d in unit.globals()]
+        assert types[0] == T.CHAR
+        assert types[1] == T.UCHAR
+        assert types[4] == T.UINT
+        assert types[8] == T.LONG_DOUBLE
+
+    def test_pointer_declarator(self):
+        unit = parse("int *p;")
+        assert isinstance(unit.globals()[0].type, T.PointerType)
+
+    def test_double_pointer(self):
+        unit = parse("int **pp;")
+        inner = unit.globals()[0].type
+        assert isinstance(inner, T.PointerType)
+        assert isinstance(inner.pointee, T.PointerType)
+
+    def test_multidim_array(self):
+        unit = parse("int m[4][8];")
+        outer = unit.globals()[0].type
+        assert isinstance(outer, T.ArrayType) and outer.size == 4
+        assert isinstance(outer.elem, T.ArrayType) and outer.elem.size == 8
+
+    def test_array_size_constant_folding(self):
+        unit = parse("int a[4 * 4 + 2];")
+        assert unit.globals()[0].type.size == 18
+
+    def test_fpga_int_types(self):
+        unit = parse("fpga_uint<7> r; fpga_int<12> s;")
+        first, second = (d.type for d in unit.globals())
+        assert first == T.FpgaIntType(7, signed=False)
+        assert second == T.FpgaIntType(12, signed=True)
+
+    def test_fpga_float_type(self):
+        unit = parse("fpga_float<8,71> x;")
+        assert unit.globals()[0].type == T.FpgaFloatType(8, 71)
+
+    def test_stream_type(self):
+        unit = parse("void f(hls::stream<unsigned> &in) {}")
+        ptype = unit.decls[0].params[0].type
+        assert isinstance(ptype, T.ReferenceType)
+        assert isinstance(ptype.target, T.StreamType)
+
+    def test_vla_detected(self):
+        unit = parse("void f(int n) { float buf[n]; }")
+        decl = find_all(unit, N.VarDecl)[0]
+        assert decl.vla_size is not None
+        assert decl.type.size is None
+
+    def test_forward_struct_reference(self):
+        unit = parse("typedef struct Later Later_t;\nstruct Later { int x; };")
+        struct = unit.struct("Later")
+        assert struct is not None
+        assert struct.type.has_field("x")
+
+
+class TestStructs:
+    SRC = """
+    struct Pair {
+        int a;
+        int b;
+        int total() { return this->a + this->b; }
+    };
+    """
+
+    def test_fields_and_methods(self):
+        unit = parse(self.SRC)
+        struct = unit.struct("Pair")
+        assert struct.type.has_field("a")
+        assert struct.type.method_names == ("total",)
+        assert not struct.type.has_constructor
+
+    def test_constructor_detection(self):
+        unit = parse(
+            "struct P { int x; P(int v) : x(v) {} };"
+        )
+        assert unit.struct("P").type.has_constructor
+
+    def test_union(self):
+        unit = parse("union U { int i; float f; };")
+        struct = unit.struct("U")
+        assert struct.is_union
+        assert struct.type.sizeof() == 4
+
+    def test_multiple_fields_one_line(self):
+        unit = parse("struct V { int x, y, z; };")
+        assert len(unit.struct("V").type.fields) == 3
+
+    def test_unknown_type_in_decl_raises(self):
+        with pytest.raises(ParseError):
+            parse("mystery x;")
+
+
+class TestStatements:
+    def wrap(self, body):
+        return parse("void f(int n) {\n" + body + "\n}").function("f")
+
+    def test_if_else(self):
+        func = self.wrap("if (n > 0) { n = 1; } else { n = 2; }")
+        stmt = func.body.items[0]
+        assert isinstance(stmt, N.If)
+        assert stmt.other is not None
+
+    def test_dangling_else_binds_inner(self):
+        func = self.wrap("if (n) if (n > 1) n = 2; else n = 3;")
+        outer = func.body.items[0]
+        assert outer.other is None
+        assert outer.then.other is not None
+
+    def test_while_do_for(self):
+        func = self.wrap(
+            "while (n) { n--; } do { n++; } while (n < 3); "
+            "for (int i = 0; i < 3; i++) { n += i; }"
+        )
+        assert isinstance(func.body.items[0], N.While)
+        assert isinstance(func.body.items[1], N.DoWhile)
+        assert isinstance(func.body.items[2], N.For)
+
+    def test_for_with_empty_slots(self):
+        func = self.wrap("for (;;) { break; }")
+        loop = func.body.items[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_break_continue_return(self):
+        func = self.wrap("while (1) { if (n) break; continue; } return;")
+        assert isinstance(func.body.items[-1], N.Return)
+
+    def test_pragma_statement(self):
+        func = self.wrap("#pragma HLS unroll factor=4\nn = 1;")
+        assert isinstance(func.body.items[0], N.Pragma)
+        assert func.body.items[0].text == "HLS unroll factor=4"
+
+    def test_empty_statement(self):
+        func = self.wrap(";")
+        assert isinstance(func.body.items[0], N.Empty)
+
+
+class TestExpressions:
+    def expr(self, text):
+        return parse_fragment_expr(text)
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_precedence_relational_over_logical(self):
+        e = self.expr("a < b && c > d")
+        assert e.op == "&&"
+
+    def test_ternary(self):
+        e = self.expr("a ? b : c")
+        assert isinstance(e, N.Cond)
+
+    def test_assignment_right_associative(self):
+        e = self.expr("a = b = 1")
+        assert isinstance(e, N.Assign)
+        assert isinstance(e.value, N.Assign)
+
+    def test_compound_assignment(self):
+        e = self.expr("a += 2")
+        assert e.op == "+="
+
+    def test_unary_chain(self):
+        e = self.expr("-~x")
+        assert e.op == "-" and e.operand.op == "~"
+
+    def test_pre_and_post_incdec(self):
+        pre = self.expr("++x")
+        post = self.expr("x++")
+        assert isinstance(pre, N.IncDec) and not pre.postfix
+        assert isinstance(post, N.IncDec) and post.postfix
+
+    def test_call_and_index_and_member(self):
+        e = self.expr("f(a, b)[2].field")
+        assert isinstance(e, N.Member)
+        assert isinstance(e.obj, N.Index)
+        assert isinstance(e.obj.base, N.Call)
+
+    def test_arrow(self):
+        e = self.expr("p->next")
+        assert e.arrow
+
+    def test_cast(self):
+        unit = parse("void f() { float x = (float)3; }")
+        decl = find_all(unit, N.VarDecl)[0]
+        assert isinstance(decl.init, N.Cast)
+
+    def test_sizeof_type_folds(self):
+        unit = parse("int a[sizeof(int)];")
+        assert unit.globals()[0].type.size == 4
+
+    def test_sizeof_expr(self):
+        e = self.expr("sizeof(x + 1)")
+        assert isinstance(e, N.SizeofExpr)
+
+    def test_comma_operator(self):
+        e = self.expr("a = 1, b = 2")
+        assert e.op == ","
+
+    def test_address_of_and_deref(self):
+        e = self.expr("*&x")
+        assert e.op == "*" and e.operand.op == "&"
+
+    def test_parse_error_has_location(self):
+        with pytest.raises(ParseError):
+            parse("int f( { }")
+
+
+class TestFragments:
+    def test_fragment_decls_use_unit_context(self):
+        unit = parse("struct Node { int v; };")
+        decls = parse_fragment_decls(
+            "static struct Node pool[8];", unit
+        )
+        assert isinstance(decls[0].type, T.ArrayType)
+
+    def test_fragment_stmts(self):
+        stmts = parse_fragment_stmts("int x = 1; x = x + 1;")
+        assert len(stmts) == 2
+
+    def test_fragment_expr(self):
+        e = parse_fragment_expr("a[i] + 1")
+        assert isinstance(e, N.BinOp)
+
+    def test_fragment_nodes_have_fresh_uids(self):
+        unit = parse("int x;")
+        decls = parse_fragment_decls("int y;", unit)
+        unit_uids = {n.uid for n in unit.walk()}
+        frag_uids = {n.uid for d in decls for n in d.walk()}
+        assert not unit_uids & frag_uids
+
+
+class TestUids:
+    def test_all_uids_unique_within_unit(self):
+        unit = parse("int f(int a) { return a + 1; }\nint g() { return f(2); }")
+        uids = [n.uid for n in unit.walk()]
+        assert len(uids) == len(set(uids))

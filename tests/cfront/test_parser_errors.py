@@ -1,0 +1,63 @@
+"""Parser error-path tests: malformed programs must fail with located
+ParseErrors, never crash or hang."""
+
+import pytest
+
+from repro.cfront.parser import parse
+from repro.errors import ParseError
+
+MALFORMED = [
+    "int f( { }",
+    "int f() { return ; ",
+    "struct { int x; };",          # anonymous structs unsupported
+    "int a[;",
+    "void f() { if (x } }",
+    "void f() { for int i; }",
+    "int 9illegal;",
+    "void f() { x ->; }",
+    "typedef int;",
+    "fpga_uint<> x;",
+    "fpga_float<8> x;",            # needs two parameters
+    "hls::vector<int> v;",         # only hls::stream exists
+    "void f() { do { } }",         # missing while
+    "struct S { int x; } ;; extra",
+    "int f(int a,) { return a; }",
+    "void f() { int x = ; }",
+    "union U { int i; float f; }", # missing semicolon
+]
+
+
+@pytest.mark.parametrize("source", MALFORMED)
+def test_malformed_raises_parse_error(source):
+    with pytest.raises(ParseError):
+        parse(source)
+
+
+def test_error_location_points_at_offender():
+    try:
+        parse("int x;\nint f( { }")
+    except ParseError as exc:
+        assert exc.line == 2
+    else:  # pragma: no cover
+        pytest.fail("expected ParseError")
+
+
+def test_deep_nesting_parses():
+    # Guard against accidental recursion pathologies in the descent.
+    depth = 40
+    source = (
+        "int f(int x) { return " + "(" * depth + "x" + ")" * depth + "; }"
+    )
+    unit = parse(source)
+    assert unit.function("f") is not None
+
+
+def test_long_statement_sequence_parses():
+    body = "\n".join(f"    int v{i} = {i};" for i in range(300))
+    unit = parse("void f() {\n" + body + "\n}")
+    assert len(unit.function("f").body.items) == 300
+
+
+def test_keywords_cannot_be_identifiers():
+    with pytest.raises(ParseError):
+        parse("int return_;  int while;")

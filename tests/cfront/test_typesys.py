@@ -1,0 +1,148 @@
+"""Type system tests, including hypothesis properties on the HLS types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cfront import typesys as T
+
+
+class TestSizeof:
+    def test_native_sizes(self):
+        assert T.CHAR.sizeof() == 1
+        assert T.INT.sizeof() == 4
+        assert T.LONG.sizeof() == 8
+        assert T.FLOAT.sizeof() == 4
+        assert T.DOUBLE.sizeof() == 8
+        assert T.LONG_DOUBLE.sizeof() == 10
+
+    def test_fpga_int_rounds_up_to_bytes(self):
+        assert T.FpgaIntType(7).sizeof() == 1
+        assert T.FpgaIntType(9).sizeof() == 2
+        assert T.FpgaFloatType(8, 71).sizeof() == 10
+
+    def test_array_sizeof(self):
+        assert T.ArrayType(T.INT, 10).sizeof() == 40
+        assert T.ArrayType(T.ArrayType(T.INT, 4), 4).sizeof() == 64
+
+    def test_struct_vs_union_sizeof(self):
+        fields = (T.StructField("a", T.INT), T.StructField("b", T.LONG))
+        struct = T.StructType("S", fields)
+        union = T.StructType("U", fields, is_union=True)
+        assert struct.sizeof() == 12
+        assert union.sizeof() == 8
+
+    def test_pointer_sizeof(self):
+        assert T.PointerType(T.CHAR).sizeof() == 8
+
+
+class TestSynthesizability:
+    def test_long_double_not_synthesizable(self):
+        assert not T.LONG_DOUBLE.is_synthesizable()
+        assert T.DOUBLE.is_synthesizable()
+
+    def test_pointer_not_synthesizable(self):
+        assert not T.PointerType(T.INT).is_synthesizable()
+
+    def test_unknown_size_array_not_synthesizable(self):
+        assert not T.ArrayType(T.INT, None).is_synthesizable()
+        assert T.ArrayType(T.INT, 8).is_synthesizable()
+
+    def test_typedef_transparency(self):
+        alias = T.NamedType("ld", T.LONG_DOUBLE)
+        assert not alias.is_synthesizable()
+
+
+class TestWrap:
+    def test_unsigned_wrap(self):
+        u7 = T.FpgaIntType(7, signed=False)
+        assert u7.wrap(127) == 127
+        assert u7.wrap(128) == 0
+        assert u7.wrap(200) == 72
+
+    def test_signed_wrap(self):
+        s8 = T.FpgaIntType(8, signed=True)
+        assert s8.wrap(127) == 127
+        assert s8.wrap(128) == -128
+        assert s8.wrap(-129) == 127
+
+    @given(st.integers(min_value=-(10**9), max_value=10**9),
+           st.integers(min_value=2, max_value=32),
+           st.booleans())
+    def test_wrap_lands_in_range(self, value, bits, signed):
+        ctype = T.FpgaIntType(bits, signed=signed)
+        wrapped = ctype.wrap(value)
+        assert ctype.min_value <= wrapped <= ctype.max_value
+
+    @given(st.integers(min_value=2, max_value=32), st.booleans())
+    def test_wrap_is_identity_in_range(self, bits, signed):
+        ctype = T.FpgaIntType(bits, signed=signed)
+        assert ctype.wrap(ctype.max_value) == ctype.max_value
+        assert ctype.wrap(ctype.min_value) == ctype.min_value
+
+
+class TestBitsNeeded:
+    def test_paper_example(self):
+        # ret peaks at 83 -> fpga_uint<7> (§4)
+        assert T.bits_needed(83, signed=False) == 7
+
+    def test_signed_needs_extra_bit(self):
+        assert T.bits_needed(83, signed=True) == 8
+
+    def test_zero(self):
+        assert T.bits_needed(0, signed=False) == 1
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            T.bits_needed(-1, signed=False)
+
+    @given(st.integers(min_value=0, max_value=10**12), st.booleans())
+    def test_value_fits_in_chosen_width(self, value, signed):
+        bits = T.bits_needed(value, signed)
+        ctype = T.FpgaIntType(bits, signed=signed)
+        assert ctype.wrap(value) == value
+
+
+class TestCommonType:
+    def test_float_beats_int(self):
+        assert T.common_type(T.INT, T.DOUBLE) == T.DOUBLE
+
+    def test_wider_int_wins(self):
+        assert T.common_type(T.INT, T.LONG) == T.LONG
+
+    def test_unsigned_wins_tie(self):
+        assert T.common_type(T.INT, T.UINT) == T.UINT
+
+    def test_fpga_float_rank(self):
+        assert T.common_type(T.FpgaFloatType(8, 71), T.FLOAT) == T.FpgaFloatType(8, 71)
+
+    def test_pointer_arithmetic_keeps_pointer(self):
+        ptr = T.PointerType(T.INT)
+        assert T.common_type(ptr, T.INT) == ptr
+
+
+class TestHelpers:
+    def test_strip_typedefs_chain(self):
+        chained = T.NamedType("a", T.NamedType("b", T.INT))
+        assert T.strip_typedefs(chained) == T.INT
+
+    def test_decay(self):
+        arr = T.ArrayType(T.FLOAT, 8)
+        assert T.decay(arr) == T.PointerType(T.FLOAT)
+        assert T.decay(T.INT) == T.INT
+
+    def test_is_predicates(self):
+        assert T.is_integer(T.FpgaIntType(5))
+        assert T.is_float(T.FpgaFloatType(8, 23))
+        assert T.is_arithmetic(T.CHAR)
+        assert not T.is_arithmetic(T.PointerType(T.INT))
+
+    def test_replace_struct_recurses(self):
+        old = T.StructType("S")
+        new = T.StructType("S", (T.StructField("x", T.INT),))
+        nested = T.ArrayType(T.PointerType(old), 4)
+        replaced = T.replace_struct(nested, "S", new)
+        assert replaced.elem.pointee.has_field("x")
+
+    def test_integer_bits_rejects_floats(self):
+        with pytest.raises(TypeError):
+            T.integer_bits(T.FLOAT)

@@ -1,0 +1,111 @@
+"""Bitwidth estimation / initial-version tests (§4)."""
+
+import pytest
+
+from repro.cfront import nodes as N
+from repro.cfront import typesys as T
+from repro.cfront.parser import parse
+from repro.cfront.visitor import find_all
+from repro.core import generate_initial_version, plan_bitwidths, profile_kernel
+from repro.core.bitwidth import MARGIN_BITS
+from repro.difftest import outputs_equal, run_cpu_reference
+
+SRC = """
+int kernel(int a[8], int n) {
+    if (n > 8) { n = 8; }
+    int ret = 0;
+    int total = 0;
+    for (int i = 0; i < n; i++) {
+        ret = a[i] % 84;
+        total += ret;
+    }
+    return total;
+}
+"""
+
+TESTS = [[[83, 83, 83, 83, 83, 83, 83, 83], 8], [[0] * 8, 8], [[5, 10, 2, 0, 0, 0, 0, 0], 3]]
+
+
+class TestProfiling:
+    def test_profile_covers_all_tests(self):
+        unit = parse(SRC)
+        profile = profile_kernel(unit, "kernel", TESTS)
+        by_name = {r.name: r for r in profile.ranges.values()}
+        assert by_name["ret"].max_abs == 83
+        assert by_name["total"].max_abs == 8 * 83
+
+    def test_crashing_tests_skipped(self):
+        unit = parse(SRC)
+        profile = profile_kernel(unit, "kernel", [[[1], 8]] + TESTS)
+        assert profile.ranges  # still produced from the valid tests
+
+
+class TestPlanning:
+    def plan(self):
+        unit = parse(SRC)
+        profile = profile_kernel(unit, "kernel", TESTS)
+        return unit, plan_bitwidths(unit, profile)
+
+    def test_paper_example_width(self):
+        unit, plan = self.plan()
+        widths = {plan.names[uid]: t for uid, t in plan.types.items()}
+        # ret max 83 -> 7 bits + margin
+        assert widths["ret"].bits == 7 + MARGIN_BITS
+        assert not widths["ret"].signed
+
+    def test_only_narrowing_changes_planned(self):
+        unit, plan = self.plan()
+        for chosen in plan.types.values():
+            assert chosen.bits < 32
+
+    def test_unprofiled_variables_untouched(self):
+        unit = parse(SRC)
+        from repro.interp import ValueProfile
+
+        plan = plan_bitwidths(unit, ValueProfile())
+        assert len(plan) == 0
+
+
+class TestInitialVersion:
+    def test_initial_version_types_rewritten(self):
+        unit = parse(SRC)
+        initial, plan, _profile = generate_initial_version(unit, "kernel", TESTS)
+        rewritten = [
+            d.decl
+            for d in find_all(initial, N.DeclStmt)
+            if isinstance(T.strip_typedefs(d.decl.type), T.FpgaIntType)
+        ]
+        assert rewritten
+        assert unit is not initial  # original untouched
+        original_types = [
+            d.decl.type for d in find_all(unit, N.DeclStmt)
+        ]
+        assert all(not isinstance(t, T.FpgaIntType) for t in original_types)
+
+    def test_initial_version_behaves_identically_on_profiled_tests(self):
+        unit = parse(SRC)
+        initial, _plan, _profile = generate_initial_version(unit, "kernel", TESTS)
+        ref, _ = run_cpu_reference(unit, "kernel", TESTS)
+        new, _ = run_cpu_reference(initial, "kernel", TESTS)
+        for a, b in zip(ref, new):
+            assert outputs_equal(list(a), list(b))
+
+    def test_unprofiled_inputs_can_wrap(self):
+        """The §6.5 caveat: widths chosen from an incomplete profile wrap
+        on bigger inputs — which is precisely what differential testing
+        plus the widen edit handle."""
+        unit = parse(SRC)
+        small_tests = [[[1, 1, 0, 0, 0, 0, 0, 0], 2]]
+        initial, plan, _ = generate_initial_version(unit, "kernel", small_tests)
+        assert plan.types  # something was narrowed
+        big = [[[83] * 8, 8]]
+        from repro.interp import ExecLimits
+
+        limits = ExecLimits(max_steps=50_000)
+        ref, _ = run_cpu_reference(unit, "kernel", big, limits=limits)
+        new, _ = run_cpu_reference(initial, "kernel", big, limits=limits)
+        assert ref[0] is not None
+        # Divergence may manifest as a wrong value or as a runaway loop
+        # (wrapped counter) cut off by the step budget.
+        diverged = new[0] is None or not outputs_equal(list(ref[0]), list(new[0]))
+        assert diverged

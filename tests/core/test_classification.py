@@ -1,0 +1,127 @@
+"""Error classification and repair localization tests (§5.2)."""
+
+import pytest
+
+from repro.cfront import nodes as N
+from repro.cfront.parser import parse
+from repro.cfront.visitor import find_all
+from repro.core import RepairLocalizer, classify, classify_message
+from repro.hls import SolutionConfig, compile_unit
+from repro.hls.diagnostics import (
+    Diagnostic,
+    ErrorType,
+    dataflow_check_error,
+    recursion_error,
+    struct_error,
+    top_function_error,
+    unknown_size_error,
+)
+
+
+class TestClassifyMessage:
+    @pytest.mark.parametrize(
+        "message, expected",
+        [
+            ("Synthesizability check failed: recursive functions are not supported",
+             ErrorType.DYNAMIC_DATA_STRUCTURES),
+            ("dynamic memory allocation/deallocation is not supported",
+             ErrorType.DYNAMIC_DATA_STRUCTURES),
+            ("Array 'data' failed dataflow checking.",
+             ErrorType.DATAFLOW_OPTIMIZATION),
+            ("Pre-synthesis failed: unroll factor 64 interacts",
+             ErrorType.LOOP_PARALLELIZATION),
+            ("Argument 'this' has an unsynthesizable struct type 'If2'",
+             ErrorType.STRUCT_AND_UNION),
+            ("hls::stream 'tmp' connecting dataflow processes must have static storage",
+             ErrorType.STRUCT_AND_UNION),
+            ("Cannot find the top function 'mane' in the design.",
+             ErrorType.TOP_FUNCTION),
+            ("variable 'x' has unsupported type 'long double'",
+             ErrorType.UNSUPPORTED_DATA_TYPES),
+            ("pointer variable 'p' is not synthesizable",
+             ErrorType.UNSUPPORTED_DATA_TYPES),
+        ],
+    )
+    def test_keyword_rules(self, message, expected):
+        assert classify_message(message) == expected
+
+    def test_unknown_message_is_none(self):
+        assert classify_message("something completely different") is None
+
+    def test_classify_falls_back_to_annotation(self):
+        diag = Diagnostic(
+            code="X", message="inscrutable", error_type=ErrorType.TOP_FUNCTION
+        )
+        assert classify(diag) == ErrorType.TOP_FUNCTION
+
+    def test_classifier_agrees_with_compiler_annotations(self):
+        """Every diagnostic our toolchain emits must classify back to the
+        family it was annotated with — the §5.2 keyword path."""
+        src = """
+        struct L { int v; struct L *next; };
+        void walk(struct L *p) { if (p != 0) { walk(p->next); } }
+        int kernel(int n) {
+            long double x = 1.0;
+            float buf[n];
+            struct L *head = (struct L *)malloc(sizeof(struct L));
+            walk(head);
+            return (int)x;
+        }
+        """
+        unit = parse(src, top_name="kernel")
+        report = compile_unit(unit, SolutionConfig(top_name="kernel"))
+        assert report.errors
+        for diag in report.errors:
+            assert classify(diag) == diag.error_type, diag
+
+
+class TestLocalization:
+    def test_recursion_locates_self_calls(self):
+        src = """
+        void walk(int n) { if (n > 0) { walk(n - 1); } }
+        int kernel(int n) { walk(n); return 0; }
+        """
+        unit = parse(src, top_name="kernel")
+        func = unit.function("walk")
+        locations = RepairLocalizer().locate(unit, recursion_error("walk", func.uid))
+        assert locations
+        located = {loc.node_uid for loc in locations}
+        self_calls = [
+            c for c in find_all(func.body, N.Call) if c.callee_name == "walk"
+        ]
+        assert {c.uid for c in self_calls} == located
+        assert all(loc.function_name == "walk" for loc in locations)
+
+    def test_symbol_decl_localization(self):
+        src = "int kernel(int n) { float buf[n]; return 0; }"
+        unit = parse(src, top_name="kernel")
+        decl = find_all(unit, N.VarDecl)[0]
+        locations = RepairLocalizer().locate(
+            unit, unknown_size_error("buf", decl.uid)
+        )
+        assert any(loc.node_uid == decl.uid for loc in locations)
+
+    def test_struct_localization(self):
+        src = "struct S { int x; };\nint kernel() { return 0; }"
+        unit = parse(src, top_name="kernel")
+        locations = RepairLocalizer().locate(unit, struct_error("S", 0))
+        assert locations[0].node_uid == unit.struct("S").uid
+
+    def test_top_function_localizes_to_unit(self):
+        unit = parse("int kernel() { return 0; }", top_name="kernel")
+        locations = RepairLocalizer().locate(unit, top_function_error("nope"))
+        assert locations[0].node_uid == unit.uid
+
+    def test_extensibility_hook(self):
+        """§5.2: 'for a new HLS error type, a user can add a new
+        corresponding repair localization module'."""
+        localizer = RepairLocalizer()
+        sentinel = object()
+
+        def custom(unit, diag):
+            return [sentinel]
+
+        localizer.register(ErrorType.DATAFLOW_OPTIMIZATION, custom)
+        unit = parse("int kernel() { return 0; }", top_name="kernel")
+        result = localizer.locate(unit, dataflow_check_error("x", 0))
+        assert result == [sentinel]

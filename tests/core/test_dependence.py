@@ -1,0 +1,131 @@
+"""Dependence-graph and proposal-ordering tests (Figure 7c / §5.3)."""
+
+import random
+
+import pytest
+
+from repro.cfront.parser import parse
+from repro.core import (
+    build_registry,
+    chain_probability,
+    dependence_graph,
+    ordered_applications,
+    roots,
+    unordered_applications,
+)
+from repro.core.edits import Candidate, RepairContext
+from repro.hls import SolutionConfig, compile_unit
+from repro.hls.diagnostics import ErrorType
+
+
+class TestGraphShape:
+    def test_figure7c_chains_present(self):
+        graph = dependence_graph(build_registry())
+        # constructor -> stream_static (➊ precedes ➌)
+        assert "stream_static" in graph["constructor"]
+        # flatten -> inst_update and stream_static (➋ precedes ➍)
+        assert "inst_update" in graph["flatten"]
+        assert "stream_static" in graph["flatten"]
+        # insert -> pointer and resize
+        assert "pointer" in graph["insert"]
+        assert "resize" in graph["insert"]
+        # type chain
+        assert "type_casting" in graph["type_trans"]
+        assert "op_overload" in graph["type_trans"]
+
+    def test_roots_per_family(self):
+        registry = build_registry()
+        struct_roots = {e.name for e in roots(registry, ErrorType.STRUCT_AND_UNION)}
+        assert "constructor" in struct_roots
+        assert "flatten" in struct_roots
+        assert "inst_update" not in struct_roots
+        dyn_roots = {
+            e.name for e in roots(registry, ErrorType.DYNAMIC_DATA_STRUCTURES)
+        }
+        assert "insert" in dyn_roots
+        assert "resize" not in dyn_roots
+
+    def test_chain_probability_shrinks_with_length(self):
+        registry = build_registry()
+        single = chain_probability(["constructor"], registry)
+        double = chain_probability(["constructor", "stream_static"], registry)
+        assert 0 < double < single < 1
+
+
+STRUCT_SRC = """
+struct S {
+    int x;
+    int get() { return this->x; }
+};
+int kernel() {
+    struct S s;
+    s.x = 1;
+    return s.get();
+}
+"""
+
+
+class TestOrderedProposals:
+    def make(self):
+        unit = parse(STRUCT_SRC, top_name="kernel")
+        cand = Candidate(unit=unit, config=SolutionConfig(top_name="kernel"))
+        diags = compile_unit(cand.unit, cand.config).errors
+        return cand, diags, RepairContext(kernel_name="kernel")
+
+    def test_only_dependence_ready_edits_proposed(self):
+        registry = build_registry()
+        cand, diags, context = self.make()
+        edits = registry.edits_for(ErrorType.STRUCT_AND_UNION)
+        apps = ordered_applications(edits, cand, diags, context)
+        names = {a.label.split("(")[0] for a in apps}
+        assert "constructor" in names or "flatten" in names
+        assert "inst_update" not in names  # flatten not applied yet
+
+    def test_behavior_only_edits_held_back_while_errors_remain(self):
+        registry = build_registry()
+        cand, diags, context = self.make()
+        apps = ordered_applications(registry.all_edits(), cand, diags, context)
+        assert not any(a.label.startswith("resize") for a in apps)
+        assert not any(a.label.startswith("widen") for a in apps)
+
+    def test_unordered_ignores_dependences_and_shuffles(self):
+        registry = build_registry()
+        cand, diags, context = self.make()
+        rng_a = random.Random(1)
+        rng_b = random.Random(2)
+        a = unordered_applications(registry.all_edits(), cand, diags, context, rng_a)
+        b = unordered_applications(registry.all_edits(), cand, diags, context, rng_b)
+        assert {x.label for x in a} == {x.label for x in b}
+        if len(a) > 3:
+            assert [x.label for x in a] != [x.label for x in b]
+
+    def test_ordering_prefers_performance_hints(self):
+        registry = build_registry()
+        unit = parse(
+            "void kernel(int a[8]) { for (int i = 0; i < 8; i++) { a[i] = i; } }",
+            top_name="kernel",
+        )
+        cand = Candidate(unit=unit, config=SolutionConfig(top_name="kernel"))
+        context = RepairContext(kernel_name="kernel")
+        apps = ordered_applications(registry.perf_edits, cand, (), context)
+        hints = [a.performance_hint for a in apps]
+        assert hints == sorted(hints, reverse=True)
+
+
+class TestRegistry:
+    def test_table2_families_all_populated(self):
+        registry = build_registry()
+        for error_type in ErrorType:
+            assert registry.edits_for(error_type), error_type
+
+    def test_edit_named(self):
+        registry = build_registry()
+        assert registry.edit_named("stack_trans") is not None
+        assert registry.edit_named("perf_pragma") is not None
+        assert registry.edit_named("widen") is not None
+        assert registry.edit_named("nonsense") is None
+
+    def test_signatures_follow_table2_notation(self):
+        registry = build_registry()
+        for edit in registry.all_edits():
+            assert "$" in edit.signature, edit.name

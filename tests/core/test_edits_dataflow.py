@@ -1,0 +1,157 @@
+"""Dataflow-optimization edit tests: split, partition_fix, delete, move."""
+
+import pytest
+
+from repro.cfront import nodes as N
+from repro.cfront import typesys as T
+from repro.cfront.parser import parse
+from repro.cfront.visitor import find_all
+from repro.core.edits import Candidate, RepairContext
+from repro.core.edits.dataflow import (
+    DeleteDataflowEdit,
+    MoveDataflowEdit,
+    PartitionFixEdit,
+    SplitBufferEdit,
+)
+from repro.difftest import outputs_equal, run_cpu_reference
+from repro.hls import SolutionConfig, compile_unit
+from repro.hls.pragmas import collect_pragmas
+
+SHARED_SRC = """
+void stage(int a[8], int out[8]) {
+    for (int i = 0; i < 8; i++) { out[i] = a[i] + 1; }
+}
+void kernel(int data[8], int x[8], int y[8]) {
+    #pragma HLS dataflow
+    stage(data, x);
+    stage(data, y);
+}
+"""
+
+PARTITION_SRC = """
+void kernel(int n) {
+    int buf[13];
+    #pragma HLS array_partition variable=buf factor=4
+    for (int i = 0; i < 13; i++) { buf[i] = i; }
+    int total = 0;
+    for (int i = 0; i < 13; i++) { total += buf[i]; }
+}
+"""
+
+
+def candidate_for(source, top="kernel"):
+    unit = parse(source, top_name=top)
+    return Candidate(unit=unit, config=SolutionConfig(top_name=top))
+
+
+def diags_for(cand):
+    return compile_unit(cand.unit, cand.config).errors
+
+
+def behaves_like(original, candidate, kernel, tests):
+    ref, _ = run_cpu_reference(original, kernel, tests)
+    new, _ = run_cpu_reference(candidate, kernel, tests)
+    return all(outputs_equal(list(a), list(b)) for a, b in zip(ref, new))
+
+
+class TestSplit:
+    def test_split_duplicates_shared_array(self):
+        cand = candidate_for(SHARED_SRC)
+        diags = diags_for(cand)
+        context = RepairContext(kernel_name="kernel")
+        apps = SplitBufferEdit().propose(cand, diags, context)
+        assert apps
+        fixed = apps[0].apply(cand)
+        report = compile_unit(fixed.unit, fixed.config)
+        assert report.ok, [str(d) for d in report.errors]
+        # Dataflow pragma survives (the performance-preserving fix).
+        assert any(
+            p.directive == "dataflow" for p in collect_pragmas(fixed.unit)
+        )
+
+    def test_split_preserves_behavior(self):
+        cand = candidate_for(SHARED_SRC)
+        context = RepairContext(kernel_name="kernel")
+        fixed = SplitBufferEdit().propose(cand, diags_for(cand), context)[0].apply(cand)
+        tests = [[[1, 2, 3, 4, 5, 6, 7, 8], [0] * 8, [0] * 8]]
+        assert behaves_like(cand.unit, fixed.unit, "kernel", tests)
+
+    def test_no_proposal_without_dataflow_diag(self):
+        cand = candidate_for("int kernel() { return 0; }")
+        context = RepairContext(kernel_name="kernel")
+        assert SplitBufferEdit().propose(cand, [], context) == []
+
+
+class TestDelete:
+    def test_delete_clears_error_but_hints_slower(self):
+        cand = candidate_for(SHARED_SRC)
+        diags = diags_for(cand)
+        context = RepairContext(kernel_name="kernel")
+        apps = DeleteDataflowEdit().propose(cand, diags, context)
+        assert apps
+        assert apps[0].performance_hint < 0
+        fixed = apps[0].apply(cand)
+        assert compile_unit(fixed.unit, fixed.config).ok
+        assert not any(
+            p.directive == "dataflow" for p in collect_pragmas(fixed.unit)
+        )
+
+
+class TestPartitionFix:
+    def test_pad_array_to_multiple(self):
+        cand = candidate_for(PARTITION_SRC)
+        diags = diags_for(cand)
+        context = RepairContext(kernel_name="kernel")
+        apps = PartitionFixEdit().propose(cand, diags, context)
+        pad = next(a for a in apps if "pad_array" in a.label)
+        fixed = pad.apply(cand)
+        decl = next(
+            d.decl for d in find_all(fixed.unit, N.DeclStmt)
+            if d.decl.name == "buf"
+        )
+        assert T.strip_typedefs(decl.type).size == 16
+        assert compile_unit(fixed.unit, fixed.config).ok
+
+    def test_snap_factor_to_divisor(self):
+        cand = candidate_for(PARTITION_SRC)
+        diags = diags_for(cand)
+        context = RepairContext(kernel_name="kernel")
+        apps = PartitionFixEdit().propose(cand, diags, context)
+        snap = next(a for a in apps if "snap_factor" in a.label)
+        fixed = snap.apply(cand)
+        pragma = next(
+            p for p in collect_pragmas(fixed.unit)
+            if p.directive == "array_partition"
+        )
+        assert 13 % pragma.factor == 0
+        assert compile_unit(fixed.unit, fixed.config).ok
+
+    def test_pad_preserves_behavior(self):
+        cand = candidate_for(PARTITION_SRC)
+        context = RepairContext(kernel_name="kernel")
+        apps = PartitionFixEdit().propose(cand, diags_for(cand), context)
+        pad = next(a for a in apps if "pad_array" in a.label)
+        fixed = pad.apply(cand)
+        assert behaves_like(cand.unit, fixed.unit, "kernel", [[0]])
+
+
+class TestMove:
+    def test_misplaced_dataflow_moved_to_top(self):
+        src = """
+        void kernel(int a[4]) {
+            if (a[0]) {
+                #pragma HLS dataflow
+                a[1] = 2;
+            }
+        }
+        """
+        cand = candidate_for(src)
+        context = RepairContext(kernel_name="kernel")
+        apps = MoveDataflowEdit().propose(cand, [], context)
+        assert apps
+        fixed = apps[0].apply(cand)
+        func = fixed.unit.function("kernel")
+        assert isinstance(func.body.items[0], N.Pragma)
+        from repro.hls import check_style
+
+        assert check_style(fixed.unit) == []

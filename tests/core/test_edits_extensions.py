@@ -1,0 +1,115 @@
+"""Extension-edit tests (§6.4's extensibility claim): stage_split."""
+
+import pytest
+
+from repro.cfront import nodes as N
+from repro.cfront.parser import parse
+from repro.core.edits import Candidate, RepairContext
+from repro.core.edits.extensions import StageSplitEdit
+from repro.difftest import outputs_equal, run_cpu_reference
+from repro.hls import SolutionConfig, check_style, compile_unit, estimate
+
+SPLITTABLE = """
+void kernel(int a[32], int b[32], int c[32]) {
+    for (int i = 0; i < 32; i++) {
+        b[i] = a[i] * 2 + 1;
+    }
+    for (int i = 0; i < 32; i++) {
+        c[i] = b[i] * b[i];
+    }
+}
+"""
+
+TESTS = [[[i % 7 for i in range(32)], [0] * 32, [0] * 32]]
+
+
+def candidate_for(source, top="kernel"):
+    unit = parse(source, top_name=top)
+    return Candidate(unit=unit, config=SolutionConfig(top_name=top))
+
+
+def split(cand):
+    context = RepairContext(kernel_name="kernel")
+    apps = StageSplitEdit().propose(cand, [], context)
+    assert apps
+    result = apps[0].apply(cand)
+    assert result is not None
+    return result
+
+
+class TestStageSplit:
+    def test_stages_extracted_and_dataflow_inserted(self):
+        cand = split(candidate_for(SPLITTABLE))
+        assert cand.unit.function("kernel__stage0") is not None
+        assert cand.unit.function("kernel__stage1") is not None
+        kernel = cand.unit.function("kernel")
+        assert isinstance(kernel.body.items[0], N.Pragma)
+        assert "dataflow" in kernel.body.items[0].text
+
+    def test_result_is_style_clean_and_compiles(self):
+        cand = split(candidate_for(SPLITTABLE))
+        assert check_style(cand.unit) == []
+        report = compile_unit(cand.unit, cand.config)
+        assert report.ok, [str(d) for d in report.errors]
+
+    def test_behavior_preserved(self):
+        original = candidate_for(SPLITTABLE)
+        cand = split(original)
+        ref, _ = run_cpu_reference(original.unit, "kernel", TESTS)
+        new, _ = run_cpu_reference(cand.unit, "kernel", TESTS)
+        assert outputs_equal(list(ref[0]), list(new[0]))
+
+    def test_overlap_reduces_latency(self):
+        original = candidate_for(SPLITTABLE)
+        cand = split(original)
+        before = estimate(original.unit, original.config).cycles
+        after = estimate(cand.unit, cand.config).cycles
+        assert after < before
+
+    def test_rejects_two_consumer_arrays(self):
+        # `a` is read by both loops: splitting would fail dataflow checks.
+        src = """
+        void kernel(int a[16], int b[16], int c[16]) {
+            for (int i = 0; i < 16; i++) { b[i] = a[i] + 1; }
+            for (int i = 0; i < 16; i++) { c[i] = a[i] + 2; }
+        }
+        """
+        context = RepairContext(kernel_name="kernel")
+        assert StageSplitEdit().propose(candidate_for(src), [], context) == []
+
+    def test_rejects_cross_stage_scalars(self):
+        src = """
+        void kernel(int a[16], int b[16], int n) {
+            for (int i = 0; i < n; i++) { a[i] = i; }
+            for (int i = 0; i < 16; i++) { b[i] = a[i]; }
+        }
+        """
+        context = RepairContext(kernel_name="kernel")
+        assert StageSplitEdit().propose(candidate_for(src), [], context) == []
+
+    def test_rejects_single_loop(self):
+        src = """
+        void kernel(int a[16]) {
+            for (int i = 0; i < 16; i++) { a[i] = i; }
+        }
+        """
+        context = RepairContext(kernel_name="kernel")
+        assert StageSplitEdit().propose(candidate_for(src), [], context) == []
+
+    def test_rejects_non_loop_statements(self):
+        src = """
+        void kernel(int a[16], int b[16]) {
+            for (int i = 0; i < 16; i++) { a[i] = i; }
+            b[0] = a[0];
+            for (int i = 0; i < 16; i++) { b[i] = a[i]; }
+        }
+        """
+        context = RepairContext(kernel_name="kernel")
+        assert StageSplitEdit().propose(candidate_for(src), [], context) == []
+
+    def test_registered_as_perf_edit(self):
+        from repro.core import build_registry
+
+        registry = build_registry()
+        names = {e.name for e in registry.perf_edits}
+        assert "stage_split" in names

@@ -1,0 +1,187 @@
+"""Loop-parallelization and performance-exploration edit tests."""
+
+import pytest
+
+from repro.cfront import nodes as N
+from repro.cfront.parser import parse
+from repro.cfront.visitor import find_all
+from repro.core.edits import Candidate, RepairContext
+from repro.core.edits.loops import (
+    ExploreUnrollEdit,
+    IndexStaticEdit,
+    MemResetEdit,
+    PerfPragmaEdit,
+)
+from repro.difftest import outputs_equal, run_cpu_reference
+from repro.hls import SolutionConfig, check_style, compile_unit, estimate
+from repro.hls.pragmas import collect_pragmas
+
+VARIABLE_BOUND = """
+void kernel(int a[32], int n) {
+    if (n > 32) { n = 32; }
+    for (int i = 0; i < n; i++) {
+        #pragma HLS unroll factor=4
+        a[i] = a[i] * 2;
+    }
+}
+"""
+
+DATAFLOW_UNROLL = """
+void kernel(int a[8]) {
+    #pragma HLS dataflow
+    for (int i = 0; i < 8; i++) {
+        #pragma HLS unroll factor=64
+        a[i] = i;
+    }
+}
+"""
+
+
+def candidate_for(source, top="kernel"):
+    unit = parse(source, top_name=top)
+    return Candidate(unit=unit, config=SolutionConfig(top_name=top))
+
+
+def diags_for(cand):
+    return compile_unit(cand.unit, cand.config).errors
+
+
+class TestIndexStatic:
+    def test_adds_tripcount_and_clears_error(self):
+        cand = candidate_for(VARIABLE_BOUND)
+        diags = diags_for(cand)
+        context = RepairContext(kernel_name="kernel")
+        apps = IndexStaticEdit().propose(cand, diags, context)
+        assert apps
+        fixed = apps[0].apply(cand)
+        assert compile_unit(fixed.unit, fixed.config).ok
+        tc = next(
+            p for p in collect_pragmas(fixed.unit)
+            if p.directive == "loop_tripcount"
+        )
+        # Bound guess comes from the largest indexed array (32).
+        assert tc.int_option("max") == 32
+
+    def test_behavior_unchanged(self):
+        cand = candidate_for(VARIABLE_BOUND)
+        context = RepairContext(kernel_name="kernel")
+        fixed = IndexStaticEdit().propose(cand, diags_for(cand), context)[0].apply(cand)
+        tests = [[[3] * 32, 10]]
+        ref, _ = run_cpu_reference(cand.unit, "kernel", tests)
+        new, _ = run_cpu_reference(fixed.unit, "kernel", tests)
+        assert outputs_equal(list(ref[0]), list(new[0]))
+
+
+class TestExploreUnroll:
+    def test_factor_reduction_clears_presynthesis_error(self):
+        cand = candidate_for(DATAFLOW_UNROLL)
+        diags = diags_for(cand)
+        context = RepairContext(kernel_name="kernel")
+        apps = ExploreUnrollEdit().propose(cand, diags, context)
+        reduce = next(a for a in apps if "factor=8" in a.label)
+        fixed = reduce.apply(cand)
+        assert compile_unit(fixed.unit, fixed.config).ok
+
+    def test_delete_variant_also_clears(self):
+        cand = candidate_for(DATAFLOW_UNROLL)
+        context = RepairContext(kernel_name="kernel")
+        apps = ExploreUnrollEdit().propose(cand, diags_for(cand), context)
+        delete = next(a for a in apps if "delete" in a.label)
+        fixed = delete.apply(cand)
+        assert compile_unit(fixed.unit, fixed.config).ok
+        assert not any(
+            p.directive == "unroll" for p in collect_pragmas(fixed.unit)
+        )
+
+    def test_bigger_factors_hint_faster(self):
+        cand = candidate_for(DATAFLOW_UNROLL)
+        context = RepairContext(kernel_name="kernel")
+        apps = ExploreUnrollEdit().propose(cand, diags_for(cand), context)
+        hints = {a.label: a.performance_hint for a in apps}
+        f8 = next(v for k, v in hints.items() if "factor=8" in k)
+        f2 = next(v for k, v in hints.items() if "factor=2" in k)
+        assert f8 > f2
+
+
+class TestMemReset:
+    SRC = """
+    static int acc[8];
+    void kernel(int a[8]) {
+        for (int i = 0; i < 8; i++) {
+            acc[i] += a[i];
+        }
+    }
+    """
+
+    def test_reset_loop_inserted_before_accumulation(self):
+        cand = candidate_for(self.SRC)
+        context = RepairContext(kernel_name="kernel")
+        apps = MemResetEdit().propose(cand, [], context)
+        assert apps
+        fixed = apps[0].apply(cand)
+        func = fixed.unit.function("kernel")
+        loops = [s for s in func.body.items if isinstance(s, N.For)]
+        assert len(loops) == 2  # reset loop + original
+
+    def test_behavior_preserved(self):
+        cand = candidate_for(self.SRC)
+        context = RepairContext(kernel_name="kernel")
+        fixed = MemResetEdit().propose(cand, [], context)[0].apply(cand)
+        tests = [[[1, 2, 3, 4, 5, 6, 7, 8]]]
+        ref, _ = run_cpu_reference(cand.unit, "kernel", tests)
+        new, _ = run_cpu_reference(fixed.unit, "kernel", tests)
+        assert outputs_equal(list(ref[0]), list(new[0]))
+
+
+class TestPerfPragma:
+    CLEAN = """
+    void kernel(int a[64], int out[64]) {
+        for (int i = 0; i < 64; i++) {
+            out[i] = a[i] * 3;
+        }
+    }
+    """
+
+    def proposals(self):
+        cand = candidate_for(self.CLEAN)
+        context = RepairContext(kernel_name="kernel")
+        return cand, PerfPragmaEdit().propose(cand, [], context)
+
+    def test_proposes_pipeline_unroll_partition(self):
+        _cand, apps = self.proposals()
+        labels = " ".join(a.label for a in apps)
+        assert "pipeline" in labels
+        assert "unroll" in labels
+        assert "array_partition" in labels
+
+    def test_valid_placements_pass_style_and_speed_up(self):
+        cand, apps = self.proposals()
+        base = estimate(cand.unit, cand.config).cycles
+        pipeline = next(a for a in apps if "pipeline II=1, loop" in a.label)
+        fixed = pipeline.apply(cand)
+        assert check_style(fixed.unit) == []
+        assert estimate(fixed.unit, fixed.config).cycles < base
+
+    def test_naive_placement_is_style_invalid(self):
+        """The search must have *something* for the checker to reject —
+        that asymmetry is the WithoutChecker ablation (Figure 9)."""
+        cand, apps = self.proposals()
+        naive = [a for a in apps if "before-loop" in a.label]
+        assert naive
+        broken = naive[0].apply(cand)
+        assert check_style(broken.unit)
+
+    def test_partition_factors_divide_size(self):
+        _cand, apps = self.proposals()
+        partition_labels = [a.label for a in apps if "array_partition" in a.label]
+        for label in partition_labels:
+            factor = int(label.split("factor=")[1].split(",")[0])
+            assert 64 % factor == 0
+
+    def test_no_duplicate_proposals_after_application(self):
+        cand, apps = self.proposals()
+        pipeline = next(a for a in apps if "pipeline II=1, loop" in a.label)
+        fixed = pipeline.apply(cand)
+        context = RepairContext(kernel_name="kernel")
+        again = PerfPragmaEdit().propose(fixed, [], context)
+        assert not any(a.label == pipeline.label for a in again)

@@ -1,0 +1,175 @@
+"""Struct-and-union edit tests: both Figure 7 repair chains."""
+
+import pytest
+
+from repro.cfront import nodes as N
+from repro.cfront.parser import parse
+from repro.cfront.visitor import find_all
+from repro.core.edits import Candidate, RepairContext
+from repro.core.edits.structs import (
+    ConstructorEdit,
+    FlattenEdit,
+    InstStaticEdit,
+    InstUpdateEdit,
+    StreamStaticEdit,
+)
+from repro.difftest import outputs_equal, run_cpu_reference
+from repro.hls import SolutionConfig, compile_unit
+
+SRC = """
+struct If2 {
+    hls::stream<unsigned> &in;
+    hls::stream<unsigned> &out;
+    unsigned gain;
+
+    void do1() {
+        for (int i = 0; i < 4; i++) {
+            if (this->in.empty()) {
+                break;
+            }
+            this->out.write(this->in.read() * this->gain);
+        }
+    }
+};
+
+void kernel(unsigned a[4], unsigned b[4]) {
+    #pragma HLS dataflow
+    hls::stream<unsigned> src;
+    hls::stream<unsigned> tmp;
+    hls::stream<unsigned> dst;
+    for (int i = 0; i < 4; i++) { src.write(a[i]); }
+    struct If2 s1;
+    s1.in = src;
+    s1.out = tmp;
+    s1.gain = 2;
+    struct If2 s2;
+    s2.in = tmp;
+    s2.out = dst;
+    s2.gain = 3;
+    s1.do1();
+    s2.do1();
+    for (int i = 0; i < 4; i++) { b[i] = dst.read(); }
+}
+"""
+
+TESTS = [[[1, 2, 3, 4], [0, 0, 0, 0]], [[9, 0, 9, 0], [0, 0, 0, 0]]]
+
+
+def candidate_for(source=SRC, top="kernel"):
+    unit = parse(source, top_name=top)
+    return Candidate(unit=unit, config=SolutionConfig(top_name=top))
+
+
+def diags_for(cand):
+    return compile_unit(cand.unit, cand.config).errors
+
+
+def apply_labeled(edit, cand, diags, label_part):
+    context = RepairContext(kernel_name="kernel")
+    apps = edit.propose(cand, diags, context)
+    app = next(a for a in apps if label_part in a.label)
+    result = app.apply(cand)
+    assert result is not None
+    return result
+
+
+def behaves_like(original, candidate, tests=TESTS):
+    ref, _ = run_cpu_reference(original, "kernel", tests)
+    new, _ = run_cpu_reference(candidate, "kernel", tests)
+    return all(outputs_equal(list(a), list(b)) for a, b in zip(ref, new))
+
+
+class TestConstructorChain:
+    """Figure 7's ➊➌ path: constructor + static streams."""
+
+    def test_constructor_inserted(self):
+        cand = candidate_for()
+        fixed = apply_labeled(ConstructorEdit(), cand, diags_for(cand), "If2")
+        struct = fixed.unit.struct("If2")
+        assert struct.type.has_constructor
+        assert struct.methods[0].is_constructor
+
+    def test_full_chain_compiles_and_behaves(self):
+        cand = candidate_for()
+        fixed = apply_labeled(ConstructorEdit(), cand, diags_for(cand), "If2")
+        for stream_name in ("src", "tmp", "dst"):
+            fixed = apply_labeled(
+                StreamStaticEdit(), fixed, diags_for(fixed), stream_name
+            )
+        report = compile_unit(fixed.unit, fixed.config)
+        assert report.ok, [str(d) for d in report.errors]
+        assert behaves_like(cand.unit, fixed.unit)
+
+    def test_stream_static_requires_predecessor(self):
+        cand = candidate_for()
+        assert not StreamStaticEdit().dependencies_met(cand)
+
+    def test_constructor_idempotent(self):
+        cand = candidate_for()
+        fixed = apply_labeled(ConstructorEdit(), cand, diags_for(cand), "If2")
+        context = RepairContext(kernel_name="kernel")
+        again = ConstructorEdit().propose(fixed, diags_for(fixed), context)
+        assert all(a.apply(fixed) is None for a in again)
+
+
+class TestFlattenChain:
+    """Figure 7's ➋➍ path: flatten + call-site update."""
+
+    def flattened(self):
+        cand = candidate_for()
+        fixed = apply_labeled(FlattenEdit(), cand, diags_for(cand), "If2")
+        return cand, fixed
+
+    def test_methods_become_free_functions(self):
+        _cand, fixed = self.flattened()
+        struct = fixed.unit.struct("If2")
+        assert struct.methods == []
+        assert struct.type.method_names == ()
+        free = fixed.unit.function("If2_do1")
+        assert free is not None
+        assert free.params[0].name == "self"
+
+    def test_this_arrow_rewritten_to_self_dot(self):
+        _cand, fixed = self.flattened()
+        free = fixed.unit.function("If2_do1")
+        members = find_all(free.body, N.Member)
+        assert not any(
+            isinstance(m.obj, N.Ident) and m.obj.name == "this" for m in members
+        )
+
+    def test_inst_update_rewrites_call_sites(self):
+        cand, fixed = self.flattened()
+        fixed = apply_labeled(InstUpdateEdit(), fixed, diags_for(fixed), "If2")
+        kernel = fixed.unit.function("kernel")
+        calls = [
+            c for c in find_all(kernel.body, N.Call)
+            if c.callee_name == "If2_do1"
+        ]
+        assert len(calls) == 2
+
+    def test_full_flatten_chain_compiles_and_behaves(self):
+        cand, fixed = self.flattened()
+        fixed = apply_labeled(InstUpdateEdit(), fixed, diags_for(fixed), "If2")
+        for stream_name in ("src", "tmp", "dst"):
+            fixed = apply_labeled(
+                StreamStaticEdit(), fixed, diags_for(fixed), stream_name
+            )
+        report = compile_unit(fixed.unit, fixed.config)
+        assert report.ok, [str(d) for d in report.errors]
+        assert behaves_like(cand.unit, fixed.unit)
+
+    def test_inst_update_requires_flatten(self):
+        cand = candidate_for()
+        assert not InstUpdateEdit().dependencies_met(cand)
+        assert FlattenEdit().dependencies_met(cand)
+
+
+class TestInstStatic:
+    def test_instances_made_static(self):
+        cand = candidate_for()
+        fixed = apply_labeled(InstStaticEdit(), cand, diags_for(cand), "s1")
+        decl = next(
+            d.decl for d in find_all(fixed.unit, N.DeclStmt)
+            if d.decl.name == "s1"
+        )
+        assert decl.is_static

@@ -1,0 +1,81 @@
+"""Top-function (configuration) edit tests."""
+
+import pytest
+
+from repro.cfront.parser import parse
+from repro.core.edits import Candidate, RepairContext
+from repro.core.edits.top_function import FixClockEdit, FixDeviceEdit, SetTopEdit
+from repro.hls import SolutionConfig, compile_unit
+
+SRC = """
+int helper(int x) { return x + 1; }
+int digitrec(int a[4]) { return helper(a[0]); }
+"""
+
+
+def broken_candidate():
+    unit = parse(SRC, top_name="digitrec_top")
+    config = SolutionConfig(
+        top_name="digitrec_top", device="xcmystery", clock_period_ns=0.1
+    )
+    return Candidate(unit=unit, config=config)
+
+
+def diags_for(cand):
+    return compile_unit(cand.unit, cand.config).errors
+
+
+class TestSetTop:
+    def test_kernel_proposed_first(self):
+        cand = broken_candidate()
+        context = RepairContext(kernel_name="digitrec")
+        apps = SetTopEdit().propose(cand, diags_for(cand), context)
+        assert apps[0].label == "set_top(digitrec)"
+        # every defined function is eventually explored
+        labels = {a.label for a in apps}
+        assert "set_top(helper)" in labels
+
+    def test_application_updates_config_only(self):
+        cand = broken_candidate()
+        context = RepairContext(kernel_name="digitrec")
+        apps = SetTopEdit().propose(cand, diags_for(cand), context)
+        fixed = apps[0].apply(cand)
+        assert fixed.config.top_name == "digitrec"
+        assert fixed.unit is cand.unit  # no program change
+
+    def test_no_proposal_without_top_diag(self):
+        unit = parse(SRC, top_name="digitrec")
+        cand = Candidate(unit=unit, config=SolutionConfig(top_name="digitrec"))
+        context = RepairContext(kernel_name="digitrec")
+        assert SetTopEdit().propose(cand, [], context) == []
+
+
+class TestFixClockAndDevice:
+    def test_clock_candidates_legal(self):
+        cand = broken_candidate()
+        context = RepairContext(kernel_name="digitrec")
+        # The clock violation is only reported once the device is known
+        # (the limit depends on the part) — fix the device first.
+        cand = FixDeviceEdit().propose(cand, diags_for(cand), context)[0].apply(cand)
+        apps = FixClockEdit().propose(cand, diags_for(cand), context)
+        assert apps
+        for app in apps:
+            fixed = app.apply(cand)
+            assert fixed.config.clock_period_ns > 1.0
+
+    def test_device_candidates_known(self):
+        cand = broken_candidate()
+        context = RepairContext(kernel_name="digitrec")
+        apps = FixDeviceEdit().propose(cand, diags_for(cand), context)
+        fixed = apps[0].apply(cand)
+        from repro.hls import DEVICES
+
+        assert fixed.config.device in DEVICES
+
+    def test_all_three_fixes_clear_errors(self):
+        cand = broken_candidate()
+        context = RepairContext(kernel_name="digitrec")
+        cand = SetTopEdit().propose(cand, diags_for(cand), context)[0].apply(cand)
+        cand = FixDeviceEdit().propose(cand, diags_for(cand), context)[0].apply(cand)
+        cand = FixClockEdit().propose(cand, diags_for(cand), context)[0].apply(cand)
+        assert compile_unit(cand.unit, cand.config).ok

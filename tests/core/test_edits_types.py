@@ -1,0 +1,167 @@
+"""Unsupported-data-type edit tests: the Figure 4 chain and widen."""
+
+import pytest
+
+from repro.cfront import nodes as N
+from repro.cfront import typesys as T
+from repro.cfront.parser import parse
+from repro.cfront.visitor import find_all
+from repro.core.edits import Candidate, RepairContext
+from repro.core.edits.data_types import (
+    FPGA_LONG_DOUBLE,
+    OpOverloadEdit,
+    TypeCastingEdit,
+    TypeTransEdit,
+    WidenEdit,
+)
+from repro.difftest import outputs_equal, run_cpu_reference
+from repro.hls import SolutionConfig, compile_unit
+
+SRC = """
+float kernel(float xs[8]) {
+    long double acc = 0.0;
+    for (int i = 0; i < 8; i++) {
+        long double x = xs[i];
+        x = x * 2.0;
+        acc = acc + x;
+    }
+    return (float)acc;
+}
+"""
+
+TESTS = [[[0.5, 1.5, -2.0, 3.25, 0.0, 1.0, 2.0, -1.0]], [[0.0] * 8]]
+
+
+def candidate_for(source, top="kernel"):
+    unit = parse(source, top_name=top)
+    return Candidate(unit=unit, config=SolutionConfig(top_name=top))
+
+
+def apply_first(edit, cand, diags=()):
+    context = RepairContext(kernel_name=cand.config.top_name)
+    apps = edit.propose(cand, list(diags), context)
+    assert apps, f"{edit.name} proposed nothing"
+    result = apps[0].apply(cand)
+    assert result is not None
+    return result
+
+
+def behaves_like(original, candidate, kernel, tests):
+    ref, _ = run_cpu_reference(original, kernel, tests)
+    new, _ = run_cpu_reference(candidate, kernel, tests)
+    return all(outputs_equal(list(a), list(b)) for a, b in zip(ref, new))
+
+
+class TestTypeTrans:
+    def test_long_doubles_replaced(self):
+        cand = apply_first(TypeTransEdit(), candidate_for(SRC))
+        decls = [d.decl for d in find_all(cand.unit, N.DeclStmt)]
+        customs = [d for d in decls if d.type == FPGA_LONG_DOUBLE]
+        assert {d.name for d in customs} == {"acc", "x"}
+
+    def test_type_errors_cleared_but_overloads_remain(self):
+        cand = apply_first(TypeTransEdit(), candidate_for(SRC))
+        report = compile_unit(cand.unit, cand.config)
+        assert not any("long double" in d.message for d in report.errors)
+        assert any(
+            "overloaded" in d.message or "explicit cast" in d.message
+            for d in report.errors
+        )
+
+    def test_behavior_preserved(self):
+        cand = apply_first(TypeTransEdit(), candidate_for(SRC))
+        assert behaves_like(candidate_for(SRC).unit, cand.unit, "kernel", TESTS)
+
+    def test_no_proposal_without_long_double(self):
+        cand = candidate_for("int kernel() { return 1; }")
+        context = RepairContext(kernel_name="kernel")
+        assert TypeTransEdit().propose(cand, [], context) == []
+
+
+class TestTypeCasting:
+    def test_literals_get_policy_casts(self):
+        cand = apply_first(TypeTransEdit(), candidate_for(SRC))
+        cand = apply_first(TypeCastingEdit(), cand)
+        casts = [
+            c for c in find_all(cand.unit, N.Cast) if c.explicit_policy
+        ]
+        assert casts
+        assert all(c.to_type == FPGA_LONG_DOUBLE for c in casts)
+
+    def test_missing_cast_errors_cleared(self):
+        cand = apply_first(TypeTransEdit(), candidate_for(SRC))
+        cand = apply_first(TypeCastingEdit(), cand)
+        report = compile_unit(cand.unit, cand.config)
+        assert not any("explicit cast" in d.message for d in report.errors)
+
+    def test_dependence_on_type_trans(self):
+        cand = candidate_for(SRC)
+        assert not TypeCastingEdit().dependencies_met(cand)
+
+
+class TestOpOverload:
+    def full_chain(self):
+        cand = apply_first(TypeTransEdit(), candidate_for(SRC))
+        cand = apply_first(TypeCastingEdit(), cand)
+        return apply_first(OpOverloadEdit(), cand)
+
+    def test_helpers_generated(self):
+        cand = self.full_chain()
+        helper_names = {
+            f.name for f in cand.unit.functions() if f.name.startswith("thls_")
+        }
+        assert "thls_sum_80" in helper_names
+        assert "thls_mul_80" in helper_names
+
+    def test_all_errors_cleared(self):
+        cand = self.full_chain()
+        report = compile_unit(cand.unit, cand.config)
+        assert report.ok, [str(d) for d in report.errors]
+
+    def test_behavior_preserved_through_full_chain(self):
+        cand = self.full_chain()
+        assert behaves_like(candidate_for(SRC).unit, cand.unit, "kernel", TESTS)
+
+    def test_compound_assignment_expanded(self):
+        src = """
+        float kernel(float a) {
+            long double acc = 1.0;
+            long double b = a;
+            acc += b;
+            return (float)acc;
+        }
+        """
+        cand = apply_first(TypeTransEdit(), candidate_for(src))
+        cand = apply_first(OpOverloadEdit(), cand)
+        report = compile_unit(cand.unit, cand.config)
+        assert report.ok, [str(d) for d in report.errors]
+        assert behaves_like(
+            candidate_for(src).unit, cand.unit, "kernel", [[2.5], [0.0]]
+        )
+
+
+class TestWiden:
+    def test_widen_doubles_bits(self):
+        src = "int kernel(int x) { fpga_uint<4> r = x; return r; }"
+        cand = apply_first(WidenEdit(), candidate_for(src))
+        decl = find_all(cand.unit, N.DeclStmt)[0].decl
+        resolved = T.strip_typedefs(decl.type)
+        assert resolved.bits == 8
+        assert not resolved.signed
+
+    def test_widen_restores_behavior(self):
+        original = candidate_for("int kernel(int x) { int r = x; return r; }")
+        narrow = candidate_for("int kernel(int x) { fpga_uint<4> r = x; return r; }")
+        assert not behaves_like(original.unit, narrow.unit, "kernel", [[200]])
+        widened = narrow
+        for _ in range(3):  # 4 -> 8 -> 16 -> 32
+            widened = apply_first(WidenEdit(), widened)
+        assert behaves_like(original.unit, widened.unit, "kernel", [[200]])
+
+    def test_widen_is_behavior_only(self):
+        assert WidenEdit().behavior_only
+
+    def test_nothing_to_widen_at_32_bits(self):
+        cand = candidate_for("int kernel(int x) { fpga_uint<32> r = x; return r; }")
+        context = RepairContext(kernel_name="kernel")
+        assert WidenEdit().propose(cand, [], context) == []

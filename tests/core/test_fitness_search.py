@@ -1,0 +1,142 @@
+"""Fitness-function and repair-search tests."""
+
+import math
+
+import pytest
+
+from repro.cfront.parser import parse
+from repro.core import Fitness, RepairSearch, SearchConfig, fitness_from_reports
+from repro.core.edits import Candidate
+from repro.difftest import DiffReport
+from repro.hls import SimulatedClock, SolutionConfig
+from repro.hls.diagnostics import CompileReport, Diagnostic, ErrorType
+
+
+def diag(n=1):
+    return [
+        Diagnostic(code="X", message=f"e{i}", error_type=ErrorType.TOP_FUNCTION)
+        for i in range(n)
+    ]
+
+
+class TestFitness:
+    def test_lexicographic_priorities(self):
+        """Compatibility beats behaviour beats latency — the paper's
+        hard/soft constraint split (§1)."""
+        broken = Fitness(compile_errors=1, fail_ratio=0.0, latency_ns=1.0)
+        slow_but_ok = Fitness(compile_errors=0, fail_ratio=0.0, latency_ns=1e9)
+        assert slow_but_ok.better_than(broken)
+        diverging = Fitness(compile_errors=0, fail_ratio=0.1, latency_ns=1.0)
+        assert slow_but_ok.better_than(diverging)
+        faster = Fitness(compile_errors=0, fail_ratio=0.0, latency_ns=1e8)
+        assert faster.better_than(slow_but_ok)
+
+    def test_better_than_none(self):
+        assert Fitness(5, 1.0, math.inf).better_than(None)
+
+    def test_flags(self):
+        ok = Fitness(0, 0.0, 100.0)
+        assert ok.is_compatible and ok.is_behavior_preserving
+        partial = Fitness(0, 0.25, 100.0)
+        assert partial.is_compatible and not partial.is_behavior_preserving
+
+    def test_from_reports_with_errors(self):
+        fit = fitness_from_reports(CompileReport(diagnostics=diag(3)), None)
+        assert fit.compile_errors == 3
+        assert math.isinf(fit.latency_ns)
+
+    def test_from_reports_clean(self):
+        report = DiffReport(
+            total=10, matching=9, cpu_latency_ns=100.0, fpga_latency_ns=50.0
+        )
+        fit = fitness_from_reports(CompileReport(), report)
+        assert fit.compile_errors == 0
+        assert fit.fail_ratio == pytest.approx(0.1)
+        assert fit.latency_ns == 50.0
+
+    def test_str_rendering(self):
+        assert "inf" in str(Fitness(1, 1.0, math.inf))
+        assert "0.050ms" in str(Fitness(0, 0.0, 50_000.0))
+
+
+BROKEN_SRC = """
+int kernel(int a[8], int n) {
+    if (n > 8) { n = 8; }
+    long double acc = 0.0;
+    for (int i = 0; i < n; i++) {
+        long double x = a[i];
+        acc = acc + x;
+    }
+    return (int)acc;
+}
+"""
+
+TESTS = [
+    [[1, 2, 3, 4, 5, 6, 7, 8], 8],
+    [[10, -10, 3, 0, 0, 0, 0, 0], 3],
+    [[0] * 8, 0],
+]
+
+
+class TestRepairSearch:
+    def run_search(self, **overrides):
+        unit = parse(BROKEN_SRC, top_name="kernel")
+        overrides.setdefault("max_iterations", 40)
+        config = SearchConfig(**overrides)
+        clock = SimulatedClock()
+        search = RepairSearch(
+            original=unit,
+            kernel_name="kernel",
+            tests=TESTS,
+            config=config,
+            clock=clock,
+        )
+        initial = Candidate(unit=unit, config=SolutionConfig(top_name="kernel"))
+        return search, search.run(initial)
+
+    def test_repairs_to_green(self):
+        search, result = self.run_search()
+        assert result.success
+        assert result.best.fitness.is_behavior_preserving
+        applied = result.best.candidate.applied
+        assert any(a.startswith("type_trans") for a in applied)
+
+    def test_stats_accounting(self):
+        search, result = self.run_search()
+        stats = result.stats
+        assert stats.attempts >= stats.hls_invocations
+        assert stats.style_checks == stats.attempts
+        assert stats.hls_invocations == stats.attempts - stats.style_rejections
+        assert 0 < stats.hls_invocation_ratio <= 1.0
+
+    def test_clock_accumulates_toolchain_time(self):
+        search, result = self.run_search()
+        assert result.repair_seconds > 0
+        assert result.repair_minutes == pytest.approx(result.repair_seconds / 60)
+
+    def test_budget_stops_search(self):
+        search, result = self.run_search(budget_seconds=1.0)
+        assert result.stats.iterations <= 2
+
+    def test_without_checker_compiles_everything(self):
+        search, result = self.run_search(use_style_checker=False)
+        assert result.stats.style_checks == 0
+        assert result.stats.hls_invocations == result.stats.attempts
+        assert result.success
+
+    def test_without_dependence_still_succeeds_but_tries_more(self):
+        _s1, guided = self.run_search(seed=5)
+        _s2, blind = self.run_search(use_dependence=False, seed=5,
+                                     max_iterations=200)
+        assert guided.success
+        assert blind.success
+        assert blind.stats.attempts >= guided.stats.attempts
+
+    def test_perf_exploration_improves_latency(self):
+        _s, no_perf = self.run_search(perf_exploration=False)
+        _s, with_perf = self.run_search(perf_exploration=True)
+        assert with_perf.best.fitness.latency_ns <= no_perf.best.fitness.latency_ns
+
+    def test_history_records_improvements(self):
+        _search, result = self.run_search()
+        assert any("new best" in line for line in result.history)

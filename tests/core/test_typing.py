@@ -1,0 +1,109 @@
+"""Expression type-inference tests (the engine behind pointer rewriting)."""
+
+import pytest
+
+from repro.cfront import typesys as T
+from repro.cfront.parser import parse, parse_fragment_expr
+from repro.core.typing import TypeEnv, infer_type
+
+SRC = """
+typedef int Node_ptr;
+
+struct Node {
+    int val;
+    Node_ptr next;
+};
+
+static struct Node pool[16];
+static float weights[8];
+
+int helper(float w) { return (int)w; }
+
+void kernel(int a[8], int n, struct Node *head) {
+    int local = 0;
+    float f = 1.5;
+    Node_ptr cursor = 0;
+}
+"""
+
+
+@pytest.fixture
+def env():
+    unit = parse(SRC, top_name="kernel")
+    return TypeEnv(unit, unit.function("kernel"))
+
+
+def infer(env, text):
+    return infer_type(parse_fragment_expr(text), env)
+
+
+class TestLeaves:
+    def test_literals(self, env):
+        assert infer(env, "42") == T.INT
+        assert infer(env, "1.5") == T.DOUBLE
+        assert infer(env, "'c'") == T.CHAR
+
+    def test_params_and_locals(self, env):
+        assert infer(env, "n") == T.INT
+        assert infer(env, "f") == T.FLOAT
+        assert isinstance(T.strip_typedefs(infer(env, "a")), T.ArrayType)
+
+    def test_typedef_preserved(self, env):
+        cursor = infer(env, "cursor")
+        assert isinstance(cursor, T.NamedType)
+        assert cursor.name == "Node_ptr"
+
+    def test_globals_visible(self, env):
+        assert isinstance(T.strip_typedefs(infer(env, "weights")), T.ArrayType)
+
+    def test_unknown_is_none(self, env):
+        assert infer(env, "ghost") is None
+
+
+class TestComposite:
+    def test_index(self, env):
+        assert infer(env, "a[0]") == T.INT
+        assert infer(env, "weights[1]") == T.FLOAT
+
+    def test_member_through_pointer(self, env):
+        assert infer(env, "head->val") == T.INT
+        next_type = infer(env, "head->next")
+        assert isinstance(next_type, T.NamedType)
+
+    def test_member_of_pool_element(self, env):
+        assert infer(env, "pool[cursor].val") == T.INT
+
+    def test_arithmetic_promotion(self, env):
+        assert infer(env, "n + 1") == T.INT
+        assert T.is_float(infer(env, "f + 1"))
+        assert infer(env, "n < 3") == T.INT
+
+    def test_pointer_decay_in_arithmetic(self, env):
+        decayed = infer(env, "a + 1")
+        assert isinstance(T.strip_typedefs(decayed), T.PointerType)
+
+    def test_unary(self, env):
+        assert infer(env, "-n") == T.INT
+        assert infer(env, "!f") == T.INT
+        deref = infer(env, "*head")
+        assert isinstance(T.strip_typedefs(deref), T.StructType)
+        addr = infer(env, "&local")
+        assert isinstance(addr, T.PointerType)
+
+    def test_call_return_types(self, env):
+        assert infer(env, "helper(f)") == T.INT
+        assert infer(env, "sqrt(2.0)") == T.DOUBLE
+        assert infer(env, "abs(n)") == T.INT
+        assert infer(env, "mystery_fn(n)") is None
+
+    def test_cast(self, env):
+        assert infer(env, "(float)n") == T.FLOAT
+
+    def test_assignment_has_target_type(self, env):
+        assert infer(env, "local = f") == T.INT
+
+    def test_ternary(self, env):
+        assert infer(env, "n ? local : 0") == T.INT
+
+    def test_sizeof(self, env):
+        assert infer(env, "sizeof(int)") == T.ULONG

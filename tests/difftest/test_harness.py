@@ -1,0 +1,130 @@
+"""Differential-testing harness tests."""
+
+import math
+
+import pytest
+
+from repro.cfront import parse
+from repro.difftest import (
+    DiffReport,
+    differential_test,
+    outputs_equal,
+    run_cpu_reference,
+)
+from repro.hls import SolutionConfig
+
+CORRECT = """
+int kernel(int a[4], int n) {
+    if (n > 4) { n = 4; }
+    int total = 0;
+    for (int i = 0; i < n; i++) { total += a[i]; }
+    return total;
+}
+"""
+
+# A "transpiled" version whose 4-bit accumulator wraps: behaviourally
+# wrong for large sums — the divergence differential testing must catch.
+WRAPPED = CORRECT.replace("int total = 0;", "fpga_uint<4> total = 0;")
+
+
+class TestOutputsEqual:
+    def test_scalars(self):
+        assert outputs_equal(3, 3)
+        assert not outputs_equal(3, 4)
+
+    def test_float_tolerance(self):
+        assert outputs_equal(1.0, 1.0 + 1e-9)
+        assert not outputs_equal(1.0, 1.01)
+
+    def test_nan_equals_nan(self):
+        assert outputs_equal(float("nan"), float("nan"))
+
+    def test_nested_structures(self):
+        assert outputs_equal([1, [2.0, 3]], (1, (2.0 + 1e-12, 3)))
+        assert not outputs_equal([1, 2], [1, 2, 3])
+        assert outputs_equal({"a": 1.0}, {"a": 1.0})
+        assert not outputs_equal({"a": 1}, {"b": 1})
+
+    def test_float_vs_non_number(self):
+        assert not outputs_equal(1.0, "1.0")
+
+
+class TestCpuReference:
+    def test_observables_and_latency(self):
+        unit = parse(CORRECT)
+        tests = [[[1, 2, 3, 4], 4], [[5, 5, 0, 0], 2]]
+        obs, cpu_ns = run_cpu_reference(unit, "kernel", tests)
+        assert obs[0][0] == 10
+        assert obs[1][0] == 10
+        assert cpu_ns > 0
+
+    def test_faulting_test_marked_none(self):
+        unit = parse(CORRECT)
+        obs, _ = run_cpu_reference(unit, "kernel", [[[1], 4]])
+        assert obs == [None]
+
+    def test_latency_is_max_over_tests(self):
+        unit = parse(CORRECT)
+        _, short = run_cpu_reference(unit, "kernel", [[[1, 1, 1, 1], 1]])
+        _, mixed = run_cpu_reference(
+            unit, "kernel", [[[1, 1, 1, 1], 1], [[1, 1, 1, 1], 4]]
+        )
+        assert mixed > short
+
+
+class TestDifferentialTest:
+    def run(self, candidate_src, tests):
+        original = parse(CORRECT)
+        candidate = parse(candidate_src, top_name="kernel")
+        return differential_test(
+            original, candidate, "kernel",
+            SolutionConfig(top_name="kernel"), tests,
+        )
+
+    def test_identical_program_preserves_behavior(self):
+        report = self.run(CORRECT, [[[1, 2, 3, 4], 4], [[9, 9, 9, 9], 4]])
+        assert report.behavior_preserved
+        assert report.pass_ratio == 1.0
+
+    def test_wrapped_bitwidth_detected(self):
+        # sums <= 15 agree; the big-sum test diverges.
+        report = self.run(WRAPPED, [[[1, 2, 3, 4], 4], [[9, 9, 9, 9], 4]])
+        assert not report.behavior_preserved
+        assert report.mismatching_tests == [1]
+        assert report.pass_ratio == 0.5
+
+    def test_crashing_candidate_counts_as_divergence(self):
+        crashing = CORRECT.replace("total += a[i];", "total += a[i + 9];")
+        report = self.run(crashing, [[[1, 2, 3, 4], 4]])
+        assert not report.behavior_preserved
+        assert report.fpga_faults == 1
+
+    def test_reference_fault_is_vacuous(self):
+        # Both sides fault on a hostile input: not a divergence.
+        report = self.run(CORRECT, [[[1], 4]])
+        assert report.behavior_preserved
+
+    def test_speedup_computation(self):
+        report = DiffReport(
+            total=1, matching=1, cpu_latency_ns=3000.0, fpga_latency_ns=1500.0
+        )
+        assert report.speedup == 2.0
+        zero = DiffReport(total=1, matching=1, fpga_latency_ns=0.0)
+        assert zero.speedup == 0.0
+
+    def test_precomputed_reference_reused(self):
+        original = parse(CORRECT)
+        candidate = parse(CORRECT, top_name="kernel")
+        tests = [[[1, 2, 3, 4], 4]]
+        ref, cpu_ns = run_cpu_reference(original, "kernel", tests)
+        report = differential_test(
+            original, candidate, "kernel",
+            SolutionConfig(top_name="kernel"), tests,
+            reference=ref, cpu_latency_ns=cpu_ns,
+        )
+        assert report.behavior_preserved
+        assert report.cpu_latency_ns == cpu_ns
+
+    def test_empty_suite_not_preserved(self):
+        report = self.run(CORRECT, [])
+        assert not report.behavior_preserved  # no evidence, no claim

@@ -1,0 +1,156 @@
+"""Fuzzer tests: Algorithm 1's loop, seeds, plateau, and corpus."""
+
+import pytest
+
+from repro.errors import FuzzError
+from repro.cfront import parse
+from repro.fuzz import (
+    Corpus,
+    FuzzConfig,
+    coverage_of_suite,
+    fuzz_kernel,
+    get_kernel_seed,
+)
+from repro.hls import SimulatedClock
+from repro.hls.clock import ACT_FUZZING
+
+BRANCHY = """
+int classify(int a[8], int n) {
+    if (n > 8) { n = 8; }
+    int pos = 0;
+    int neg = 0;
+    for (int i = 0; i < n; i++) {
+        if (a[i] > 100) { pos += 2; }
+        else if (a[i] > 0) { pos++; }
+        else if (a[i] < -100) { neg += 2; }
+        else if (a[i] < 0) { neg++; }
+    }
+    if (pos > neg) { return 1; }
+    if (neg > pos) { return -1; }
+    return 0;
+}
+int host(int x) {
+    int data[8];
+    for (int i = 0; i < 8; i++) { data[i] = x + i; }
+    return classify(data, 8);
+}
+"""
+
+
+class TestKernelSeeds:
+    def test_capture_from_host(self):
+        unit = parse(BRANCHY)
+        seeds = get_kernel_seed(unit, "host", "classify", [5])
+        assert seeds == [[[5, 6, 7, 8, 9, 10, 11, 12], 8]]
+
+    def test_missing_call_raises(self):
+        unit = parse("int host(int x) { return x; }\nint k(int y) { return y; }")
+        with pytest.raises(FuzzError):
+            get_kernel_seed(unit, "host", "k", [1])
+
+    def test_crashing_host_raises(self):
+        unit = parse(
+            "int k(int y) { return y; }\n"
+            "int host(int x) { int a[2]; return a[9] + k(x); }"
+        )
+        with pytest.raises(FuzzError):
+            get_kernel_seed(unit, "host", "k", [1])
+
+
+class TestFuzzLoop:
+    def test_reaches_full_coverage_on_branchy_kernel(self):
+        unit = parse(BRANCHY)
+        report = fuzz_kernel(
+            unit, "classify", FuzzConfig(max_execs=3000, plateau_execs=600)
+        )
+        assert report.coverage_ratio >= 0.9
+        assert report.tests_generated > 10
+        assert len(report.corpus) >= 3
+
+    def test_seeded_beats_unseeded_or_ties(self):
+        unit = parse(BRANCHY)
+        seeds = get_kernel_seed(unit, "host", "classify", [5])
+        seeded = fuzz_kernel(
+            unit, "classify",
+            FuzzConfig(max_execs=600, plateau_execs=300), seeds=seeds,
+        )
+        assert seeded.coverage_ratio > 0.5
+
+    def test_plateau_stops_early(self):
+        # A branchless kernel saturates immediately; the plateau counter
+        # must stop the loop long before max_execs.
+        unit = parse("int k(int x) { return x + 1; }")
+        report = fuzz_kernel(
+            unit, "k", FuzzConfig(max_execs=100000, plateau_execs=50)
+        )
+        assert report.execs < 1000
+
+    def test_unknown_kernel_raises(self):
+        unit = parse("int k(int x) { return x; }")
+        with pytest.raises(FuzzError):
+            fuzz_kernel(unit, "nope", FuzzConfig(max_execs=10))
+
+    def test_deterministic_given_seed(self):
+        unit = parse(BRANCHY)
+        cfg = FuzzConfig(max_execs=400, plateau_execs=200, seed=11)
+        a = fuzz_kernel(unit, "classify", cfg)
+        b = fuzz_kernel(unit, "classify", cfg)
+        assert a.tests_generated == b.tests_generated
+        assert a.suite() == b.suite()
+
+    def test_clock_charged(self):
+        unit = parse(BRANCHY)
+        clock = SimulatedClock()
+        report = fuzz_kernel(
+            unit, "classify", FuzzConfig(max_execs=200, plateau_execs=100),
+            clock=clock,
+        )
+        assert clock.count(ACT_FUZZING) == 1
+        assert clock.seconds == pytest.approx(report.fuzz_seconds)
+
+    def test_crashing_inputs_do_not_kill_campaign(self):
+        src = """
+        int k(int a[4], int n) {
+            return a[n];
+        }
+        """
+        unit = parse(src)
+        report = fuzz_kernel(unit, "k", FuzzConfig(max_execs=300, plateau_execs=100))
+        assert report.execs > 0  # survived the faults
+
+
+class TestCoverageOfSuite:
+    def test_existing_suite_coverage(self):
+        unit = parse(BRANCHY)
+        weak = [[[1, 2, 3, 4, 5, 6, 7, 8], 8]]
+        cov = coverage_of_suite(unit, "classify", weak)
+        assert 0 < cov < 1
+
+    def test_empty_suite_zero(self):
+        unit = parse(BRANCHY)
+        assert coverage_of_suite(unit, "classify", []) == 0.0
+
+
+class TestCorpus:
+    def test_deduplicates(self):
+        corpus = Corpus()
+        assert corpus.add([1, [2, 3]])
+        assert not corpus.add([1, [2, 3]])
+        assert len(corpus) == 1
+
+    def test_round_robin_never_exhausts(self):
+        corpus = Corpus()
+        corpus.add([1])
+        corpus.add([2])
+        picks = [corpus.next_input().args[0] for _ in range(5)]
+        assert picks == [1, 2, 1, 2, 1]
+
+    def test_empty_corpus_next_is_none(self):
+        assert Corpus().next_input() is None
+
+    def test_suite_cap(self):
+        corpus = Corpus()
+        for i in range(10):
+            corpus.add([i])
+        assert len(corpus.suite(cap=3)) == 3
+        assert len(corpus.suite()) == 10

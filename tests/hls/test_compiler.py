@@ -1,0 +1,355 @@
+"""Synthesizability checker tests: each of the six error families fires
+on the constructs Table 1 describes and stays quiet on clean designs."""
+
+import pytest
+
+from repro.cfront import parse
+from repro.hls import SolutionConfig, compile_unit
+from repro.hls.diagnostics import ErrorType
+
+
+def errors_of(source, top="kernel", config=None):
+    unit = parse(source, top_name=top)
+    report = compile_unit(unit, config or SolutionConfig(top_name=top))
+    return report.errors
+
+
+def families(source, top="kernel", config=None):
+    return {d.error_type for d in errors_of(source, top, config)}
+
+
+class TestCleanDesigns:
+    def test_minimal_kernel_compiles(self):
+        assert errors_of("int kernel(int a[4]) { return a[0]; }") == []
+
+    def test_pragmas_on_clean_design(self):
+        src = """
+        void kernel(int a[8], int out[8]) {
+            #pragma HLS array_partition variable=a factor=4
+            for (int i = 0; i < 8; i++) {
+                #pragma HLS pipeline II=1
+                out[i] = a[i] * 2;
+            }
+        }
+        """
+        assert errors_of(src) == []
+
+    def test_top_pointer_params_are_interfaces(self):
+        src = "int kernel(int *data) { return data[0]; }"
+        assert errors_of(src) == []
+
+    def test_compile_charges_minutes(self):
+        from repro.hls import SimulatedClock
+        from repro.hls.clock import ACT_HLS_COMPILE
+
+        clock = SimulatedClock()
+        unit = parse("int kernel() { return 0; }", top_name="kernel")
+        compile_unit(unit, SolutionConfig(top_name="kernel"), clock=clock)
+        assert clock.seconds > 60
+        assert clock.count(ACT_HLS_COMPILE) == 1
+
+
+class TestDynamicDataStructures:
+    def test_recursion_flagged(self):
+        src = """
+        void walk(int n) { if (n > 0) { walk(n - 1); } }
+        int kernel(int n) { walk(n); return 0; }
+        """
+        diags = errors_of(src)
+        assert any("recursive" in d.message for d in diags)
+        assert ErrorType.DYNAMIC_DATA_STRUCTURES in {d.error_type for d in diags}
+
+    def test_mutual_recursion_flagged(self):
+        src = """
+        void a(int n);
+        void b(int n) { a(n - 1); }
+        void a(int n) { if (n > 0) { b(n); } }
+        int kernel(int n) { a(n); return 0; }
+        """
+        assert any("recursive" in d.message for d in errors_of(src))
+
+    def test_malloc_flagged(self):
+        src = """
+        struct P { int x; };
+        int kernel() {
+            struct P *p = (struct P *)malloc(sizeof(struct P));
+            return 0;
+        }
+        """
+        assert any("dynamic memory" in d.message for d in errors_of(src))
+
+    def test_vla_flagged(self):
+        src = "int kernel(int n) { float buf[n]; return 0; }"
+        assert any("unknown size" in d.message for d in errors_of(src))
+
+    def test_unreachable_code_not_checked(self):
+        src = """
+        void dead() { dead(); }
+        int kernel(int n) { return n; }
+        """
+        assert errors_of(src) == []
+
+
+class TestUnsupportedDataTypes:
+    def test_long_double_flagged(self):
+        src = "int kernel() { long double x = 1.0; return 0; }"
+        diags = errors_of(src)
+        assert any("long double" in d.message for d in diags)
+
+    def test_pointer_local_flagged(self):
+        src = "int kernel(int a[4]) { int *p = a; return *p; }"
+        assert any("pointer" in d.message for d in errors_of(src))
+
+    def test_pointer_param_in_helper_flagged(self):
+        src = """
+        int helper(int *p) { return *p; }
+        int kernel(int a[4]) { return helper(a); }
+        """
+        assert any("pointer" in d.message for d in errors_of(src))
+
+    def test_pointer_struct_field_flagged(self):
+        src = """
+        struct L { int v; struct L *next; };
+        int kernel() { struct L cell; return cell.v; }
+        """
+        assert any("L.next" in d.symbol for d in errors_of(src))
+
+    def test_bare_literal_with_custom_float_needs_cast(self):
+        src = """
+        int kernel(int x) {
+            fpga_float<8,71> v = x;
+            v = v + 1;
+            return (int)v;
+        }
+        """
+        assert any("explicit cast" in d.message for d in errors_of(src))
+
+    def test_custom_float_arithmetic_needs_overload(self):
+        src = """
+        float kernel(float a) {
+            fpga_float<8,71> x = a;
+            fpga_float<8,71> y = a;
+            fpga_float<8,71> z = x;
+            z = x * y;
+            return (float)z;
+        }
+        """
+        assert any("overloaded" in d.message for d in errors_of(src))
+
+    def test_thls_helpers_exempt(self):
+        src = """
+        fpga_float<8,71> thls_sum_80(fpga_float<8,71> a, fpga_float<8,71> b) {
+            return a + b;
+        }
+        float kernel(float a) {
+            fpga_float<8,71> x = a;
+            fpga_float<8,71> y = thls_sum_80(x, x);
+            return (float)y;
+        }
+        """
+        assert errors_of(src) == []
+
+
+class TestDataflowOptimization:
+    def test_shared_array_across_stages_flagged(self):
+        src = """
+        void stage(int a[8], int out[8]) {
+            for (int i = 0; i < 8; i++) { out[i] = a[i]; }
+        }
+        void kernel(int data[8], int x[8], int y[8]) {
+            #pragma HLS dataflow
+            stage(data, x);
+            stage(data, y);
+        }
+        """
+        diags = errors_of(src)
+        assert any("failed dataflow checking" in d.message for d in diags)
+        assert any(d.symbol == "data" for d in diags)
+
+    def test_single_use_is_fine(self):
+        src = """
+        void stage(int a[8], int out[8]) {
+            for (int i = 0; i < 8; i++) { out[i] = a[i]; }
+        }
+        void kernel(int data[8], int x[8]) {
+            #pragma HLS dataflow
+            stage(data, x);
+        }
+        """
+        assert errors_of(src) == []
+
+    def test_partition_factor_mismatch(self):
+        src = """
+        void kernel(int n) {
+            int buf[13];
+            #pragma HLS array_partition variable=buf factor=4
+            for (int i = 0; i < 13; i++) { buf[i] = i; }
+        }
+        """
+        diags = errors_of(src)
+        assert any("not a multiple of partition factor" in d.message for d in diags)
+
+    def test_matching_partition_factor_ok(self):
+        src = """
+        void kernel(int n) {
+            int buf[16];
+            #pragma HLS array_partition variable=buf factor=4
+            for (int i = 0; i < 16; i++) { buf[i] = i; }
+        }
+        """
+        assert errors_of(src) == []
+
+
+class TestLoopParallelization:
+    def test_big_unroll_under_dataflow(self):
+        src = """
+        void kernel(int a[8]) {
+            #pragma HLS dataflow
+            for (int i = 0; i < 8; i++) {
+                #pragma HLS unroll factor=64
+                a[i] = i;
+            }
+        }
+        """
+        diags = errors_of(src)
+        assert any("Pre-synthesis failed" in d.message for d in diags)
+
+    def test_small_unroll_under_dataflow_ok(self):
+        src = """
+        void kernel(int a[8]) {
+            #pragma HLS dataflow
+            for (int i = 0; i < 8; i++) {
+                #pragma HLS unroll factor=4
+                a[i] = i;
+            }
+        }
+        """
+        assert errors_of(src) == []
+
+    def test_unroll_on_variable_bound_needs_tripcount(self):
+        src = """
+        void kernel(int a[32], int n) {
+            for (int i = 0; i < n; i++) {
+                #pragma HLS unroll factor=4
+                a[i] = i;
+            }
+        }
+        """
+        assert any("tripcount" in d.message for d in errors_of(src))
+
+    def test_tripcount_pragma_satisfies(self):
+        src = """
+        void kernel(int a[32], int n) {
+            for (int i = 0; i < n; i++) {
+                #pragma HLS loop_tripcount min=1 max=32
+                #pragma HLS unroll factor=4
+                a[i] = i;
+            }
+        }
+        """
+        assert errors_of(src) == []
+
+
+class TestStructAndUnion:
+    def test_struct_without_constructor_flagged(self):
+        src = """
+        struct S {
+            int x;
+            int get() { return this->x; }
+        };
+        int kernel() {
+            struct S s;
+            s.x = 1;
+            return s.get();
+        }
+        """
+        diags = errors_of(src)
+        assert any("unsynthesizable struct" in d.message for d in diags)
+
+    def test_struct_with_constructor_ok(self):
+        src = """
+        struct S {
+            int x;
+            S(int v) : x(v) {}
+            int get() { return this->x; }
+        };
+        int kernel() {
+            struct S s;
+            s.x = 1;
+            return s.get();
+        }
+        """
+        assert errors_of(src) == []
+
+    def test_plain_data_struct_ok(self):
+        src = """
+        struct P { int x; int y; };
+        int kernel() {
+            struct P p;
+            p.x = 1;
+            return p.x;
+        }
+        """
+        assert errors_of(src) == []
+
+    def test_nonstatic_stream_in_dataflow_flagged(self):
+        src = """
+        void kernel(int a[4]) {
+            #pragma HLS dataflow
+            hls::stream<unsigned> tmp;
+            for (int i = 0; i < 4; i++) { tmp.write(a[i]); }
+            for (int i = 0; i < 4; i++) { a[i] = tmp.read(); }
+        }
+        """
+        diags = errors_of(src)
+        assert any("static storage" in d.message for d in diags)
+
+    def test_static_stream_in_dataflow_ok(self):
+        src = """
+        void kernel(int a[4]) {
+            #pragma HLS dataflow
+            static hls::stream<unsigned> tmp;
+            for (int i = 0; i < 4; i++) { tmp.write(a[i]); }
+            for (int i = 0; i < 4; i++) { a[i] = tmp.read(); }
+        }
+        """
+        assert errors_of(src) == []
+
+
+class TestTopFunction:
+    def test_missing_top_function(self):
+        src = "int kernel() { return 0; }"
+        diags = errors_of(src, config=SolutionConfig(top_name="kernal"))
+        assert any("Cannot find the top function" in d.message for d in diags)
+
+    def test_unknown_device(self):
+        diags = errors_of(
+            "int kernel() { return 0; }",
+            config=SolutionConfig(top_name="kernel", device="xcmystery"),
+        )
+        assert any("unknown device" in d.message for d in diags)
+
+    def test_clock_beyond_device(self):
+        diags = errors_of(
+            "int kernel() { return 0; }",
+            config=SolutionConfig(top_name="kernel", clock_period_ns=0.5),
+        )
+        assert any("clock period" in d.message for d in diags)
+
+    def test_valid_config_quiet(self):
+        assert errors_of("int kernel() { return 0; }") == []
+
+
+class TestResourceLimits:
+    def test_huge_unrolled_design_exceeds_small_device(self):
+        src = """
+        void kernel(int a[1024], int b[1024]) {
+            for (int i = 0; i < 1024; i++) {
+                #pragma HLS unroll factor=1024
+                b[i] = a[i] * a[i] * a[i] * a[i] * a[i] * a[i] * a[i];
+            }
+        }
+        """
+        config = SolutionConfig(top_name="kernel", device="xc7z020")
+        diags = errors_of(src, config=config)
+        assert any("reduce parallelisation" in d.message for d in diags)

@@ -1,0 +1,98 @@
+"""Diagnostic object and factory tests."""
+
+import pytest
+
+from repro.hls.diagnostics import (
+    CompileReport,
+    Diagnostic,
+    ErrorType,
+    FORUM_PROPORTIONS,
+    config_error,
+    dataflow_check_error,
+    dynamic_alloc_error,
+    loop_bound_error,
+    missing_cast_error,
+    overload_error,
+    partition_factor_error,
+    pointer_error,
+    presynthesis_error,
+    recursion_error,
+    resource_error,
+    stream_storage_error,
+    struct_error,
+    top_function_error,
+    unknown_size_error,
+    unsupported_type_error,
+)
+
+ALL_FACTORIES = [
+    recursion_error("f", 1),
+    dynamic_alloc_error("x", 2),
+    unknown_size_error("buf", 3),
+    pointer_error("p", 4),
+    unsupported_type_error("x", "long double", 5),
+    missing_cast_error("x", 6),
+    overload_error("x", 7),
+    dataflow_check_error("data", 8),
+    partition_factor_error("A", 13, 4, 9),
+    presynthesis_error("bad", "f", 10),
+    loop_bound_error("f", 11),
+    struct_error("If2", 12),
+    stream_storage_error("tmp", 13),
+    top_function_error("main"),
+    config_error("bad clock"),
+    resource_error("DSP", 10_000, 6_840),
+]
+
+
+def test_every_factory_produces_an_error_with_a_code():
+    for diag in ALL_FACTORIES:
+        assert diag.severity == "error"
+        assert diag.code
+        assert diag.message
+        assert isinstance(diag.error_type, ErrorType)
+
+
+def test_str_follows_vivado_format():
+    text = str(recursion_error("traverse", 1))
+    assert text.startswith("ERROR: [XFORM 202-876]")
+    assert "recursive functions are not supported" in text
+
+
+def test_paper_example_messages():
+    # Table 1's quoted symptoms appear in the factory output.
+    assert "dynamic memory allocation" in dynamic_alloc_error("v", 0).message
+    assert "unknown size at compile time" in unknown_size_error("v", 0).message
+    assert "failed dataflow checking" in dataflow_check_error("data", 0).message
+    assert "unsynthesizable struct type" in struct_error("If2", 0).message
+    assert "Cannot find the top function" in top_function_error("t").message
+
+
+def test_each_family_has_a_factory():
+    covered = {d.error_type for d in ALL_FACTORIES}
+    assert covered == set(ErrorType)
+
+
+def test_forum_proportions_sum_to_one():
+    assert sum(FORUM_PROPORTIONS.values()) == pytest.approx(1.0)
+
+
+class TestCompileReport:
+    def test_ok_and_filtering(self):
+        warn = Diagnostic(
+            code="W", message="meh", error_type=ErrorType.TOP_FUNCTION,
+            severity="warning",
+        )
+        err = top_function_error("x")
+        report = CompileReport(diagnostics=[warn, err])
+        assert not report.ok
+        assert report.errors == [err]
+        assert report.errors_of(ErrorType.TOP_FUNCTION) == [err]
+        assert report.errors_of(ErrorType.STRUCT_AND_UNION) == []
+
+    def test_warnings_only_is_ok(self):
+        warn = Diagnostic(
+            code="W", message="meh", error_type=ErrorType.TOP_FUNCTION,
+            severity="warning",
+        )
+        assert CompileReport(diagnostics=[warn]).ok

@@ -1,0 +1,135 @@
+"""HLS co-simulation, device model and simulated-clock tests."""
+
+import pytest
+
+from repro.cfront import parse
+from repro.hls import (
+    DEVICES,
+    SimulatedClock,
+    SolutionConfig,
+    simulate,
+)
+from repro.hls.clock import ACT_SIMULATION
+from repro.hls.platform import ResourceUsage
+
+
+class TestSimulate:
+    SRC = """
+    int kernel(int a[4], int n) {
+        if (n > 4) { n = 4; }
+        int total = 0;
+        for (int i = 0; i < n; i++) { total += a[i]; }
+        return total;
+    }
+    """
+
+    def test_outcomes_match_functional_semantics(self):
+        unit = parse(self.SRC, top_name="kernel")
+        report = simulate(
+            unit, SolutionConfig(top_name="kernel"), [[[1, 2, 3, 4], 4]]
+        )
+        assert report.outcomes[0].ok
+        value, _out = report.outcomes[0].observable
+        assert value == 10
+
+    def test_faulting_test_recorded_not_raised(self):
+        unit = parse(self.SRC, top_name="kernel")
+        report = simulate(
+            unit, SolutionConfig(top_name="kernel"), [[[1, 2], 4]]
+        )
+        assert report.faults == 1
+        assert not report.outcomes[0].ok
+        assert "out of bounds" in report.outcomes[0].fault
+
+    def test_clock_charged_per_test(self):
+        unit = parse(self.SRC, top_name="kernel")
+        clock = SimulatedClock()
+        simulate(
+            unit,
+            SolutionConfig(top_name="kernel"),
+            [[[1, 2, 3, 4], 4]] * 5,
+            clock=clock,
+        )
+        assert clock.count(ACT_SIMULATION) == 1
+        assert clock.seconds == pytest.approx(10.0)
+
+    def test_fault_budget_short_circuits(self):
+        unit = parse(self.SRC, top_name="kernel")
+        bad_test = [[[1, 2], 4]]  # out-of-bounds on every run
+        report = simulate(
+            unit, SolutionConfig(top_name="kernel"), bad_test * 10,
+            max_faults=3,
+        )
+        assert report.faults == 10  # all reported as faults...
+        skipped = [o for o in report.outcomes if "skipped" in o.fault]
+        assert len(skipped) == 7  # ...but only 3 actually executed
+
+    def test_fault_budget_ignores_passing_tests(self):
+        unit = parse(self.SRC, top_name="kernel")
+        good = [[[1, 2, 3, 4], 4]]
+        report = simulate(
+            unit, SolutionConfig(top_name="kernel"), good * 5, max_faults=1
+        )
+        assert report.faults == 0
+        assert all(o.ok for o in report.outcomes)
+
+    def test_latency_comes_from_schedule(self):
+        unit = parse(self.SRC, top_name="kernel")
+        report = simulate(unit, SolutionConfig(top_name="kernel"), [])
+        assert report.schedule is not None
+        assert report.kernel_latency_ns > 0
+
+
+class TestSimulatedClock:
+    def test_accumulates_by_activity(self):
+        clock = SimulatedClock()
+        clock.charge("a", 10.0)
+        clock.charge("a", 5.0)
+        clock.charge("b", 1.0)
+        assert clock.seconds == 16.0
+        assert clock.by_activity["a"] == 15.0
+        assert clock.count("a") == 2
+        assert clock.minutes == pytest.approx(16.0 / 60.0)
+        assert clock.hours == pytest.approx(16.0 / 3600.0)
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.charge("a", 3.0)
+        clock.reset()
+        assert clock.seconds == 0.0
+        assert clock.count("a") == 0
+
+
+class TestPlatform:
+    def test_known_devices(self):
+        assert "xcvu9p" in DEVICES
+        assert DEVICES["xcvu9p"].dsps == 6840
+
+    def test_solution_validation(self):
+        good = SolutionConfig(top_name="k")
+        assert good.validate() == []
+        assert SolutionConfig(top_name="").validate()
+        assert SolutionConfig(top_name="k", device="nope").validate()
+        assert SolutionConfig(top_name="k", clock_period_ns=-1).validate()
+        assert SolutionConfig(top_name="k", clock_period_ns=0.5).validate()
+
+    def test_with_helpers_produce_new_configs(self):
+        base = SolutionConfig(top_name="a")
+        assert base.with_top("b").top_name == "b"
+        assert base.with_clock(5.0).clock_period_ns == 5.0
+        assert base.with_device("xc7z020").device == "xc7z020"
+        assert base.top_name == "a"  # frozen original unchanged
+
+    def test_resource_usage_fits_and_overflows(self):
+        device = DEVICES["xc7z020"]
+        small = ResourceUsage(luts=10, ffs=10, bram_36k=1, dsps=1)
+        assert small.fits(device)
+        big = ResourceUsage(luts=10**9)
+        assert not big.fits(device)
+        assert big.overflows(device)[0][0] == "LUT"
+
+    def test_resource_scaling_shares_memories(self):
+        usage = ResourceUsage(luts=10, ffs=10, bram_36k=4, dsps=2)
+        scaled = usage.scaled(4)
+        assert scaled.luts == 40
+        assert scaled.bram_36k == 4  # BRAMs are shared, not duplicated

@@ -1,0 +1,141 @@
+"""Style checker tests: placement rules and the cheap-gate contract."""
+
+from repro.cfront import parse
+from repro.hls import STYLE_CHECK_SECONDS, check_style
+from repro.hls.compiler import COMPILE_BASE_SECONDS
+
+
+def violations(source):
+    return check_style(parse(source, top_name="kernel"))
+
+
+class TestPlacement:
+    def test_clean_program_has_no_violations(self):
+        src = """
+        void kernel(int a[8]) {
+            #pragma HLS dataflow
+            for (int i = 0; i < 8; i++) {
+                #pragma HLS pipeline II=1
+                a[i] = i;
+            }
+        }
+        """
+        assert violations(src) == []
+
+    def test_pipeline_outside_loop_rejected(self):
+        src = """
+        void kernel(int a[8]) {
+            #pragma HLS pipeline II=1
+            a[0] = 1;
+        }
+        """
+        assert any("head of a loop body" in str(v) for v in violations(src))
+
+    def test_pipeline_before_loop_rejected(self):
+        src = """
+        void kernel(int a[8]) {
+            int x = 0;
+            #pragma HLS unroll factor=2
+            for (int i = 0; i < 8; i++) { a[i] = x; }
+        }
+        """
+        assert any("head of a loop body" in str(v) for v in violations(src))
+
+    def test_pragma_after_statement_in_loop_rejected(self):
+        src = """
+        void kernel(int a[8]) {
+            for (int i = 0; i < 8; i++) {
+                a[i] = i;
+                #pragma HLS pipeline II=1
+            }
+        }
+        """
+        assert violations(src)
+
+    def test_dataflow_in_nested_block_rejected(self):
+        src = """
+        void kernel(int a[8]) {
+            if (a[0]) {
+                #pragma HLS dataflow
+                a[1] = 2;
+            }
+        }
+        """
+        assert any("function top level" in str(v) for v in violations(src))
+
+    def test_pragma_outside_any_function_rejected(self):
+        src = """
+        #pragma HLS pipeline II=1
+        void kernel(int a[4]) { a[0] = 1; }
+        """
+        assert any("outside any function" in str(v) for v in violations(src))
+
+
+class TestDirectiveValidity:
+    def test_unknown_directive_rejected(self):
+        src = """
+        void kernel(int a[4]) {
+            for (int i = 0; i < 4; i++) {
+                #pragma HLS hyperpipeline
+                a[i] = i;
+            }
+        }
+        """
+        assert any("unknown HLS directive" in str(v) for v in violations(src))
+
+    def test_non_hls_pragma_ignored(self):
+        src = """
+        void kernel(int a[4]) {
+            #pragma once
+            a[0] = 1;
+        }
+        """
+        assert violations(src) == []
+
+    def test_partition_requires_known_array(self):
+        src = """
+        void kernel(int a[4]) {
+            #pragma HLS array_partition variable=ghost factor=2
+            a[0] = 1;
+        }
+        """
+        assert any("unknown array" in str(v) for v in violations(src))
+
+    def test_partition_requires_variable_option(self):
+        src = """
+        void kernel(int a[4]) {
+            #pragma HLS array_partition factor=2
+            a[0] = 1;
+        }
+        """
+        assert any("requires variable=" in str(v) for v in violations(src))
+
+    def test_partition_sees_params_globals_and_locals(self):
+        src = """
+        static int g[8];
+        void kernel(int a[4]) {
+            int local[4];
+            #pragma HLS array_partition variable=g factor=2
+            #pragma HLS array_partition variable=a factor=2
+            #pragma HLS array_partition variable=local factor=2
+            a[0] = local[0] + g[0];
+        }
+        """
+        assert violations(src) == []
+
+    def test_nonpositive_factors_rejected(self):
+        src = """
+        void kernel(int a[4]) {
+            for (int i = 0; i < 4; i++) {
+                #pragma HLS unroll factor=0
+                a[i] = i;
+            }
+        }
+        """
+        assert any("factor must be positive" in str(v) for v in violations(src))
+
+
+class TestCostContract:
+    def test_style_check_is_orders_cheaper_than_compile(self):
+        """The entire §5.3 optimization rests on this asymmetry."""
+        assert STYLE_CHECK_SECONDS * 50 < COMPILE_BASE_SECONDS

@@ -1,0 +1,89 @@
+"""Builtin library function tests."""
+
+import math
+
+import pytest
+
+from repro.errors import MemoryFault
+
+from ..conftest import run_c
+
+
+@pytest.mark.parametrize(
+    "expr, args, expected",
+    [
+        ("abs(x)", [-5], 5),
+        ("labs(x)", [-9], 9),
+    ],
+)
+def test_integer_builtins(expr, args, expected):
+    src = f"int f(int x) {{ return {expr}; }}"
+    assert run_c(src, "f", args).value == expected
+
+
+@pytest.mark.parametrize(
+    "expr, arg, expected",
+    [
+        ("fabs(x)", -2.5, 2.5),
+        ("sqrt(x)", 9.0, 3.0),
+        ("floor(x)", 2.7, 2.0),
+        ("ceil(x)", 2.1, 3.0),
+        ("sin(x)", 0.0, 0.0),
+        ("cos(x)", 0.0, 1.0),
+        ("exp(x)", 0.0, 1.0),
+        ("log(x)", 1.0, 0.0),
+    ],
+)
+def test_float_builtins(expr, arg, expected):
+    src = f"double f(double x) {{ return {expr}; }}"
+    assert run_c(src, "f", [arg]).value == pytest.approx(expected)
+
+
+@pytest.mark.parametrize(
+    "expr, args, expected",
+    [
+        ("pow(a, b)", [2.0, 10.0], 1024.0),
+        ("fmin(a, b)", [1.0, 2.0], 1.0),
+        ("fmax(a, b)", [1.0, 2.0], 2.0),
+        ("fmod(a, b)", [7.5, 2.0], 1.5),
+    ],
+)
+def test_two_arg_builtins(expr, args, expected):
+    src = f"double f(double a, double b) {{ return {expr}; }}"
+    assert run_c(src, "f", args).value == pytest.approx(expected)
+
+
+def test_printf_is_swallowed():
+    src = 'int f() { printf("x=%d", 3); return 1; }'
+    assert run_c(src, "f", []).value == 1
+
+
+def test_assert_builtin_faults_on_false():
+    src = "int f(int x) { assert(x > 0); return x; }"
+    assert run_c(src, "f", [3]).value == 3
+    with pytest.raises(MemoryFault):
+        run_c(src, "f", [-1])
+
+
+def test_malloc_negative_size_faults():
+    src = "int f() { int *p = (int *)malloc(-4); return 0; }"
+    with pytest.raises(MemoryFault):
+        run_c(src, "f", [])
+
+
+def test_free_of_null_is_noop():
+    src = "int f() { int *p = 0; free(p); return 1; }"
+    assert run_c(src, "f", []).value == 1
+
+
+def test_free_of_interior_pointer_faults():
+    src = """
+    struct P { int x; };
+    int f() {
+        struct P *p = (struct P *)malloc(2 * sizeof(struct P));
+        free(p + 1);
+        return 0;
+    }
+    """
+    with pytest.raises(MemoryFault):
+        run_c(src, "f", [])

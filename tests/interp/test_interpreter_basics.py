@@ -1,0 +1,226 @@
+"""Interpreter tests: C semantics of expressions and control flow."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InterpError, InterpLimitExceeded, MemoryFault
+from repro.cfront import parse
+from repro.interp import ExecLimits, run_program
+
+from ..conftest import run_c
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        src = "int f(int a, int b) { return a * b + a - b; }"
+        assert run_c(src, "f", [6, 4]).value == 26
+
+    def test_division_truncates_toward_zero(self):
+        src = "int f(int a, int b) { return a / b; }"
+        assert run_c(src, "f", [7, 2]).value == 3
+        assert run_c(src, "f", [-7, 2]).value == -3
+        assert run_c(src, "f", [7, -2]).value == -3
+
+    def test_modulo_sign_follows_dividend(self):
+        src = "int f(int a, int b) { return a % b; }"
+        assert run_c(src, "f", [7, 3]).value == 1
+        assert run_c(src, "f", [-7, 3]).value == -1
+        assert run_c(src, "f", [7, -3]).value == 1
+
+    @given(st.integers(-1000, 1000), st.integers(1, 100))
+    def test_div_mod_identity(self, a, b):
+        src = "int f(int a, int b) { return a / b * b + a % b; }"
+        assert run_c(src, "f", [a, b]).value == a
+
+    def test_division_by_zero_faults(self):
+        with pytest.raises(MemoryFault):
+            run_c("int f(int a) { return a / 0; }", "f", [1])
+
+    def test_int32_wraparound_on_store(self):
+        src = "int f() { int x = 2147483647; x = x + 1; return x; }"
+        assert run_c(src, "f", []).value == -2147483648
+
+    def test_unsigned_wraps(self):
+        src = "unsigned f() { unsigned x = 0; x = x - 1; return x; }"
+        assert run_c(src, "f", []).value == 4294967295
+
+    def test_bitwise_and_shifts(self):
+        src = "int f(int x) { return ((x << 2) | 1) & 255 ^ 8; }"
+        assert run_c(src, "f", [5]).value == ((5 << 2 | 1) & 255) ^ 8
+
+    def test_float_arithmetic(self):
+        src = "float f(float x) { return x * 0.5 + 1.25; }"
+        assert run_c(src, "f", [3.0]).value == pytest.approx(2.75)
+
+    def test_float32_store_rounds(self):
+        src = "float f() { float x = 0.1; return x; }"
+        value = run_c(src, "f", []).value
+        assert value != 0.1  # float32 cannot represent 0.1 exactly
+        assert value == pytest.approx(0.1, rel=1e-6)
+
+    def test_fpga_uint_wrap_semantics(self):
+        src = "int f(int x) { fpga_uint<7> r = x; return r; }"
+        assert run_c(src, "f", [83]).value == 83
+        assert run_c(src, "f", [128]).value == 0
+
+    def test_mixed_int_float_promotion(self):
+        src = "float f(int a) { return a / 2.0; }"
+        assert run_c(src, "f", [7]).value == pytest.approx(3.5)
+
+    def test_ternary(self):
+        src = "int f(int x) { return x > 0 ? 1 : -1; }"
+        assert run_c(src, "f", [5]).value == 1
+        assert run_c(src, "f", [-5]).value == -1
+
+    def test_comma_operator(self):
+        src = "int f() { int a = 0; int b = (a = 3, a + 1); return b; }"
+        assert run_c(src, "f", []).value == 4
+
+
+class TestShortCircuit:
+    def test_and_skips_rhs(self):
+        src = """
+        static int hits = 0;
+        int bump() { hits = hits + 1; return 1; }
+        int f(int x) { int r = x && bump(); return hits * 10 + r; }
+        """
+        assert run_c(src, "f", [0]).value == 0   # bump never ran
+        assert run_c(src, "f", [1]).value == 11  # bump ran once
+
+    def test_or_skips_rhs(self):
+        src = """
+        static int hits = 0;
+        int bump() { hits = hits + 1; return 0; }
+        int f(int x) { int r = x || bump(); return hits * 10 + r; }
+        """
+        assert run_c(src, "f", [1]).value == 1
+        assert run_c(src, "f", [0]).value == 10
+
+
+class TestControlFlow:
+    def test_nested_loops_with_break_continue(self):
+        src = """
+        int f() {
+            int total = 0;
+            for (int i = 0; i < 5; i++) {
+                if (i == 3) continue;
+                for (int j = 0; j < 5; j++) {
+                    if (j > i) break;
+                    total += 1;
+                }
+            }
+            return total;
+        }
+        """
+        assert run_c(src, "f", []).value == 1 + 2 + 3 + 5
+
+    def test_do_while_runs_at_least_once(self):
+        src = "int f() { int n = 0; do { n++; } while (n < 0); return n; }"
+        assert run_c(src, "f", []).value == 1
+
+    def test_while_with_compound_condition(self):
+        src = """
+        int f(int n) {
+            int i = 0;
+            while (i < n && i < 10) { i++; }
+            return i;
+        }
+        """
+        assert run_c(src, "f", [100]).value == 10
+        assert run_c(src, "f", [4]).value == 4
+
+    def test_incdec_pre_post(self):
+        src = "int f() { int x = 5; int a = x++; int b = ++x; return a * 100 + b * 10 + x; }"
+        assert run_c(src, "f", []).value == 5 * 100 + 7 * 10 + 7
+
+    def test_recursion(self):
+        src = "int fact(int n) { if (n <= 1) return 1; return n * fact(n - 1); }"
+        assert run_c(src, "fact", [6]).value == 720
+
+    def test_block_scoping_shadows(self):
+        src = """
+        int f() {
+            int x = 1;
+            { int x = 2; }
+            return x;
+        }
+        """
+        assert run_c(src, "f", []).value == 1
+
+    def test_static_local_persists_across_calls(self):
+        src = """
+        int counter() { static int n = 0; n = n + 1; return n; }
+        int f() { counter(); counter(); return counter(); }
+        """
+        assert run_c(src, "f", []).value == 3
+
+    def test_statics_reset_between_runs(self):
+        src = """
+        int counter() { static int n = 0; n = n + 1; return n; }
+        int f() { return counter(); }
+        """
+        unit = parse(src)
+        assert run_program(unit, "f", []).value == 1
+        assert run_program(unit, "f", []).value == 1  # fresh state per run
+
+
+class TestLimits:
+    def test_step_budget(self):
+        src = "int f() { int i = 0; while (1) { i++; } return i; }"
+        with pytest.raises(InterpLimitExceeded):
+            run_c(src, "f", [], limits=ExecLimits(max_steps=1000))
+
+    def test_recursion_depth_budget(self):
+        src = "int f(int n) { return f(n + 1); }"
+        with pytest.raises(InterpLimitExceeded):
+            run_c(src, "f", [0], limits=ExecLimits(max_depth=32))
+
+    def test_heap_budget(self):
+        src = """
+        int f() {
+            int big[100000];
+            return big[0];
+        }
+        """
+        with pytest.raises(InterpLimitExceeded):
+            run_c(src, "f", [], limits=ExecLimits(max_heap_cells=100))
+
+
+class TestCallContract:
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(InterpError):
+            run_c("int f(int a) { return a; }", "f", [1, 2])
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(InterpError):
+            run_c("int f() { return 1; }", "g", [])
+
+    def test_undefined_identifier(self):
+        with pytest.raises(InterpError):
+            run_c("int f() { return mystery; }", "f", [])
+
+    def test_call_to_undefined_function(self):
+        with pytest.raises(InterpError):
+            run_c("int f() { return g(); }", "f", [])
+
+
+class TestObservables:
+    def test_out_args_reflect_mutation(self, sum_array_source):
+        src = """
+        void fill(int out[4], int base) {
+            for (int i = 0; i < 4; i++) { out[i] = base + i; }
+        }
+        """
+        result = run_c(src, "fill", [[0, 0, 0, 0], 10])
+        assert result.out_args[0] == [10, 11, 12, 13]
+
+    def test_observable_is_hashable(self, sum_array_source):
+        result = run_c(sum_array_source, "sum_array", [[1, 2, 3, 4, 0, 0, 0, 0], 4])
+        obs = result.observable()
+        assert hash(obs) == hash(result.observable())
+        assert result.value == 10
+
+    def test_steps_grow_with_work(self, sum_array_source):
+        small = run_c(sum_array_source, "sum_array", [[1] * 8, 2]).steps
+        large = run_c(sum_array_source, "sum_array", [[1] * 8, 8]).steps
+        assert large > small

@@ -1,0 +1,176 @@
+"""Whole-program interpreter tests on realistic kernels.
+
+These cross-check the interpreter against independently computed
+expected results (Python reimplementations of the same algorithms),
+giving confidence that the CPU reference side of differential testing
+is itself trustworthy.
+"""
+
+import pytest
+
+from ..conftest import run_c
+
+MERGE_SORT = """
+static float tmp[64];
+
+void merge(float a[64], int lo, int mid, int hi) {
+    int i = lo;
+    int j = mid;
+    int k = lo;
+    while (i < mid && j < hi) {
+        if (a[i] <= a[j]) { tmp[k] = a[i]; i++; }
+        else { tmp[k] = a[j]; j++; }
+        k++;
+    }
+    while (i < mid) { tmp[k] = a[i]; i++; k++; }
+    while (j < hi) { tmp[k] = a[j]; j++; k++; }
+    for (int t = lo; t < hi; t++) { a[t] = tmp[t]; }
+}
+
+void msort(float a[64], int lo, int hi) {
+    if (hi - lo <= 1) { return; }
+    int mid = lo + (hi - lo) / 2;
+    msort(a, lo, mid);
+    msort(a, mid, hi);
+    merge(a, lo, mid, hi);
+}
+
+void kernel(float a[64], int n) {
+    msort(a, 0, n);
+}
+"""
+
+
+def test_merge_sort_matches_python_sorted():
+    data = [float((i * 37) % 101 - 50) for i in range(64)]
+    result = run_c(MERGE_SORT, "kernel", [list(data), 64])
+    assert result.out_args[0] == sorted(data)
+
+
+def test_merge_sort_prefix_only():
+    data = [5.0, 1.0, 4.0, 2.0] + [9.0] * 60
+    result = run_c(MERGE_SORT, "kernel", [list(data), 4])
+    assert result.out_args[0][:4] == [1.0, 2.0, 4.0, 5.0]
+    assert result.out_args[0][4:] == [9.0] * 60
+
+
+MATMUL = """
+void mmul(int a[16], int b[16], int c[16]) {
+    for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 4; j++) {
+            int acc = 0;
+            for (int k = 0; k < 4; k++) {
+                acc += a[i * 4 + k] * b[k * 4 + j];
+            }
+            c[i * 4 + j] = acc;
+        }
+    }
+}
+"""
+
+
+def test_matmul_matches_python():
+    a = [(i * 3 + 1) % 7 for i in range(16)]
+    b = [(i * 5 + 2) % 9 for i in range(16)]
+    expected = [
+        sum(a[i * 4 + k] * b[k * 4 + j] for k in range(4))
+        for i in range(4)
+        for j in range(4)
+    ]
+    result = run_c(MATMUL, "mmul", [a, b, [0] * 16])
+    assert result.out_args[2] == expected
+
+
+GCD = """
+int gcd(int a, int b) {
+    while (b != 0) {
+        int t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+"""
+
+
+@pytest.mark.parametrize("a, b", [(48, 18), (17, 5), (100, 100), (7, 0)])
+def test_gcd(a, b):
+    import math
+
+    assert run_c(GCD, "gcd", [a, b]).value == math.gcd(a, b)
+
+
+CRC = """
+unsigned crc8(unsigned data[8], int n) {
+    unsigned crc = 0;
+    for (int i = 0; i < n; i++) {
+        crc = crc ^ data[i];
+        for (int b = 0; b < 8; b++) {
+            if (crc & 128) {
+                crc = ((crc << 1) ^ 7) & 255;
+            } else {
+                crc = (crc << 1) & 255;
+            }
+        }
+    }
+    return crc;
+}
+"""
+
+
+def _crc8_py(data):
+    crc = 0
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 0x80:
+                crc = ((crc << 1) ^ 0x07) & 0xFF
+            else:
+                crc = (crc << 1) & 0xFF
+    return crc
+
+
+def test_crc8_matches_python():
+    data = [0x31, 0x32, 0x33, 0x00, 0xFF, 0x7E, 0x80, 0x01]
+    assert run_c(CRC, "crc8", [data, 8]).value == _crc8_py(data)
+
+
+NEWTON = """
+float newton_sqrt(float x) {
+    if (x <= 0.0) { return 0.0; }
+    float guess = x;
+    for (int i = 0; i < 24; i++) {
+        guess = (guess + x / guess) * 0.5;
+    }
+    return guess;
+}
+"""
+
+
+@pytest.mark.parametrize("x", [4.0, 2.0, 100.0, 0.25])
+def test_newton_sqrt_converges(x):
+    assert run_c(NEWTON, "newton_sqrt", [x]).value == pytest.approx(
+        x ** 0.5, rel=1e-5
+    )
+
+
+HISTOGRAM = """
+void hist(int samples[32], int bins[8], int n) {
+    for (int i = 0; i < 8; i++) { bins[i] = 0; }
+    for (int i = 0; i < n; i++) {
+        int v = samples[i];
+        if (v < 0) { v = 0; }
+        if (v > 7) { v = 7; }
+        bins[v]++;
+    }
+}
+"""
+
+
+def test_histogram_matches_python():
+    samples = [(i * 13) % 11 - 2 for i in range(32)]
+    result = run_c(HISTOGRAM, "hist", [samples, [0] * 8, 32])
+    expected = [0] * 8
+    for v in samples:
+        expected[min(7, max(0, v))] += 1
+    assert result.out_args[1] == expected

@@ -1,0 +1,82 @@
+"""Forum-study tests (Figure 3, Table 1)."""
+
+import pytest
+
+from repro.hls.diagnostics import FORUM_PROPORTIONS, ErrorType
+from repro.study import (
+    TAXONOMY,
+    analyze_corpus,
+    classify_post,
+    generate_corpus,
+    render_table1,
+    taxonomy_by_type,
+)
+
+
+class TestTaxonomy:
+    def test_six_families_with_paper_post_ids(self):
+        assert len(TAXONOMY) == 6
+        post_ids = {e.post_id for e in TAXONOMY}
+        assert post_ids == {
+            "729976", "752508", "595161", "721719", "1117215", "810885"
+        }
+
+    def test_by_type_complete(self):
+        assert set(taxonomy_by_type()) == set(ErrorType)
+
+    def test_render_table1(self):
+        table = render_table1()
+        assert "Dynamic Data Structures" in table
+        assert "Configuration Exploration" in table
+
+
+class TestCorpus:
+    def test_exact_count(self):
+        assert len(generate_corpus(1000)) == 1000
+        assert len(generate_corpus(137)) == 137
+
+    def test_deterministic_given_seed(self):
+        a = generate_corpus(100, seed=1)
+        b = generate_corpus(100, seed=1)
+        assert [p.text for p in a] == [p.text for p in b]
+
+    def test_category_mix_matches_figure3(self):
+        posts = generate_corpus(1000)
+        for error_type, published in FORUM_PROPORTIONS.items():
+            count = sum(1 for p in posts if p.true_type == error_type)
+            assert count == pytest.approx(published * 1000, abs=1)
+
+    def test_posts_look_like_questions(self):
+        posts = generate_corpus(20)
+        assert all(len(p.body) > 40 for p in posts)
+        assert all(p.title.startswith("[HLS]") for p in posts)
+
+
+class TestAnalysis:
+    def test_classifier_recovers_proportions(self):
+        posts = generate_corpus(1000)
+        report = analyze_corpus(posts)
+        assert report.accuracy > 0.95
+        for error_type, published in FORUM_PROPORTIONS.items():
+            assert report.proportion(error_type) == pytest.approx(
+                published, abs=0.02
+            )
+
+    def test_unsupported_types_is_largest_family(self):
+        """Figure 3's headline: a quarter of all posts."""
+        report = analyze_corpus(generate_corpus(1000))
+        largest = max(ErrorType, key=report.proportion)
+        assert largest == ErrorType.UNSUPPORTED_DATA_TYPES
+        smallest = min(ErrorType, key=report.proportion)
+        assert smallest == ErrorType.DYNAMIC_DATA_STRUCTURES
+
+    def test_classify_single_post(self):
+        posts = generate_corpus(50)
+        hits = sum(1 for p in posts if classify_post(p) == p.true_type)
+        assert hits >= 45
+
+    def test_render_includes_paper_reference(self):
+        report = analyze_corpus(generate_corpus(200))
+        text = report.render()
+        assert "paper" in text
+        assert "accuracy" in text

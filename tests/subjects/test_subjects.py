@@ -1,0 +1,110 @@
+"""Subject-suite tests, parametrized over all ten programs of Table 3."""
+
+import pytest
+
+from repro.cfront import count_loc
+from repro.difftest import outputs_equal, run_cpu_reference
+from repro.errors import SubjectError
+from repro.fuzz import random_seed_args
+from repro.hls import compile_unit
+from repro.interp import ExecLimits, run_program
+from repro.subjects import all_subjects, get_subject
+
+import random
+
+SUBJECTS = all_subjects()
+LIMITS = ExecLimits(max_steps=400_000)
+
+
+def subject_tests(subject, count=4, seed=0):
+    """A few deterministic random tests plus the shipped ones."""
+    unit = subject.parse()
+    kernel = unit.function(subject.kernel)
+    rng = random.Random(seed)
+    tests = [
+        random_seed_args([p.type for p in kernel.params], rng)
+        for _ in range(count)
+    ]
+    return tests + subject.existing_test_list()
+
+
+class TestRegistry:
+    def test_ten_subjects_in_order(self):
+        assert [s.id for s in SUBJECTS] == [f"P{i}" for i in range(1, 11)]
+
+    def test_lookup_case_insensitive(self):
+        assert get_subject("p3").id == "P3"
+
+    def test_unknown_subject_raises(self):
+        with pytest.raises(SubjectError):
+            get_subject("P99")
+
+    def test_table3_perf_expectations(self):
+        # Table 3: all but P1 improve performance.
+        assert not get_subject("P1").expect_perf_improvement
+        for i in range(2, 11):
+            assert get_subject(f"P{i}").expect_perf_improvement
+
+
+@pytest.mark.parametrize("subject", SUBJECTS, ids=[s.id for s in SUBJECTS])
+class TestEverySubject:
+    def test_parses(self, subject):
+        unit = subject.parse()
+        assert unit.function(subject.kernel) is not None
+        assert count_loc(unit) > 5
+
+    def test_host_program_runs(self, subject):
+        unit = subject.parse()
+        run_program(unit, subject.host, list(subject.host_args), limits=LIMITS)
+
+    def test_seeded_errors_fire(self, subject):
+        unit = subject.parse()
+        report = compile_unit(unit, subject.solution)
+        assert report.errors, f"{subject.id} should be HLS-incompatible"
+        families = {d.error_type for d in report.errors}
+        for expected in subject.expected_error_types:
+            assert expected in families, (subject.id, expected)
+
+    def test_manual_version_compiles_clean(self, subject):
+        manual = subject.parse_manual()
+        assert manual is not None, f"{subject.id} is missing its manual port"
+        solution = subject.manual_solution or subject.solution
+        report = compile_unit(manual, solution)
+        assert report.ok, [str(d) for d in report.errors]
+
+    def test_manual_version_behaves_identically(self, subject):
+        unit = subject.parse()
+        manual = subject.parse_manual()
+        solution = subject.manual_solution or subject.solution
+        tests = subject_tests(subject)
+        ref, _ = run_cpu_reference(unit, subject.kernel, tests, limits=LIMITS)
+        new, _ = run_cpu_reference(
+            manual, solution.top_name, tests, limits=LIMITS
+        )
+        for i, (a, b) in enumerate(zip(ref, new)):
+            if a is None:
+                continue  # hostile input faulted the reference
+            assert b is not None, f"{subject.id} manual faulted on test {i}"
+            assert outputs_equal(list(a), list(b)), f"{subject.id} test {i}"
+
+    def test_existing_tests_run_on_original(self, subject):
+        unit = subject.parse()
+        for test in subject.existing_test_list():
+            run_program(unit, subject.kernel, test, limits=LIMITS)
+
+
+class TestExistingSuites:
+    def test_paper_table4_subjects_with_existing_tests(self):
+        # Table 4 lists pre-existing tests for P3, P5, P6, P9, P10.
+        with_tests = {s.id for s in SUBJECTS if s.existing_tests}
+        assert with_tests == {"P3", "P5", "P6", "P9", "P10"}
+
+    def test_existing_suites_have_partial_coverage(self):
+        from repro.fuzz import coverage_of_suite
+
+        for sid in ("P3", "P5"):
+            subject = get_subject(sid)
+            cov = coverage_of_suite(
+                subject.parse(), subject.kernel, subject.existing_test_list()
+            )
+            assert 0 < cov < 1.0, sid

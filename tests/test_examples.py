@@ -1,0 +1,43 @@
+"""Smoke tests: the shipped examples must run and produce their story.
+
+Only the two fastest examples run here (the others exercise the same
+code paths the benchmarks cover, at multi-minute cost).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_quickstart_example():
+    proc = run_example("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "HLS compatible   : yes" in proc.stdout
+    assert "fpga_float<8,71>" in proc.stdout
+    assert "Transpiled HLS-C:" in proc.stdout
+
+
+def test_test_generation_example():
+    proc = run_example("test_generation.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "Captured 1 kernel seed(s)" in proc.stdout
+    assert "branch coverage" in proc.stdout
+
+
+def test_all_examples_at_least_compile():
+    for script in sorted(EXAMPLES.glob("*.py")):
+        source = script.read_text()
+        compile(source, str(script), "exec")

@@ -1,0 +1,43 @@
+"""Cross-module integration tests (kept light; the benchmarks exercise
+the full Table 3 sweep)."""
+
+import pytest
+
+from repro.baselines import default_config, run_variant
+from repro.cfront import parse
+from repro.hls import compile_unit
+from repro.subjects import get_subject
+
+
+def quick_config():
+    return default_config(fuzz_execs=400, max_iterations=140)
+
+
+@pytest.mark.parametrize("subject_id", ["P1", "P3", "P10"])
+def test_representative_subjects_transpile(subject_id):
+    """One subject per difficulty band: trivial arithmetic (P1),
+    recursion with the resize story (P3), configuration repair (P10)."""
+    subject = get_subject(subject_id)
+    result = run_variant(subject, "HeteroGen", quick_config())
+    assert result.hls_compatible, subject_id
+    assert result.behavior_preserved, subject_id
+    # The final program must be self-contained: reparse + recompile.
+    reparsed = parse(result.final_source(), top_name=result.final_config.top_name)
+    report = compile_unit(reparsed, result.final_config)
+    assert report.ok, [str(d) for d in report.errors]
+
+
+def test_p1_does_not_improve_performance():
+    """Table 3's only ✗: no loops, no parallelising edit, FPGA loses."""
+    result = run_variant(get_subject("P1"), "HeteroGen", quick_config())
+    assert result.success
+    assert not result.improved_performance
+
+
+def test_p3_resize_story():
+    """§6.2: the generated tests force a stack resize the pre-existing
+    suite never would."""
+    result = run_variant(get_subject("P3"), "HeteroGen", quick_config())
+    assert result.success
+    assert any(e.startswith("stack_trans") for e in result.applied_edits)
+    assert any(e.startswith("resize") for e in result.applied_edits)

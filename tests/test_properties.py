@@ -1,0 +1,105 @@
+"""Property-based tests over randomly generated programs.
+
+Hypothesis builds random arithmetic expression trees; the properties
+check the deep invariants the repair loop silently relies on:
+
+* printer → parser round-trips preserve evaluation results;
+* the interpreter is deterministic;
+* cloning a unit never changes behaviour.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfront import parse, render
+from repro.errors import InterpError
+from repro.interp import ExecLimits, run_program
+
+# -- random expression generator ---------------------------------------------
+
+_INT_BINOPS = ["+", "-", "*", "/", "%", "&", "|", "^", "<", "<=", ">",
+               ">=", "==", "!=", "&&", "||"]
+
+
+def _leaf():
+    return st.one_of(
+        st.integers(-100, 100).map(str),
+        st.sampled_from(["a", "b", "c"]),
+    )
+
+
+def _combine(children):
+    return st.tuples(
+        st.sampled_from(_INT_BINOPS), children, children
+    ).map(lambda t: f"({t[1]} {t[0]} {t[2]})")
+
+
+int_exprs = st.recursive(_leaf(), _combine, max_leaves=12)
+
+
+def _program_for(expr: str) -> str:
+    return f"int f(int a, int b, int c) {{ return {expr}; }}"
+
+
+def _evaluate(expr: str, args):
+    unit = parse(_program_for(expr))
+    try:
+        return ("ok", run_program(
+            unit, "f", list(args), limits=ExecLimits(max_steps=20_000)
+        ).value)
+    except InterpError as exc:
+        return ("fault", type(exc).__name__)
+
+
+@settings(max_examples=120, deadline=None)
+@given(int_exprs, st.tuples(st.integers(-50, 50), st.integers(-50, 50),
+                            st.integers(-50, 50)))
+def test_render_parse_round_trip_preserves_value(expr, args):
+    unit = parse(_program_for(expr))
+    rendered = render(unit)
+    original = _evaluate(expr, args)
+    round_tripped_unit = parse(rendered)
+    try:
+        round_tripped = ("ok", run_program(
+            round_tripped_unit, "f", list(args),
+            limits=ExecLimits(max_steps=20_000),
+        ).value)
+    except InterpError as exc:
+        round_tripped = ("fault", type(exc).__name__)
+    assert original == round_tripped
+
+
+@settings(max_examples=60, deadline=None)
+@given(int_exprs, st.tuples(st.integers(-50, 50), st.integers(-50, 50),
+                            st.integers(-50, 50)))
+def test_interpreter_deterministic(expr, args):
+    assert _evaluate(expr, args) == _evaluate(expr, args)
+
+
+@settings(max_examples=60, deadline=None)
+@given(int_exprs, st.tuples(st.integers(-50, 50), st.integers(-50, 50),
+                            st.integers(-50, 50)))
+def test_clone_preserves_behavior(expr, args):
+    from repro.cfront import clone
+
+    unit = parse(_program_for(expr))
+    copy = clone(unit)
+    limits = ExecLimits(max_steps=20_000)
+
+    def run(u):
+        try:
+            return ("ok", run_program(u, "f", list(args), limits=limits).value)
+        except InterpError as exc:
+            return ("fault", type(exc).__name__)
+
+    assert run(unit) == run(copy)
+
+
+@settings(max_examples=80, deadline=None)
+@given(int_exprs, st.tuples(st.integers(-50, 50), st.integers(-50, 50),
+                            st.integers(-50, 50)))
+def test_int_expressions_stay_in_int32(expr, args):
+    outcome = _evaluate(expr, args)
+    if outcome[0] == "ok":
+        assert -(2**31) <= outcome[1] <= 2**31 - 1
