@@ -28,6 +28,8 @@ def default_config(
     max_iterations: int = 260,
     fuzz_execs: int = 1200,
     seed: int = 2022,
+    workers: int = 1,
+    use_cache: bool = True,
 ) -> HeteroGenConfig:
     """A configuration sized for the benchmark runs."""
     return HeteroGenConfig(
@@ -36,6 +38,8 @@ def default_config(
             budget_seconds=budget_seconds,
             max_iterations=max_iterations,
             seed=seed,
+            workers=workers,
+            use_cache=use_cache,
         ),
     )
 

@@ -55,6 +55,8 @@ def result_to_dict(result: TranspileResult) -> dict:
         "delta_loc": result.delta_loc,
         "applied_edits": result.applied_edits,
         "repair_minutes": result.search_result.repair_minutes,
+        "cache_hits": result.search_result.stats.cache_hits,
+        "cache_hit_ratio": result.search_result.stats.cache_hit_ratio,
         "remaining_errors": result.remaining_errors,
         "tests_generated": (
             result.fuzz_report.tests_generated if result.fuzz_report else 0
@@ -74,6 +76,8 @@ def cmd_transpile(args: argparse.Namespace) -> int:
             budget_seconds=args.budget_hours * 3600.0,
             max_iterations=args.max_iterations,
             seed=args.seed,
+            workers=args.workers,
+            use_cache=not args.no_cache,
         ),
     )
     tool = HeteroGen(config)
@@ -160,7 +164,12 @@ def cmd_subjects(args: argparse.Namespace) -> int:
         subject = get_subject(args.run)
         result = run_variant(
             subject, args.variant,
-            default_config(max_iterations=args.max_iterations, seed=args.seed),
+            default_config(
+                max_iterations=args.max_iterations,
+                seed=args.seed,
+                workers=args.workers,
+                use_cache=not args.no_cache,
+            ),
         )
         if args.json:
             print(json.dumps(result_to_dict(result), indent=2))
@@ -235,6 +244,11 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--max-iterations", type=int, default=220)
     t.add_argument("--diff", action="store_true",
                    help="print a unified diff instead of the full output")
+    t.add_argument("--workers", type=int, default=1,
+                   help="thread-pool width for speculative candidate "
+                   "evaluation (1 = serial; results are identical)")
+    t.add_argument("--no-cache", action="store_true",
+                   help="disable the candidate-evaluation memo cache")
     common(t)
     t.set_defaults(func=cmd_transpile)
 
@@ -258,6 +272,11 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["HeteroGen", "WithoutChecker",
                             "WithoutDependence", "HeteroRefactor"])
     s.add_argument("--max-iterations", type=int, default=220)
+    s.add_argument("--workers", type=int, default=1,
+                   help="thread-pool width for speculative candidate "
+                   "evaluation (1 = serial; results are identical)")
+    s.add_argument("--no-cache", action="store_true",
+                   help="disable the candidate-evaluation memo cache")
     common(s, kernel=False)
     s.set_defaults(func=cmd_subjects)
 

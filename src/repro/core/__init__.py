@@ -25,6 +25,7 @@ from .dependence import (
     unordered_applications,
 )
 from .edits import Candidate, Edit, EditApplication, EditRegistry, RepairContext, build_registry
+from .evalcache import CachedEvaluation, EvalCache, candidate_key, context_token
 from .fitness import Fitness, fitness_from_reports
 from .heterogen import HeteroGen, HeteroGenConfig
 from .report import TranspileResult
@@ -32,10 +33,12 @@ from .search import RepairSearch, SearchConfig, SearchResult, SearchStats
 
 __all__ = [
     "BitwidthPlan",
+    "CachedEvaluation",
     "Candidate",
     "Edit",
     "EditApplication",
     "EditRegistry",
+    "EvalCache",
     "Fitness",
     "HeteroGen",
     "HeteroGenConfig",
@@ -49,7 +52,9 @@ __all__ = [
     "TranspileResult",
     "apply_bitwidths",
     "build_registry",
+    "candidate_key",
     "chain_probability",
+    "context_token",
     "classify",
     "classify_message",
     "dependence_graph",

@@ -15,10 +15,14 @@ by the search, the benchmarks and the documentation:
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List, Sequence, Set, Tuple
 
 from ..hls.diagnostics import ErrorType
 from .edits import Candidate, Edit, EditApplication, EditRegistry
+
+#: AST uids embedded in application labels (``loop@1124``).
+_UID = re.compile(r"@\d+")
 
 
 def dependence_graph(registry: EditRegistry) -> Dict[str, Set[str]]:
@@ -65,8 +69,15 @@ def ordered_applications(
             continue  # capacity edits cannot remove a diagnostic
         applications.extend(edit.propose(candidate, diagnostics, context))
     # Stable order: strongest performance hint first (the paper prefers
-    # the edit with the largest performance potential, §1).
-    applications.sort(key=lambda a: (-a.performance_hint, a.label))
+    # the edit with the largest performance potential, §1).  Ties are
+    # broken by the label with AST uids masked out: uids restart nowhere
+    # — they come from a process-global counter — so comparing them
+    # lexicographically would order the same two loops differently from
+    # one parse of a program to the next.  Masking keeps the tie-break
+    # parse-invariant; proposals with fully identical masked labels keep
+    # their AST enumeration order (the sort is stable), which is itself
+    # parse-invariant.
+    applications.sort(key=lambda a: (-a.performance_hint, _UID.sub("@", a.label)))
     return applications
 
 

@@ -25,6 +25,7 @@ from ..hls.platform import SolutionConfig
 from ..interp import ExecLimits
 from .bitwidth import generate_initial_version
 from .edits import Candidate, EditRegistry, RepairContext, build_registry
+from .evalcache import EvalCache
 from .report import TranspileResult
 from .search import RepairSearch, SearchConfig
 
@@ -53,9 +54,21 @@ class HeteroGen:
         self,
         config: Optional[HeteroGenConfig] = None,
         registry: Optional[EditRegistry] = None,
+        cache: Optional[EvalCache] = None,
     ) -> None:
         self.config = config or HeteroGenConfig()
         self.registry = registry or build_registry()
+        # One evaluation cache for the lifetime of this instance: a
+        # long-lived transpiler (a service handling many requests, or a
+        # benchmark harness re-running subjects) reuses verdicts across
+        # transpile calls.  Context tokens keep entries from different
+        # programs/suites apart.
+        if cache is not None:
+            self.cache: Optional[EvalCache] = cache
+        elif self.config.search.use_cache:
+            self.cache = EvalCache()
+        else:
+            self.cache = None
 
     def transpile(
         self,
@@ -132,6 +145,7 @@ class HeteroGen:
             clock=clock,
             limits=self.config.limits,
             context=context,
+            cache=self.cache,
         )
         result = search.run(Candidate(unit=initial_unit, config=solution))
 

@@ -146,6 +146,7 @@ class TranspileResult:
         )
 
     def summary(self) -> str:
+        stats = self.search_result.stats
         lines = [
             f"subject          : {self.subject}",
             f"HLS compatible   : {'yes' if self.hls_compatible else 'no'}",
@@ -156,6 +157,9 @@ class TranspileResult:
             f"delta LOC        : {self.delta_loc}",
             f"edits applied    : {len(self.applied_edits)}",
             f"repair time      : {self.search_result.repair_minutes:.1f} simulated minutes",
+            f"eval cache       : {stats.cache_hits}/{stats.attempts} hits "
+            f"({stats.cache_hit_ratio:.0%}), "
+            f"{stats.hls_invocations} real HLS compiles",
         ]
         if self.fuzz_report is not None:
             lines.append(

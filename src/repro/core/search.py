@@ -18,20 +18,26 @@ import heapq
 import itertools
 import math
 import random
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..cfront import nodes as N
 from ..difftest import DiffReport, differential_test, run_cpu_reference
-from ..hls.clock import ACT_STYLE_CHECK, SimulatedClock
+from ..hls.clock import SimulatedClock
 from ..hls.compiler import compile_unit
 from ..hls.diagnostics import CompileReport, Diagnostic
-from ..hls.stylecheck import STYLE_CHECK_SECONDS, check_style
+from ..hls.stylecheck import check_style
 from ..interp import ExecLimits
 from .classification import RepairLocalizer, classify
 from .dependence import ordered_applications, unordered_applications
 from .edits import Candidate, EditRegistry, RepairContext, build_registry
+from .evalcache import CachedEvaluation, EvalCache, candidate_key, context_token
 from .fitness import Fitness, fitness_from_reports
+
+#: Fault budget per fitness evaluation: deeply broken candidates fault on
+#: every test; cut them off early — the signal is already conclusive.
+EVAL_MAX_FAULTS = 10
 
 
 @dataclass
@@ -50,6 +56,15 @@ class SearchConfig:
     use_dependence: bool = True
     perf_exploration: bool = True
     seed: int = 2022
+    use_cache: bool = True
+    """Memoize candidate evaluations (see :mod:`repro.core.evalcache`).
+    Cached and uncached searches produce identical results and identical
+    simulated-clock activity; only real wall-clock differs."""
+    workers: int = 1
+    """Thread-pool width for speculative candidate evaluation.  Values
+    above 1 pre-evaluate the frontier's best entries concurrently while
+    the main loop consumes them strictly in priority order, so results
+    stay bit-identical to serial mode under a fixed seed."""
 
 
 @dataclass
@@ -64,14 +79,25 @@ class Evaluation:
 @dataclass
 class SearchStats:
     attempts: int = 0
+    """Candidate evaluations requested (cache hits included)."""
     style_checks: int = 0
+    """Real style-checker executions (cache hits excluded)."""
     style_rejections: int = 0
     hls_invocations: int = 0
+    """Real full-compile executions (cache hits excluded)."""
     iterations: int = 0
+    cache_hits: int = 0
+    """Evaluations answered from the memo without re-running anything."""
+    cache_misses: int = 0
+    """Evaluations that ran the real toolchain pipeline."""
 
     @property
     def hls_invocation_ratio(self) -> float:
         return self.hls_invocations / self.attempts if self.attempts else 0.0
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        return self.cache_hits / self.attempts if self.attempts else 0.0
 
 
 @dataclass
@@ -86,6 +112,12 @@ class SearchResult:
     time).  None if the search never got there.  The search keeps
     spending the remaining budget on performance exploration afterwards
     (§1), so this is distinct from the total clock."""
+    budget_seconds: float = math.inf
+    """The configured budget, kept so reported repair times can be
+    clamped: the budget is checked before each evaluation, so the final
+    in-flight toolchain run may push the raw clock past it (exactly as a
+    real compile started just under the deadline finishes past it), but
+    the *reported* repair time never exceeds what was configured."""
 
     @property
     def success(self) -> bool:
@@ -94,10 +126,11 @@ class SearchResult:
     @property
     def repair_seconds(self) -> float:
         """Time to the first successful repair; total spend if it never
-        succeeded (i.e. the whole budget was consumed failing)."""
+        succeeded (i.e. the whole budget was consumed failing).  Never
+        exceeds the configured budget."""
         if self.success_seconds is not None:
-            return self.success_seconds
-        return self.clock.seconds
+            return min(self.success_seconds, self.budget_seconds)
+        return min(self.clock.seconds, self.budget_seconds)
 
     @property
     def repair_minutes(self) -> float:
@@ -122,6 +155,7 @@ class RepairSearch:
         clock: Optional[SimulatedClock] = None,
         limits: Optional[ExecLimits] = None,
         context: Optional[RepairContext] = None,
+        cache: Optional[EvalCache] = None,
     ) -> None:
         self.original = original
         self.kernel_name = kernel_name
@@ -140,6 +174,23 @@ class RepairSearch:
         self._reference, self._cpu_ns = run_cpu_reference(
             original, kernel_name, subset, limits=limits, clock=self.clock
         )
+        # Memoization: an explicitly shared cache wins; otherwise one is
+        # created per search when enabled.  The context token scopes the
+        # entries to this oracle (original program, kernel, test subset,
+        # harness knobs) so shared caches can never cross-contaminate.
+        if cache is not None:
+            self.cache: Optional[EvalCache] = cache
+        elif self.config.use_cache:
+            self.cache = EvalCache()
+        else:
+            self.cache = None
+        self._cache_context = context_token(
+            original,
+            kernel_name,
+            subset,
+            extra=f"max_faults={EVAL_MAX_FAULTS}|limits={limits!r}",
+        )
+        self._inflight: Dict[str, "Future[CachedEvaluation]"] = {}
 
     # -- public ------------------------------------------------------------------
 
@@ -150,63 +201,153 @@ class RepairSearch:
         seen: Set[Tuple[str, ...]] = {initial.applied}
         best: Optional[Evaluation] = None
         success_seconds: Optional[float] = None
+        executor: Optional[ThreadPoolExecutor] = None
+        if self.config.workers > 1:
+            executor = ThreadPoolExecutor(
+                max_workers=self.config.workers,
+                thread_name_prefix="repair-eval",
+            )
 
-        while (
-            frontier
-            and self.stats.iterations < self.config.max_iterations
-            and self.clock.seconds < self.config.budget_seconds
-        ):
-            _prio, _tick, candidate = heapq.heappop(frontier)
-            self.stats.iterations += 1
-            evaluation = self.evaluate(candidate)
-            if evaluation.style_rejected:
-                self.history.append(f"style-reject {candidate.applied[-1:]}")
-                continue
-            if evaluation.fitness.better_than(best.fitness if best else None):
-                best = evaluation
-                self.history.append(
-                    f"new best {evaluation.fitness} after {candidate.applied}"
-                )
-                if (
-                    success_seconds is None
-                    and evaluation.fitness.is_behavior_preserving
-                ):
-                    success_seconds = self.clock.seconds
-            children = self._propose_children(evaluation)
-            for child in children:
-                if child.applied in seen:
+        try:
+            while (
+                frontier
+                and self.stats.iterations < self.config.max_iterations
+                and self.clock.seconds < self.config.budget_seconds
+            ):
+                if executor is not None:
+                    self._speculate(frontier, executor)
+                _prio, _tick, candidate = heapq.heappop(frontier)
+                self.stats.iterations += 1
+                evaluation = self.evaluate(candidate)
+                if evaluation.style_rejected:
+                    self.history.append(f"style-reject {candidate.applied[-1:]}")
                     continue
-                seen.add(child.applied)
-                priority = self._child_priority(evaluation, child)
-                heapq.heappush(frontier, (priority, next(counter), child))
+                if evaluation.fitness.better_than(best.fitness if best else None):
+                    best = evaluation
+                    self.history.append(
+                        f"new best {evaluation.fitness} after {candidate.applied}"
+                    )
+                    if (
+                        success_seconds is None
+                        and evaluation.fitness.is_behavior_preserving
+                    ):
+                        success_seconds = min(
+                            self.clock.seconds, self.config.budget_seconds
+                        )
+                children = self._propose_children(evaluation)
+                for child in children:
+                    if child.applied in seen:
+                        continue
+                    seen.add(child.applied)
+                    priority = self._child_priority(evaluation, child)
+                    heapq.heappush(frontier, (priority, next(counter), child))
+        finally:
+            if executor is not None:
+                for future in self._inflight.values():
+                    future.cancel()
+                self._inflight.clear()
+                executor.shutdown(wait=True)
         return SearchResult(
             best=best,
             stats=self.stats,
             clock=self.clock,
             history=self.history,
             success_seconds=success_seconds,
+            budget_seconds=self.config.budget_seconds,
         )
+
+    def _speculate(
+        self,
+        frontier: List[Tuple[Tuple, int, Candidate]],
+        executor: ThreadPoolExecutor,
+    ) -> None:
+        """Pre-evaluate the frontier's best entries on worker threads.
+
+        The main loop still consumes candidates strictly in priority
+        order and merges each one's journalled clock charges at that
+        point, so speculation changes *when* the toolchain pipeline runs
+        but never what the search observes: results, history and
+        simulated-clock activity are bit-identical to serial mode.
+        Speculative results for candidates that never get popped are
+        simply dropped (their charges never reach the main clock)."""
+        for _prio, _tick, candidate in heapq.nsmallest(
+            self.config.workers, frontier
+        ):
+            if len(self._inflight) >= self.config.workers * 2:
+                break
+            key = candidate_key(candidate.unit, candidate.config, self._cache_context)
+            if key in self._inflight:
+                continue
+            if self.cache is not None and self.cache.contains(key):
+                continue
+            self._inflight[key] = executor.submit(self._run_toolchain, candidate)
 
     # -- evaluation --------------------------------------------------------------
 
     def evaluate(self, candidate: Candidate) -> Evaluation:
-        """Style gate → full compile → differential test."""
+        """Style gate → full compile → differential test, memoized.
+
+        A cache hit replays the recorded simulated charges (identical
+        clock activity to a real run) without re-running the toolchain;
+        a miss runs the pipeline on a recording clock and merges its
+        charges here, on the main thread, in consumption order — which
+        keeps batched and serial execution bit-identical."""
         self.stats.attempts += 1
-        if self.config.use_style_checker:
-            self.stats.style_checks += 1
-            self.clock.charge(ACT_STYLE_CHECK, STYLE_CHECK_SECONDS)
-            violations = check_style(candidate.unit)
-            if violations:
+        raw: Optional[CachedEvaluation] = None
+        key: Optional[str] = None
+        if self.cache is not None or self._inflight:
+            key = candidate_key(candidate.unit, candidate.config, self._cache_context)
+        if self.cache is not None and key is not None:
+            raw = self.cache.get(key)
+        if raw is not None:
+            self.stats.cache_hits += 1
+        else:
+            future = self._inflight.pop(key, None) if key is not None else None
+            raw = future.result() if future is not None else self._run_toolchain(candidate)
+            self.stats.cache_misses += 1
+            if self.config.use_style_checker:
+                self.stats.style_checks += 1
+            if raw.style_rejected:
                 self.stats.style_rejections += 1
-                return Evaluation(
-                    candidate=candidate,
+            if raw.compile_report is not None:
+                self.stats.hls_invocations += 1
+            if self.cache is not None and key is not None:
+                self.cache.put(key, raw)
+        self.clock.replay(raw.charges)
+        if raw.style_rejected:
+            return Evaluation(
+                candidate=candidate,
+                compile_report=None,
+                diff_report=None,
+                fitness=Fitness(10**6, 1.0, math.inf),
+                style_rejected=True,
+            )
+        assert raw.compile_report is not None
+        return Evaluation(
+            candidate=candidate,
+            compile_report=raw.compile_report,
+            diff_report=raw.diff_report,
+            fitness=fitness_from_reports(raw.compile_report, raw.diff_report),
+        )
+
+    def _run_toolchain(self, candidate: Candidate) -> CachedEvaluation:
+        """Execute the real pipeline against a recording clock.
+
+        Pure in everything but the recorder: reads only immutable search
+        state (original unit, precomputed CPU reference, test subset), so
+        worker threads may run it speculatively."""
+        recorder = SimulatedClock.recording()
+        violations: Tuple = ()
+        if self.config.use_style_checker:
+            violations = tuple(check_style(candidate.unit, clock=recorder))
+            if violations:
+                return CachedEvaluation(
+                    style_violations=violations,
                     compile_report=None,
                     diff_report=None,
-                    fitness=Fitness(10**6, 1.0, math.inf),
-                    style_rejected=True,
+                    charges=tuple(recorder.events or ()),
                 )
-        self.stats.hls_invocations += 1
-        compile_report = compile_unit(candidate.unit, candidate.config, clock=self.clock)
+        compile_report = compile_unit(candidate.unit, candidate.config, clock=recorder)
         diff_report: Optional[DiffReport] = None
         if compile_report.ok:
             diff_report = differential_test(
@@ -216,19 +357,16 @@ class RepairSearch:
                 candidate.config,
                 self._diff_tests,
                 limits=self.limits,
-                clock=self.clock,
+                clock=recorder,
                 reference=self._reference,
                 cpu_latency_ns=self._cpu_ns,
-                # Deeply broken candidates fault on every test; cut them
-                # off early — the fitness signal is already conclusive.
-                max_faults=10,
+                max_faults=EVAL_MAX_FAULTS,
             )
-        fitness = fitness_from_reports(compile_report, diff_report)
-        return Evaluation(
-            candidate=candidate,
+        return CachedEvaluation(
+            style_violations=violations,
             compile_report=compile_report,
             diff_report=diff_report,
-            fitness=fitness,
+            charges=tuple(recorder.events or ()),
         )
 
     # -- proposal ---------------------------------------------------------------

@@ -41,6 +41,11 @@ class DiffReport:
     total: int
     matching: int
     mismatching_tests: List[int] = field(default_factory=list)
+    untested: int = 0
+    """Tests never executed because ``max_faults`` aborted the simulation
+    early.  They are neither matches nor observed mismatches, so the
+    report stays internally consistent:
+    ``matching + len(mismatching_tests) + untested == total``."""
     cpu_latency_ns: float = 0.0
     fpga_latency_ns: float = 0.0
     fpga_faults: int = 0
@@ -144,6 +149,7 @@ def differential_test(
         max_faults=max_faults,
     )
     matching = 0
+    untested = 0
     mismatching: List[int] = []
     for i, (ref, outcome) in enumerate(zip(reference, sim.outcomes)):
         if ref is None:
@@ -151,6 +157,11 @@ def differential_test(
             # is acceptable (the paper's oracle is defined on well-formed
             # CPU behaviour).
             matching += 1
+            continue
+        if outcome.skipped:
+            # The fault budget aborted the session before this test ran:
+            # no observation was made either way.
+            untested += 1
             continue
         if outcome.ok and outputs_equal(_obs_py(ref), _obs_py(outcome.observable)):
             matching += 1
@@ -160,6 +171,7 @@ def differential_test(
         total=len(tests),
         matching=matching,
         mismatching_tests=mismatching,
+        untested=untested,
         cpu_latency_ns=cpu_latency_ns,
         fpga_latency_ns=sim.kernel_latency_ns,
         fpga_faults=sim.faults,

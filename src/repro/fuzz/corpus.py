@@ -20,6 +20,8 @@ def _canonical(args: List[Any]) -> str:
 class CorpusEntry:
     args: List[Any]
     new_branches: int = 0
+    """How many branches *this* entry newly uncovered when it was first
+    executed — a per-entry delta, not the campaign's cumulative total."""
     generation: int = 0
 
 

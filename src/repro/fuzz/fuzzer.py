@@ -110,25 +110,28 @@ def fuzz_kernel(
     tests_generated = 0
     since_new = 0
 
-    def execute(args: List[Any]) -> bool:
-        """Run one input; True if it uncovered new branches."""
+    def execute(args: List[Any]) -> int:
+        """Run one input; how many branches it newly uncovered."""
         nonlocal execs
         execs += 1
+        before = len(coverage.hits)
         try:
             result = interp.run(kernel_name, args)
         except InterpError:
-            return False  # crashing inputs exercise nothing repeatable
-        return coverage.merge(result.coverage)
+            return 0  # crashing inputs exercise nothing repeatable
+        coverage.merge(result.coverage)
+        return len(coverage.hits) - before
 
-    # Seed the queue (line 4-6): captured kernel states first, random
-    # type-valid vectors as a fallback.
+    # Seed the queue (line 4-6): captured kernel states when the host
+    # provided them, random type-valid vectors only as a fallback —
+    # Algorithm 1 never pads captured seeds with extra random ones.
     initial: List[List[Any]] = list(seeds or [])
-    for _ in range(config.initial_random_seeds if not initial else 1):
-        initial.append(random_seed_args(param_types, rng, config.array_len))
+    if not initial:
+        for _ in range(config.initial_random_seeds):
+            initial.append(random_seed_args(param_types, rng, config.array_len))
     for args in initial:
         tests_generated += 1
-        new = execute(args)
-        corpus.add(args, new_branches=len(coverage.hits) if new else 0)
+        corpus.add(args, new_branches=execute(args))
 
     generation = 0
     while execs < config.max_execs and since_new < config.plateau_execs:
@@ -141,9 +144,9 @@ def fuzz_kernel(
             if execs >= config.max_execs:
                 break
             tests_generated += 1
-            if execute(mutant):
-                corpus.add(mutant, new_branches=len(coverage.hits),
-                           generation=generation)
+            delta = execute(mutant)
+            if delta > 0:
+                corpus.add(mutant, new_branches=delta, generation=generation)
                 since_new = 0
             else:
                 since_new += 1

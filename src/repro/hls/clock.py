@@ -10,7 +10,10 @@ clock; benchmarks report its accumulated simulated time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: One clock charge: ``(activity, seconds)``.
+ChargeEvent = Tuple[str, float]
 
 
 @dataclass
@@ -20,11 +23,30 @@ class SimulatedClock:
     seconds: float = 0.0
     by_activity: Dict[str, float] = field(default_factory=dict)
     counts: Dict[str, int] = field(default_factory=dict)
+    events: Optional[List[ChargeEvent]] = None
+    """When not None, every charge is journalled in order.  Evaluation
+    recorders (see :mod:`repro.core.evalcache`) use this to capture the
+    exact toolchain charges of one candidate so a cache hit can replay
+    them into the search's main clock, bit-identical to a real run."""
+
+    @classmethod
+    def recording(cls) -> "SimulatedClock":
+        """A clock that journals individual charge events."""
+        return cls(events=[])
 
     def charge(self, activity: str, seconds: float) -> None:
         self.seconds += seconds
         self.by_activity[activity] = self.by_activity.get(activity, 0.0) + seconds
         self.counts[activity] = self.counts.get(activity, 0) + 1
+        if self.events is not None:
+            self.events.append((activity, seconds))
+
+    def replay(self, events: Sequence[ChargeEvent]) -> None:
+        """Re-apply a journalled charge sequence (cache-hit bookkeeping):
+        totals, per-activity sums and activity *counts* end up exactly as
+        if the recorded toolchain runs had happened on this clock."""
+        for activity, seconds in events:
+            self.charge(activity, seconds)
 
     @property
     def minutes(self) -> float:
@@ -41,6 +63,8 @@ class SimulatedClock:
         self.seconds = 0.0
         self.by_activity.clear()
         self.counts.clear()
+        if self.events is not None:
+            self.events.clear()
 
 
 #: Activity labels shared by the toolchain and the benchmarks.

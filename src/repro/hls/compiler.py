@@ -25,6 +25,7 @@ asymmetry is the subject of the Figure 9 ablation.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
@@ -43,6 +44,23 @@ from .schedule import estimate
 COMPILE_BASE_SECONDS = 90.0
 COMPILE_SECONDS_PER_LOC = 1.5
 
+#: Real (not simulated) invocations of :func:`compile_unit` since process
+#: start.  The evaluation cache asserts against this: a cache hit must
+#: not re-run the toolchain, so the counter stays put while the simulated
+#: clock still records the replayed cost.
+_invocation_tally = 0
+_invocation_lock = threading.Lock()
+
+
+def compile_invocations() -> int:
+    """How many times the simulated toolchain has actually executed."""
+    return _invocation_tally
+
+
+def compile_seconds_for(unit: N.TranslationUnit) -> float:
+    """The simulated cost one full compilation of *unit* will charge."""
+    return COMPILE_BASE_SECONDS + COMPILE_SECONDS_PER_LOC * count_loc(unit)
+
 
 def compile_unit(
     unit: N.TranslationUnit,
@@ -50,9 +68,12 @@ def compile_unit(
     clock: Optional[SimulatedClock] = None,
 ) -> D.CompileReport:
     """Run all synthesizability checks; charge the simulated clock."""
+    global _invocation_tally
+    with _invocation_lock:
+        _invocation_tally += 1
     checker = _Checker(unit, config)
     report = checker.run()
-    report.compile_seconds = COMPILE_BASE_SECONDS + COMPILE_SECONDS_PER_LOC * count_loc(unit)
+    report.compile_seconds = compile_seconds_for(unit)
     if clock is not None:
         clock.charge(ACT_HLS_COMPILE, report.compile_seconds)
     return report
@@ -64,6 +85,11 @@ class _Checker:
         self.config = config
         self.diags: List[D.Diagnostic] = []
         self.functions = {f.name: f for f in unit.functions() if f.body is not None}
+        # Every check walks the same call graph and declaration set; the
+        # unit is immutable for the lifetime of one compilation, so both
+        # are computed once and reused across all ~10 checks.
+        self._reachable: Optional[List[N.FunctionDef]] = None
+        self._var_decls: Optional[List[N.VarDecl]] = None
 
     def run(self) -> D.CompileReport:
         self._check_top_function()
@@ -98,6 +124,12 @@ class _Checker:
 
     def _reachable_functions(self) -> List[N.FunctionDef]:
         """Functions reachable from the top (or all, if top is missing)."""
+        if self._reachable is not None:
+            return self._reachable
+        self._reachable = self._compute_reachable()
+        return self._reachable
+
+    def _compute_reachable(self) -> List[N.FunctionDef]:
         start = self.config.top_name
         if start not in self.functions:
             return [f for f in self.functions.values()]
@@ -176,10 +208,13 @@ class _Checker:
     # -- Unsupported Data Types ------------------------------------------------------
 
     def _all_var_decls(self) -> List[N.VarDecl]:
+        if self._var_decls is not None:
+            return self._var_decls
         decls = list(self.unit.globals())
         for func in self._reachable_functions():
             assert func.body is not None
             decls.extend(d.decl for d in find_all(func.body, N.DeclStmt))
+        self._var_decls = decls
         return decls
 
     def _check_pointers(self) -> None:

@@ -31,6 +31,11 @@ class TestOutcome:
     ok: bool
     observable: Optional[Tuple[Any, Tuple[Any, ...]]] = None
     fault: str = ""
+    skipped: bool = False
+    """True when the test was never executed because the ``max_faults``
+    budget aborted the session first — distinct from a real fault, so the
+    differential report can account for it as *untested* rather than
+    silently folding it into the mismatch count."""
 
 
 @dataclass
@@ -47,7 +52,13 @@ class SimulationReport:
 
     @property
     def faults(self) -> int:
-        return sum(1 for o in self.outcomes if not o.ok)
+        """Tests that actually executed and faulted (skipped ones are
+        counted separately by :attr:`skipped_tests`)."""
+        return sum(1 for o in self.outcomes if not o.ok and not o.skipped)
+
+    @property
+    def skipped_tests(self) -> int:
+        return sum(1 for o in self.outcomes if o.skipped)
 
 
 def simulate(
@@ -77,7 +88,11 @@ def simulate(
     for index, test in enumerate(tests):
         if max_faults is not None and faults >= max_faults:
             report.outcomes.extend(
-                TestOutcome(ok=False, fault="skipped: fault budget exhausted")
+                TestOutcome(
+                    ok=False,
+                    fault="skipped: fault budget exhausted",
+                    skipped=True,
+                )
                 for _ in tests[index:]
             )
             break

@@ -20,11 +20,12 @@ Style rules checked (all are placement/shape rules, not semantic ones):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Set
+from typing import List, Optional, Set
 
 from ..cfront import nodes as N
 from ..cfront import typesys as T
 from ..cfront.visitor import find_all
+from .clock import ACT_STYLE_CHECK, SimulatedClock
 from .pragmas import FUNCTION_SCOPE, KNOWN_DIRECTIVES, LOOP_SCOPE, parse_pragma
 
 #: Simulated cost of one style check, in seconds.  Negligible next to a
@@ -41,9 +42,15 @@ class StyleViolation:
         return f"style: {self.message}"
 
 
-def check_style(unit: N.TranslationUnit) -> List[StyleViolation]:
+def check_style(
+    unit: N.TranslationUnit,
+    clock: Optional[SimulatedClock] = None,
+) -> List[StyleViolation]:
     """Run all style rules; an empty list means the candidate may proceed
-    to full compilation."""
+    to full compilation.  When *clock* is given, the (cheap) simulated
+    cost of the check is charged to it."""
+    if clock is not None:
+        clock.charge(ACT_STYLE_CHECK, STYLE_CHECK_SECONDS)
     violations: List[StyleViolation] = []
     for func in unit.functions():
         if func.body is None:

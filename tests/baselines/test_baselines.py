@@ -78,7 +78,10 @@ class TestAblationShape:
         with_checker = run_variant(subject, "HeteroGen", quick_config(seed=3))
         without = run_variant(subject, "WithoutChecker", quick_config(seed=3))
         assert with_checker.success and without.success
-        assert without.search_result.stats.hls_invocation_ratio == 1.0
+        # Without the style gate every non-memoized candidate pays a
+        # full compile; only eval-cache hits are spared.
+        without_stats = without.search_result.stats
+        assert without_stats.hls_invocations == without_stats.cache_misses
         assert (
             with_checker.search_result.stats.hls_invocation_ratio
             <= without.search_result.stats.hls_invocation_ratio

@@ -1,6 +1,7 @@
 """Dependence-graph and proposal-ordering tests (Figure 7c / §5.3)."""
 
 import random
+import re
 
 import pytest
 
@@ -110,6 +111,32 @@ class TestOrderedProposals:
         apps = ordered_applications(registry.perf_edits, cand, (), context)
         hints = [a.performance_hint for a in apps]
         assert hints == sorted(hints, reverse=True)
+
+    def test_ordering_is_parse_invariant(self):
+        """Hint ties are broken by labels with AST uids masked, so the
+        order must not change between parses of the same program even
+        though the process-global uid counter has moved on.  Regression:
+        raw-label tie-breaks flipped two-loop orderings when the uid
+        digit count changed (``@998`` > ``@1002`` but ``@1998`` < ``@2002``)."""
+        src = (
+            "void kernel(int a[8], int b[8]) {"
+            " for (int i = 0; i < 8; i++) { a[i] = i; }"
+            " for (int j = 0; j < 8; j++) { b[j] = j; } }"
+        )
+        registry = build_registry()
+        context = RepairContext(kernel_name="kernel")
+
+        def labels():
+            unit = parse(src, top_name="kernel")
+            cand = Candidate(unit=unit, config=SolutionConfig(top_name="kernel"))
+            apps = ordered_applications(registry.perf_edits, cand, (), context)
+            return [re.sub(r"@\d+", "@N", a.label) for a in apps]
+
+        first = labels()
+        # Burn uids so the second parse lands on different numbers.
+        for _ in range(5):
+            parse(src, top_name="kernel")
+        assert labels() == first
 
 
 class TestRegistry:

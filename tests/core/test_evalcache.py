@@ -1,0 +1,229 @@
+"""Evaluation-cache tests: the memo itself, and the equivalence
+guarantees the search makes about it (cached vs uncached vs parallel
+runs are indistinguishable in every simulated measurement)."""
+
+import re
+
+import pytest
+
+from repro.cfront.parser import parse
+from repro.core import RepairSearch, SearchConfig
+from repro.core.edits import Candidate
+from repro.core.evalcache import (
+    CachedEvaluation,
+    EvalCache,
+    candidate_key,
+    context_token,
+)
+from repro.hls import SimulatedClock, SolutionConfig
+from repro.hls.compiler import compile_invocations
+from repro.subjects import get_subject
+
+
+def entry(seconds=1.0):
+    return CachedEvaluation(
+        style_violations=(),
+        compile_report=None,
+        diff_report=None,
+        charges=(("hls_compile", seconds),),
+    )
+
+
+class TestEvalCache:
+    def test_roundtrip_and_counters(self):
+        cache = EvalCache()
+        assert cache.get("k") is None
+        assert cache.misses == 1 and cache.hits == 0
+        cache.put("k", entry())
+        assert cache.get("k") is not None
+        assert cache.hits == 1
+        assert cache.lookups == 2
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+    def test_contains_does_not_disturb_counters(self):
+        cache = EvalCache()
+        cache.put("k", entry())
+        assert cache.contains("k")
+        assert not cache.contains("other")
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_lru_eviction(self):
+        cache = EvalCache(max_entries=2)
+        cache.put("a", entry())
+        cache.put("b", entry())
+        cache.get("a")  # refresh a; b becomes least-recent
+        cache.put("c", entry())
+        assert cache.contains("a") and cache.contains("c")
+        assert not cache.contains("b")
+        assert len(cache) == 2
+
+    def test_clear(self):
+        cache = EvalCache()
+        cache.put("k", entry())
+        cache.get("k")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+
+SRC_A = """
+int kernel(int a[4], int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) { acc += a[i]; }
+    return acc;
+}
+"""
+
+
+class TestCandidateKey:
+    def test_canonical_over_reparses(self):
+        unit1 = parse(SRC_A, top_name="kernel")
+        unit2 = parse(SRC_A, top_name="kernel")
+        config = SolutionConfig(top_name="kernel")
+        assert candidate_key(unit1, config, "ctx") == candidate_key(
+            unit2, config, "ctx"
+        )
+
+    def test_sensitive_to_config_and_context(self):
+        unit = parse(SRC_A, top_name="kernel")
+        config = SolutionConfig(top_name="kernel")
+        base = candidate_key(unit, config, "ctx")
+        slower = SolutionConfig(top_name="kernel", clock_period_ns=7.5)
+        assert candidate_key(unit, slower, "ctx") != base
+        assert candidate_key(unit, config, "other-ctx") != base
+
+    def test_context_token_binds_the_oracle(self):
+        unit = parse(SRC_A, top_name="kernel")
+        tests = [[[1, 2, 3, 4], 4]]
+        base = context_token(unit, "kernel", tests)
+        assert context_token(unit, "kernel", tests) == base
+        assert context_token(unit, "kernel", tests + [[[0] * 4, 0]]) != base
+        assert context_token(unit, "kernel", tests, extra="max_faults=3") != base
+
+
+BROKEN_SRC = """
+int kernel(int a[8], int n) {
+    if (n > 8) { n = 8; }
+    long double acc = 0.0;
+    for (int i = 0; i < n; i++) {
+        long double x = a[i];
+        acc = acc + x;
+    }
+    return (int)acc;
+}
+"""
+
+TESTS = [
+    [[1, 2, 3, 4, 5, 6, 7, 8], 8],
+    [[10, -10, 3, 0, 0, 0, 0, 0], 3],
+    [[0] * 8, 0],
+]
+
+
+def run_search(cache=None, **overrides):
+    unit = parse(BROKEN_SRC, top_name="kernel")
+    overrides.setdefault("max_iterations", 40)
+    config = SearchConfig(**overrides)
+    search = RepairSearch(
+        original=unit,
+        kernel_name="kernel",
+        tests=TESTS,
+        config=config,
+        clock=SimulatedClock(),
+        cache=cache,
+    )
+    initial = Candidate(unit=unit, config=SolutionConfig(top_name="kernel"))
+    return search, search.run(initial)
+
+
+def _strip_uids(lines):
+    """Edit labels embed AST node uids (``loop@1124``) drawn from a
+    process-global counter, so they differ between parses of the same
+    source; normalize them before cross-run comparison."""
+    return [re.sub(r"@\d+", "@N", line) for line in lines]
+
+
+def assert_equivalent(a, b):
+    """Two SearchResults are indistinguishable in every simulated
+    measurement: fitness, history, clock totals and activity counts."""
+    assert a.best is not None and b.best is not None
+    assert a.best.fitness == b.best.fitness
+    assert _strip_uids(a.best.candidate.applied) == _strip_uids(
+        b.best.candidate.applied
+    )
+    assert _strip_uids(a.history) == _strip_uids(b.history)
+    assert a.stats.attempts == b.stats.attempts
+    assert a.clock.seconds == pytest.approx(b.clock.seconds)
+    assert a.clock.counts == b.clock.counts
+    assert a.clock.by_activity.keys() == b.clock.by_activity.keys()
+    for activity, seconds in a.clock.by_activity.items():
+        assert seconds == pytest.approx(b.clock.by_activity[activity])
+
+
+class TestCachedEquivalence:
+    def test_cached_run_identical_to_uncached(self):
+        _s, cached = run_search(use_cache=True)
+        _s, uncached = run_search(use_cache=False)
+        assert_equivalent(cached, uncached)
+
+    def test_within_run_hits_skip_real_work(self):
+        """Distinct edit paths converge on identical programs, so even a
+        single run sees hits — and hits never count as real toolchain
+        executions."""
+        search, result = run_search(use_cache=True)
+        stats = result.stats
+        assert stats.cache_hits > 0
+        assert stats.cache_hit_ratio > 0.0
+        assert stats.attempts == stats.cache_hits + stats.cache_misses
+        assert stats.hls_invocations == stats.cache_misses - stats.style_rejections
+        assert stats.hls_invocations < stats.attempts
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_workers_identical_to_serial(self, workers):
+        _s, serial = run_search(use_cache=True, workers=1)
+        _s, parallel = run_search(use_cache=True, workers=workers)
+        assert_equivalent(serial, parallel)
+        assert serial.stats.cache_hits == parallel.stats.cache_hits
+
+    def test_parallel_without_cache_identical_to_serial(self):
+        _s, serial = run_search(use_cache=False, workers=1)
+        _s, parallel = run_search(use_cache=False, workers=3)
+        assert_equivalent(serial, parallel)
+
+
+class TestSharedCacheAcrossRuns:
+    """The acceptance scenario: repeat a search on P5 with a shared
+    cache; the warm run answers from the memo instead of re-running the
+    toolchain, while every simulated measurement stays identical."""
+
+    def run_p5(self, cache):
+        subject = get_subject("P5")
+        unit = subject.parse()
+        config = SearchConfig(max_iterations=60, seed=2022)
+        search = RepairSearch(
+            original=unit,
+            kernel_name=subject.kernel,
+            tests=subject.existing_test_list(),
+            config=config,
+            clock=SimulatedClock(),
+            cache=cache,
+        )
+        initial = Candidate(unit=unit, config=subject.solution)
+        return search, search.run(initial)
+
+    def test_warm_run_skips_real_compiles(self):
+        cache = EvalCache()
+        _s, cold = self.run_p5(cache)
+
+        before = compile_invocations()
+        _s, warm = self.run_p5(cache)
+        real_compiles = compile_invocations() - before
+
+        # Strictly fewer real compile_unit executions than attempts.
+        assert real_compiles == warm.stats.hls_invocations
+        assert real_compiles < warm.stats.attempts
+        assert warm.stats.cache_hit_ratio > 0.0
+        assert warm.stats.cache_hits > cold.stats.cache_hits
+
+        # ... while remaining indistinguishable in simulated terms.
+        assert_equivalent(cold, warm)

@@ -105,9 +105,28 @@ class TestRepairSearch:
         search, result = self.run_search()
         stats = result.stats
         assert stats.attempts >= stats.hls_invocations
+        # Every attempt is answered by the cache or by a real toolchain run.
+        assert stats.attempts == stats.cache_hits + stats.cache_misses
+        # Only cache misses pay for a real style check / HLS compile.
+        assert stats.style_checks == stats.cache_misses
+        assert stats.hls_invocations == stats.cache_misses - stats.style_rejections
+        assert 0 < stats.hls_invocation_ratio <= 1.0
+
+    def test_stats_accounting_without_cache(self):
+        search, result = self.run_search(use_cache=False)
+        stats = result.stats
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == stats.attempts
         assert stats.style_checks == stats.attempts
         assert stats.hls_invocations == stats.attempts - stats.style_rejections
-        assert 0 < stats.hls_invocation_ratio <= 1.0
+
+    def test_budget_clamps_reported_repair_time(self):
+        """The reported repair time never exceeds the configured budget,
+        even when the final evaluation overshoots it."""
+        search, result = self.run_search(budget_seconds=200.0)
+        assert result.budget_seconds == 200.0
+        assert result.repair_seconds <= 200.0
+        assert search.clock.seconds >= result.repair_seconds
 
     def test_clock_accumulates_toolchain_time(self):
         search, result = self.run_search()
@@ -121,7 +140,8 @@ class TestRepairSearch:
     def test_without_checker_compiles_everything(self):
         search, result = self.run_search(use_style_checker=False)
         assert result.stats.style_checks == 0
-        assert result.stats.hls_invocations == result.stats.attempts
+        # Every non-memoized candidate pays a full HLS compile.
+        assert result.stats.hls_invocations == result.stats.cache_misses
         assert result.success
 
     def test_without_dependence_still_succeeds_but_tries_more(self):

@@ -104,6 +104,31 @@ class TestDifferentialTest:
         report = self.run(CORRECT, [[[1], 4]])
         assert report.behavior_preserved
 
+    def test_fault_budget_truncation_counts_untested(self):
+        """When ``max_faults`` aborts the simulation early, the tests the
+        budget never reached are reported as ``untested``, not silently
+        folded into matches or mismatches."""
+        crashing = CORRECT.replace("total += a[i];", "total += a[i + 9];")
+        original = parse(CORRECT)
+        candidate = parse(crashing, top_name="kernel")
+        tests = [[[1, 2, 3, 4], 4] for _ in range(6)]
+        # Duplicate inputs are fine: each is its own session test.
+        report = differential_test(
+            original, candidate, "kernel",
+            SolutionConfig(top_name="kernel"), tests, max_faults=2,
+        )
+        assert report.total == 6
+        assert report.fpga_faults == 2
+        assert report.untested == 4
+        assert report.matching + len(report.mismatching_tests) + report.untested \
+            == report.total
+        assert not report.behavior_preserved
+
+    def test_untested_defaults_to_zero_without_truncation(self):
+        report = self.run(CORRECT, [[[1, 2, 3, 4], 4]])
+        assert report.untested == 0
+        assert report.matching + len(report.mismatching_tests) == report.total
+
     def test_speedup_computation(self):
         report = DiffReport(
             total=1, matching=1, cpu_latency_ns=3000.0, fpga_latency_ns=1500.0

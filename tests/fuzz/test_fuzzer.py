@@ -108,6 +108,40 @@ class TestFuzzLoop:
         assert clock.count(ACT_FUZZING) == 1
         assert clock.seconds == pytest.approx(report.fuzz_seconds)
 
+    def test_captured_seeds_are_not_padded_with_random_ones(self):
+        """Algorithm 1 seeds the queue with the captured kernel state(s)
+        only; random vectors are a fallback for when there is no host.
+        Regression: an extra random seed used to be appended even when
+        captured seeds were provided."""
+        unit = parse(BRANCHY)
+        seeds = get_kernel_seed(unit, "host", "classify", [5])
+        report = fuzz_kernel(
+            unit, "classify", FuzzConfig(max_execs=len(seeds)), seeds=seeds
+        )
+        assert report.tests_generated == len(seeds)
+        assert report.suite() == seeds
+
+    def test_unseeded_campaign_uses_configured_random_seeds(self):
+        unit = parse(BRANCHY)
+        report = fuzz_kernel(
+            unit, "classify",
+            FuzzConfig(max_execs=3, initial_random_seeds=3),
+        )
+        assert report.tests_generated == 3
+
+    def test_corpus_records_per_entry_coverage_deltas(self):
+        """Each kept entry records how many branches *it* newly
+        uncovered, so the deltas sum to the campaign's total coverage.
+        Regression: the cumulative hit count used to be recorded."""
+        unit = parse(BRANCHY)
+        report = fuzz_kernel(
+            unit, "classify", FuzzConfig(max_execs=2000, plateau_execs=400)
+        )
+        assert len(report.corpus) >= 2
+        deltas = [entry.new_branches for entry in report.corpus]
+        assert sum(deltas) == len(report.coverage.hits)
+        assert all(0 <= d <= len(report.coverage.hits) for d in deltas)
+
     def test_crashing_inputs_do_not_kill_campaign(self):
         src = """
         int k(int a[4], int n) {

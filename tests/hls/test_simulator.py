@@ -60,9 +60,11 @@ class TestSimulate:
             unit, SolutionConfig(top_name="kernel"), bad_test * 10,
             max_faults=3,
         )
-        assert report.faults == 10  # all reported as faults...
-        skipped = [o for o in report.outcomes if "skipped" in o.fault]
-        assert len(skipped) == 7  # ...but only 3 actually executed
+        assert report.faults == 3  # only the executed tests faulted...
+        assert report.skipped_tests == 7  # ...the rest never ran
+        skipped = [o for o in report.outcomes if o.skipped]
+        assert len(skipped) == 7
+        assert all(not o.ok for o in skipped)
 
     def test_fault_budget_ignores_passing_tests(self):
         unit = parse(self.SRC, top_name="kernel")
