@@ -1,0 +1,180 @@
+"""Interpreter backends — tree-walker vs closure-compiled engine.
+
+Three measurements, all emitted into ``benchmarks/out/BENCH_interp.json``
+(uploaded as a CI artifact):
+
+1. **interpreter loop** — replay each Table 3 subject's fuzz corpus under
+   both backends and compare wall-clock; step counts are asserted
+   bit-identical along the way, so the speedup is never bought with
+   semantic drift.  Target: >= 2x median.
+2. **limit enforcement** — the same replay under a tight step budget
+   (exercising the hoisted ``ExecLimits`` fast path): per-test steps and
+   fault kinds must be identical across backends, proving the hoisting
+   changed no behaviour.
+3. **end-to-end Table 3 sweep** — one full ten-subject HeteroGen run
+   under the compiled default, against the 87.1 s wall-clock the sweep
+   cost when the tree-walker was the only engine.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+
+from repro.baselines import run_variant
+from repro.errors import InterpError
+from repro.fuzz import FuzzConfig, fuzz_kernel
+from repro.interp import ExecLimits, make_engine
+from repro.subjects import all_subjects
+
+from _shared import OUT_DIR, SEED, config_for, write_table
+
+#: Corpus replays per backend when timing the interpreter loop.
+REPEATS = 3
+
+#: Wall-clock of the ten-subject sweep when the tree-walker was the only
+#: execution engine (median of the PR 1 measurement runs).
+TREE_SWEEP_SECONDS = 87.1
+
+LOOSE = ExecLimits(max_steps=120_000, max_depth=128)
+TIGHT = ExecLimits(max_steps=500, max_depth=16)
+
+
+def build_corpora():
+    """One deterministic fuzz corpus per subject (built once, replayed
+    under every backend/limit combination)."""
+    corpora = []
+    for subject in all_subjects():
+        unit = subject.parse()
+        report = fuzz_kernel(
+            unit,
+            subject.kernel,
+            FuzzConfig(max_execs=250, plateau_execs=250, seed=SEED),
+            seeds=subject.existing_test_list() or None,
+            backend="tree",
+        )
+        corpora.append((subject, unit, report.suite(40)))
+    return corpora
+
+
+def replay(engine, kernel, suite):
+    """Run the suite once; returns per-test (steps, fault-kind) pairs.
+
+    ``engine.steps`` is populated even when a run raises, so the trace is
+    comparable between backends on faulting inputs too."""
+    trace = []
+    for test in suite:
+        try:
+            engine.run(kernel, test)
+            trace.append((engine.steps, ""))
+        except InterpError as exc:
+            trace.append((engine.steps, type(exc).__name__))
+    return trace
+
+
+def time_backend(unit, kernel, suite, backend, limits):
+    engine = make_engine(unit, backend=backend, limits=limits,
+                         want_out_args=False)
+    trace = replay(engine, kernel, suite)  # warm-up (and the compile)
+    start = time.perf_counter()
+    for _ in range(REPEATS):
+        replay(engine, kernel, suite)
+    return time.perf_counter() - start, trace
+
+
+def run_interp_loop(corpora):
+    rows = []
+    for subject, unit, suite in corpora:
+        tree_s, tree_trace = time_backend(unit, subject.kernel, suite,
+                                          "tree", LOOSE)
+        comp_s, comp_trace = time_backend(unit, subject.kernel, suite,
+                                          "compiled", LOOSE)
+        assert tree_trace == comp_trace, (
+            f"{subject.id}: backends diverged on the fuzz corpus"
+        )
+        rows.append({
+            "subject": subject.id,
+            "tests": len(suite),
+            "tree_seconds": round(tree_s, 4),
+            "compiled_seconds": round(comp_s, 4),
+            "speedup": round(tree_s / comp_s, 2) if comp_s else 0.0,
+        })
+    return rows
+
+
+def run_limit_microbench(corpora):
+    """Tight-budget replay: the hoisted-limits fast path must preserve
+    every observable (steps at abort, fault kind) across backends."""
+    rows = []
+    for subject, unit, suite in corpora:
+        tree_s, tree_trace = time_backend(unit, subject.kernel, suite,
+                                          "tree", TIGHT)
+        comp_s, comp_trace = time_backend(unit, subject.kernel, suite,
+                                          "compiled", TIGHT)
+        assert tree_trace == comp_trace, (
+            f"{subject.id}: limit enforcement diverged under a tight budget"
+        )
+        rows.append({
+            "subject": subject.id,
+            "aborted_tests": sum(1 for _s, kind in comp_trace if kind),
+            "tree_seconds": round(tree_s, 4),
+            "compiled_seconds": round(comp_s, 4),
+        })
+    return rows
+
+
+def run_table3_sweep():
+    start = time.perf_counter()
+    results = [
+        run_variant(subject, "HeteroGen", config_for("HeteroGen"))
+        for subject in all_subjects()
+    ]
+    elapsed = time.perf_counter() - start
+    assert all(r.hls_compatible and r.behavior_preserved for r in results)
+    return elapsed
+
+
+def test_interp_backend(benchmark):
+    corpora = build_corpora()
+    loop_rows = benchmark.pedantic(
+        run_interp_loop, args=(corpora,), rounds=1, iterations=1
+    )
+    limit_rows = run_limit_microbench(corpora)
+    sweep_seconds = run_table3_sweep()
+
+    median_speedup = statistics.median(r["speedup"] for r in loop_rows)
+    payload = {
+        "repeats": REPEATS,
+        "interpreter_loop": loop_rows,
+        "median_speedup": median_speedup,
+        "limit_enforcement": limit_rows,
+        "table3_sweep": {
+            "compiled_seconds": round(sweep_seconds, 1),
+            "tree_baseline_seconds": TREE_SWEEP_SECONDS,
+            "speedup": round(TREE_SWEEP_SECONDS / sweep_seconds, 2),
+        },
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_interp.json").write_text(json.dumps(payload, indent=2))
+
+    lines = [
+        "Interpreter backends — closure-compiled vs tree-walking",
+        f"{'ID':4} {'Tests':>5} {'Tree(s)':>8} {'Compiled(s)':>12} {'Speedup':>8}",
+    ]
+    for row in loop_rows:
+        lines.append(
+            f"{row['subject']:4} {row['tests']:5} {row['tree_seconds']:8.3f} "
+            f"{row['compiled_seconds']:12.3f} {row['speedup']:7.2f}x"
+        )
+    lines.append("")
+    lines.append(f"median interpreter-loop speedup: {median_speedup:.2f}x "
+                 f"(target: >= 2x)")
+    lines.append(
+        f"Table 3 sweep: {sweep_seconds:.1f}s compiled vs "
+        f"{TREE_SWEEP_SECONDS:.1f}s tree baseline"
+    )
+    write_table("bench_interp.txt", "\n".join(lines))
+
+    assert median_speedup >= 2.0
+    assert sweep_seconds < TREE_SWEEP_SECONDS

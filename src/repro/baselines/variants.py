@@ -30,6 +30,7 @@ def default_config(
     seed: int = 2022,
     workers: int = 1,
     use_cache: bool = True,
+    interp_backend: Optional[str] = None,
 ) -> HeteroGenConfig:
     """A configuration sized for the benchmark runs."""
     return HeteroGenConfig(
@@ -40,6 +41,7 @@ def default_config(
             seed=seed,
             workers=workers,
             use_cache=use_cache,
+            interp_backend=interp_backend,
         ),
     )
 

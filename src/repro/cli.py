@@ -26,6 +26,7 @@ from .core import HeteroGen, HeteroGenConfig, SearchConfig
 from .core.report import TranspileResult
 from .fuzz import FuzzConfig, fuzz_kernel, get_kernel_seed
 from .hls import SolutionConfig, compile_unit
+from .interp import BACKENDS, set_default_backend
 from .subjects import all_subjects, get_subject
 
 
@@ -78,6 +79,7 @@ def cmd_transpile(args: argparse.Namespace) -> int:
             seed=args.seed,
             workers=args.workers,
             use_cache=not args.no_cache,
+            interp_backend=args.interp_backend,
         ),
     )
     tool = HeteroGen(config)
@@ -136,12 +138,14 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     seeds = None
     if args.host:
         seeds = get_kernel_seed(
-            unit, args.host, args.kernel, _parse_host_args(args.host_args)
+            unit, args.host, args.kernel, _parse_host_args(args.host_args),
+            backend=args.interp_backend,
         )
     report = fuzz_kernel(
         unit, args.kernel,
         FuzzConfig(max_execs=args.fuzz_execs, seed=args.seed),
         seeds=seeds,
+        backend=args.interp_backend,
     )
     payload = {
         "tests_generated": report.tests_generated,
@@ -169,6 +173,7 @@ def cmd_subjects(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 workers=args.workers,
                 use_cache=not args.no_cache,
+                interp_backend=args.interp_backend,
             ),
         )
         if args.json:
@@ -234,6 +239,14 @@ def build_parser() -> argparse.ArgumentParser:
         if kernel:
             p.add_argument("--fuzz-execs", type=int, default=1500)
 
+    def backend_flag(p):
+        p.add_argument("--interp-backend", choices=list(BACKENDS),
+                       default=None, metavar="{tree,compiled,cross}",
+                       help="execution backend for all interpreted runs "
+                       "(default: the process default, normally 'compiled'; "
+                       "'cross' runs both backends and asserts identical "
+                       "behaviour)")
+
     t = sub.add_parser("transpile", help="transpile a C kernel to HLS-C")
     t.add_argument("file", help="C source file, or - for stdin")
     t.add_argument("--kernel", required=True, help="kernel function name")
@@ -250,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--no-cache", action="store_true",
                    help="disable the candidate-evaluation memo cache")
     common(t)
+    backend_flag(t)
     t.set_defaults(func=cmd_transpile)
 
     c = sub.add_parser("check", help="run only the synthesizability check")
@@ -264,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--host", help="host function for kernel-seed capture")
     f.add_argument("--host-args", default="")
     common(f)
+    backend_flag(f)
     f.set_defaults(func=cmd_fuzz)
 
     s = sub.add_parser("subjects", help="list or run the benchmark subjects")
@@ -278,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--no-cache", action="store_true",
                    help="disable the candidate-evaluation memo cache")
     common(s, kernel=False)
+    backend_flag(s)
     s.set_defaults(func=cmd_subjects)
 
     st = sub.add_parser("study", help="regenerate the forum error study")
@@ -291,6 +307,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "interp_backend", None):
+        # Also switch the process default so helper paths that don't
+        # thread a backend (e.g. pre-existing-test replay) agree with
+        # the explicitly-threaded ones.
+        set_default_backend(args.interp_backend)
     return args.func(args)
 
 

@@ -18,7 +18,7 @@ from ..cfront import nodes as N
 from ..cfront import typesys as T
 from ..cfront.nodes import clone
 from ..cfront.visitor import find_all
-from ..interp import ExecLimits, Interpreter, ValueProfile
+from ..interp import ExecLimits, ValueProfile, make_engine
 
 #: Do not narrow below this width: tiny registers save nothing and the
 #: type-based over-estimation (§6.5) keeps headroom for unseen inputs.
@@ -45,9 +45,13 @@ def profile_kernel(
     kernel_name: str,
     tests: Sequence[List[Any]],
     limits: Optional[ExecLimits] = None,
+    backend: Optional[str] = None,
 ) -> ValueProfile:
     """Run the kernel over all tests and merge the value profiles."""
-    interp = Interpreter(unit, limits=limits or ExecLimits())
+    interp = make_engine(
+        unit, backend=backend, limits=limits or ExecLimits(),
+        want_out_args=False,
+    )
     merged = ValueProfile()
     for args in tests:
         try:
@@ -98,8 +102,11 @@ def generate_initial_version(
     kernel_name: str,
     tests: Sequence[List[Any]],
     limits: Optional[ExecLimits] = None,
+    backend: Optional[str] = None,
 ) -> tuple:
     """Profile, plan and rewrite: returns ``(P_broken, plan, profile)``."""
-    profile = profile_kernel(unit, kernel_name, tests, limits=limits)
+    profile = profile_kernel(
+        unit, kernel_name, tests, limits=limits, backend=backend
+    )
     plan = plan_bitwidths(unit, profile)
     return apply_bitwidths(unit, plan), plan, profile

@@ -46,6 +46,12 @@ class HeteroGenConfig:
     finitized loop counter wraps into an infinite loop must be cut off
     quickly — hitting the budget is itself an observable divergence."""
 
+    @property
+    def interp_backend(self) -> Optional[str]:
+        """The execution backend every pipeline stage uses (the search
+        config is the single source of truth)."""
+        return self.search.interp_backend
+
 
 class HeteroGen:
     """The transpiler: C/C++ in, repaired HLS-C out."""
@@ -99,10 +105,13 @@ class HeteroGen:
         clock = clock or SimulatedClock()
 
         # 1. Test generation.
+        backend = self.config.interp_backend
         seeds: List[List[Any]] = list(tests or [])
         if host_name and host_args is not None:
             try:
-                seeds = get_kernel_seed(unit, host_name, kernel_name, host_args) + seeds
+                seeds = get_kernel_seed(
+                    unit, host_name, kernel_name, host_args, backend=backend
+                ) + seeds
             except Exception:
                 pass  # fall back to random seeding inside the fuzzer
         fuzz_report: Optional[FuzzReport] = None
@@ -115,6 +124,7 @@ class HeteroGen:
                 seeds=seeds or None,
                 clock=clock,
                 limits=self.config.limits,
+                backend=backend,
             )
             suite = fuzz_report.suite(self.config.suite_cap)
         else:
@@ -131,7 +141,8 @@ class HeteroGen:
         profile_tests = suite[: max(self.config.final_diff_cap,
                                     self.config.search.diff_test_cap)]
         initial_unit, _plan, profile = generate_initial_version(
-            unit, kernel_name, profile_tests, limits=self.config.limits
+            unit, kernel_name, profile_tests, limits=self.config.limits,
+            backend=backend,
         )
 
         # 3-5. Iterative repair.
@@ -162,6 +173,7 @@ class HeteroGen:
                 suite[: self.config.final_diff_cap],
                 limits=self.config.limits,
                 clock=clock,
+                backend=backend,
             )
         return TranspileResult(
             subject=subject_name or kernel_name,

@@ -65,6 +65,12 @@ class SearchConfig:
     above 1 pre-evaluate the frontier's best entries concurrently while
     the main loop consumes them strictly in priority order, so results
     stay bit-identical to serial mode under a fixed seed."""
+    interp_backend: Optional[str] = None
+    """Execution backend for every interpreted run ("tree", "compiled",
+    "cross"; None = process default).  Deliberately NOT part of the
+    evaluation-cache context token: backends are bit-identical in every
+    simulated measurement, so entries written under one backend are valid
+    under any other."""
 
 
 @dataclass
@@ -172,7 +178,8 @@ class RepairSearch:
         subset = self.tests[: self.config.diff_test_cap]
         self._diff_tests = subset
         self._reference, self._cpu_ns = run_cpu_reference(
-            original, kernel_name, subset, limits=limits, clock=self.clock
+            original, kernel_name, subset, limits=limits, clock=self.clock,
+            backend=self.config.interp_backend,
         )
         # Memoization: an explicitly shared cache wins; otherwise one is
         # created per search when enabled.  The context token scopes the
@@ -361,6 +368,7 @@ class RepairSearch:
                 reference=self._reference,
                 cpu_latency_ns=self._cpu_ns,
                 max_faults=EVAL_MAX_FAULTS,
+                backend=self.config.interp_backend,
             )
         return CachedEvaluation(
             style_violations=violations,

@@ -19,7 +19,7 @@ from ..cfront import nodes as N
 from ..hls.clock import ACT_CPU_RUN, SimulatedClock
 from ..hls.platform import SolutionConfig
 from ..hls.simulator import SimulationReport, simulate
-from ..interp import ExecLimits, Interpreter
+from ..interp import ExecLimits, make_engine
 
 #: CPU latency model: abstract interpreter steps to nanoseconds.  An
 #: abstract step is roughly one scalar operation; 1.5 ns/step models a
@@ -93,6 +93,7 @@ def run_cpu_reference(
     tests: Sequence[List[Any]],
     limits: Optional[ExecLimits] = None,
     clock: Optional[SimulatedClock] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[List[Optional[Tuple[Any, Tuple[Any, ...]]]], float]:
     """Execute the original program on every test.
 
@@ -100,7 +101,7 @@ def run_cpu_reference(
     which only happens for hostile fuzz inputs) and the average CPU
     latency in nanoseconds.
     """
-    interp = Interpreter(unit, limits=limits or ExecLimits())
+    interp = make_engine(unit, backend=backend, limits=limits or ExecLimits())
     observables: List[Optional[Tuple[Any, Tuple[Any, ...]]]] = []
     max_steps = 0
     runs = 0
@@ -133,6 +134,7 @@ def differential_test(
     reference: Optional[List[Optional[Tuple[Any, Tuple[Any, ...]]]]] = None,
     cpu_latency_ns: Optional[float] = None,
     max_faults: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> DiffReport:
     """Compare *candidate* (FPGA model) against *original* (CPU model).
 
@@ -142,11 +144,12 @@ def differential_test(
     tests = list(tests)
     if reference is None or cpu_latency_ns is None:
         reference, cpu_latency_ns = run_cpu_reference(
-            original, kernel_name, tests, limits=limits, clock=clock
+            original, kernel_name, tests, limits=limits, clock=clock,
+            backend=backend,
         )
     sim: SimulationReport = simulate(
         candidate, config, tests, clock=clock, limits=limits,
-        max_faults=max_faults,
+        max_faults=max_faults, backend=backend,
     )
     matching = 0
     untested = 0

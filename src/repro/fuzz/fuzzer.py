@@ -24,7 +24,7 @@ from typing import Any, List, Optional, Sequence
 
 from ..errors import FuzzError, InterpError
 from ..cfront import nodes as N
-from ..interp import CoverageRecorder, ExecLimits, Interpreter
+from ..interp import CoverageRecorder, ExecLimits, make_engine
 from ..hls.clock import ACT_FUZZING, SimulatedClock
 from .corpus import Corpus
 from .mutation import Mutator, random_seed_args
@@ -71,10 +71,13 @@ def get_kernel_seed(
     host_name: str,
     kernel_name: str,
     host_args: Sequence[Any],
+    backend: Optional[str] = None,
 ) -> List[List[Any]]:
     """Algorithm 1's ``getKernelSeed``: run the host program and capture
     the concrete arguments it passes to the kernel."""
-    interp = Interpreter(unit, capture_calls=kernel_name)
+    interp = make_engine(
+        unit, backend=backend, capture_calls=kernel_name, want_out_args=False
+    )
     try:
         interp.run(host_name, list(host_args))
     except InterpError as exc:
@@ -93,6 +96,7 @@ def fuzz_kernel(
     seeds: Optional[List[List[Any]]] = None,
     clock: Optional[SimulatedClock] = None,
     limits: Optional[ExecLimits] = None,
+    backend: Optional[str] = None,
 ) -> FuzzReport:
     """Run Algorithm 1 against *kernel_name* of *unit*."""
     config = config or FuzzConfig()
@@ -102,7 +106,11 @@ def fuzz_kernel(
         raise FuzzError(f"no kernel function named {kernel_name!r}")
     param_types = [p.type for p in kernel.params]
     mutator = Mutator(param_types, rng)
-    interp = Interpreter(unit, limits=limits or ExecLimits())
+    # The fuzz loop only consumes coverage, so skip out-arg materialization.
+    interp = make_engine(
+        unit, backend=backend, limits=limits or ExecLimits(),
+        want_out_args=False,
+    )
 
     corpus = Corpus()
     coverage = CoverageRecorder()
@@ -170,13 +178,17 @@ def coverage_of_suite(
     kernel_name: str,
     tests: List[List[Any]],
     limits: Optional[ExecLimits] = None,
+    backend: Optional[str] = None,
 ) -> float:
     """Branch coverage a fixed test suite achieves (Table 4's 'Existing'
     columns)."""
     kernel = unit.function(kernel_name)
     if kernel is None or kernel.body is None:
         raise FuzzError(f"no kernel function named {kernel_name!r}")
-    interp = Interpreter(unit, limits=limits or ExecLimits())
+    interp = make_engine(
+        unit, backend=backend, limits=limits or ExecLimits(),
+        want_out_args=False,
+    )
     coverage = CoverageRecorder()
     for args in tests:
         try:

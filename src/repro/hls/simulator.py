@@ -15,7 +15,7 @@ from typing import Any, List, Optional, Tuple
 
 from ..errors import InterpError
 from ..cfront import nodes as N
-from ..interp import ExecLimits, Interpreter
+from ..interp import ExecLimits, make_engine
 from .clock import ACT_SIMULATION, SimulatedClock
 from .platform import SolutionConfig
 from .schedule import ScheduleReport, estimate
@@ -68,6 +68,7 @@ def simulate(
     clock: Optional[SimulatedClock] = None,
     limits: Optional[ExecLimits] = None,
     max_faults: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> SimulationReport:
     """Run every test through the HLS functional model.
 
@@ -82,7 +83,9 @@ def simulate(
         of their tests buys no fitness signal.
     """
     report = SimulationReport()
-    interp = Interpreter(unit, limits=limits or ExecLimits(), hls_mode=True)
+    interp = make_engine(
+        unit, backend=backend, limits=limits or ExecLimits(), hls_mode=True
+    )
     kernel = config.top_name
     faults = 0
     for index, test in enumerate(tests):

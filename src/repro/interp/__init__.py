@@ -1,11 +1,24 @@
 """C interpreter substrate: execution, coverage, value profiling.
 
 Replaces native compilation + AFL instrumentation in the original paper's
-toolchain (see DESIGN.md).
+toolchain (see DESIGN.md).  Two execution backends share one semantics:
+the tree-walking :class:`Interpreter` and the closure-compiled
+:class:`CompiledEngine` (see ``repro.interp.compile``), with
+:class:`CrossCheckEngine` asserting they stay bit-identical.
 """
 
 from .coverage import CoverageRecorder, ValueProfile, branch_points
 from .interpreter import ExecLimits, ExecResult, Interpreter, run_program
+from .compile import (
+    BACKENDS,
+    BackendMismatch,
+    CompiledEngine,
+    CrossCheckEngine,
+    compile_program,
+    default_backend,
+    make_engine,
+    set_default_backend,
+)
 from .memory import (
     MemBlock,
     Pointer,
@@ -16,7 +29,11 @@ from .memory import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "BackendMismatch",
+    "CompiledEngine",
     "CoverageRecorder",
+    "CrossCheckEngine",
     "ExecLimits",
     "ExecResult",
     "Interpreter",
@@ -27,6 +44,10 @@ __all__ = [
     "ValueProfile",
     "branch_points",
     "c_to_python",
+    "compile_program",
+    "default_backend",
+    "make_engine",
     "python_to_c",
     "run_program",
+    "set_default_backend",
 ]

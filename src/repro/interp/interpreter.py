@@ -16,11 +16,15 @@ estimation, and an abstract step count used as the CPU latency model.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..errors import InterpError, InterpLimitExceeded, MemoryFault
+from ..errors import (
+    HlsSimulationFault,
+    InterpError,
+    InterpLimitExceeded,
+    MemoryFault,
+)
 from ..cfront import nodes as N
 from ..cfront import typesys as T
 from .builtins import BUILTINS, RawAlloc
@@ -101,11 +105,18 @@ class Interpreter:
         limits: Optional[ExecLimits] = None,
         hls_mode: bool = False,
         capture_calls: str = "",
+        want_out_args: bool = True,
     ) -> None:
         self.unit = unit
         self.limits = limits or ExecLimits()
+        # Budgets are read on every charge; hoist them out of the dataclass
+        # so the hot path is a plain int compare on instance slots.
+        self._max_steps = self.limits.max_steps
+        self._max_depth = self.limits.max_depth
+        self._max_heap = self.limits.max_heap_cells
         self.hls_mode = hls_mode
         self.capture_calls = capture_calls
+        self.want_out_args = want_out_args
         self.functions: Dict[str, N.FunctionDef] = {}
         self.methods: Dict[Tuple[str, str], N.FunctionDef] = {}
         self.structs: Dict[str, T.StructType] = {}
@@ -134,16 +145,27 @@ class Interpreter:
         self.captured: List[List[Any]] = []
         self.globals: Dict[str, MemBlock] = {}
         self.statics: Dict[int, MemBlock] = {}
-        self._init_globals()
-        runtime_args: List[Any] = []
-        for param, arg in zip(func.params, args):
-            runtime_args.append(python_to_c(arg, param.type, self.structs))
-        if len(args) != len(func.params):
-            raise InterpError(
-                f"{func_name} expects {len(func.params)} args, got {len(args)}"
-            )
-        value = self._call_function(func, runtime_args, this=None)
-        out_args = [c_to_python(a) for a in runtime_args]
+        try:
+            self._init_globals()
+            runtime_args: List[Any] = []
+            for param, arg in zip(func.params, args):
+                runtime_args.append(python_to_c(arg, param.type, self.structs))
+            if len(args) != len(func.params):
+                raise InterpError(
+                    f"{func_name} expects {len(func.params)} args, got {len(args)}"
+                )
+            value = self._call_function(func, runtime_args, this=None)
+        except MemoryFault as exc:
+            if self.hls_mode and getattr(exc, "oob_array", False):
+                # Finite hardware semantics: indexing past the end of a
+                # static array is a simulation fault, not a soft memory error.
+                raise HlsSimulationFault(str(exc)) from exc
+            raise
+        # Materializing out-args deep-copies every array argument; callers
+        # that only consume coverage (the fuzzer) opt out.
+        out_args = (
+            [c_to_python(a) for a in runtime_args] if self.want_out_args else []
+        )
         return ExecResult(
             value=c_to_python(value),
             out_args=out_args,
@@ -220,14 +242,14 @@ class Interpreter:
 
     def _charge(self, cost: int) -> None:
         self.steps += cost
-        if self.steps > self.limits.max_steps:
+        if self.steps > self._max_steps:
             raise InterpLimitExceeded(
-                f"step budget of {self.limits.max_steps} exceeded"
+                f"step budget of {self._max_steps} exceeded"
             )
 
     def _charge_heap(self, cells: int) -> None:
         self.heap_cells += cells
-        if self.heap_cells > self.limits.max_heap_cells:
+        if self.heap_cells > self._max_heap:
             raise InterpLimitExceeded("heap budget exceeded")
 
     def _coerce(self, value: Any, ctype: T.CType) -> Any:
@@ -253,10 +275,10 @@ class Interpreter:
         self, func: N.FunctionDef, args: List[Any], this: Optional[StructValue]
     ) -> Any:
         self.depth += 1
-        if self.depth > self.limits.max_depth:
+        if self.depth > self._max_depth:
             self.depth -= 1
             raise InterpLimitExceeded(
-                f"recursion depth {self.limits.max_depth} exceeded in {func.name!r}"
+                f"recursion depth {self._max_depth} exceeded in {func.name!r}"
             )
         self._charge(_COST_CALL)
         scope: Dict[str, MemBlock] = {}
@@ -759,9 +781,22 @@ def run_program(
     limits: Optional[ExecLimits] = None,
     hls_mode: bool = False,
     capture_calls: str = "",
+    backend: Optional[str] = None,
+    want_out_args: bool = True,
 ) -> ExecResult:
-    """One-shot convenience wrapper around :class:`Interpreter`."""
-    interp = Interpreter(
-        unit, limits=limits, hls_mode=hls_mode, capture_calls=capture_calls
+    """One-shot convenience wrapper around an execution engine.
+
+    *backend* selects tree / compiled / cross (defaulting to the process
+    default, see :func:`repro.interp.compile.default_backend`).
+    """
+    from .compile import make_engine  # deferred: compile imports this module
+
+    engine = make_engine(
+        unit,
+        backend=backend,
+        limits=limits,
+        hls_mode=hls_mode,
+        capture_calls=capture_calls,
+        want_out_args=want_out_args,
     )
-    return interp.run(func_name, args)
+    return engine.run(func_name, args)

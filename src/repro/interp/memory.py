@@ -84,10 +84,14 @@ class MemBlock:
         if not self.alive:
             raise MemoryFault(f"use after free of block {self.label!r}")
         if not 0 <= offset < len(self.cells):
-            raise MemoryFault(
+            fault = MemoryFault(
                 f"index {offset} out of bounds for block {self.label!r} "
                 f"of {len(self.cells)} elements"
             )
+            # HLS-mode executions upgrade overflow of a *static array* to a
+            # simulation fault; heap blocks and pointer inputs stay soft.
+            fault.oob_array = self.is_array  # type: ignore[attr-defined]
+            raise fault
 
     def load(self, offset: int) -> Any:
         self.check(offset)

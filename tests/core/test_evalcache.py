@@ -227,3 +227,42 @@ class TestSharedCacheAcrossRuns:
 
         # ... while remaining indistinguishable in simulated terms.
         assert_equivalent(cold, warm)
+
+
+class TestBackendIndependentKeys:
+    """Cache keys must carry no execution-backend information: both
+    backends are bit-identical in every simulated measurement, so an
+    entry written under the tree-walker is valid under the compiled
+    engine (and vice versa)."""
+
+    def evaluate_once(self, cache, backend):
+        unit = parse(BROKEN_SRC, top_name="kernel")
+        search = RepairSearch(
+            original=unit,
+            kernel_name="kernel",
+            tests=TESTS,
+            config=SearchConfig(max_iterations=10, interp_backend=backend),
+            clock=SimulatedClock(),
+            cache=cache,
+        )
+        candidate = Candidate(unit=unit, config=SolutionConfig(top_name="kernel"))
+        return search.evaluate(candidate), search
+
+    def test_tree_populated_cache_hits_under_compiled(self):
+        cache = EvalCache()
+        cold_eval, cold_search = self.evaluate_once(cache, "tree")
+        assert cold_search.stats.cache_misses == 1
+        assert cold_search.stats.cache_hits == 0
+
+        warm_eval, warm_search = self.evaluate_once(cache, "compiled")
+        assert warm_search.stats.cache_hits == 1
+        assert warm_search.stats.cache_misses == 0
+        assert warm_eval.fitness == cold_eval.fitness
+
+    def test_context_token_lacks_backend_marker(self):
+        """The regression this guards against: someone 'helpfully' adding
+        the backend name to the cache context, silently halving the hit
+        ratio of mixed-backend runs."""
+        _eval, tree_search = self.evaluate_once(EvalCache(), "tree")
+        _eval, compiled_search = self.evaluate_once(EvalCache(), "compiled")
+        assert tree_search._cache_context == compiled_search._cache_context

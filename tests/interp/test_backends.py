@@ -1,0 +1,345 @@
+"""Backend equivalence: the tree-walker vs the closure-compiled engine.
+
+Edge semantics that historically diverge between interpreter
+implementations — integer wrap at every width, pointer arithmetic across
+block boundaries, short-circuit step charges, HLS static-array faults —
+asserted identical across both backends, plus the cross-check harness
+and the backend-selection machinery themselves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfront import parse
+from repro.errors import HlsSimulationFault, InterpError, MemoryFault
+from repro.interp import (
+    BACKENDS,
+    BackendMismatch,
+    CompiledEngine,
+    CrossCheckEngine,
+    ExecLimits,
+    Interpreter,
+    compile_program,
+    default_backend,
+    make_engine,
+    run_program,
+    set_default_backend,
+)
+from repro.interp.compile import CompiledProgram
+
+BOTH = pytest.mark.parametrize("backend", ["tree", "compiled"])
+
+
+def run_c(source, func, args, backend, **kwargs):
+    return run_program(parse(source), func, args, backend=backend, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Integer wrap at every width
+# ---------------------------------------------------------------------------
+
+SIGNED = [("char", 8), ("short", 16), ("int", 32), ("long", 64)]
+UNSIGNED = [
+    ("unsigned char", 8),
+    ("unsigned short", 16),
+    ("unsigned", 32),
+    ("unsigned long", 64),
+]
+
+
+@BOTH
+@pytest.mark.parametrize("cname,bits", SIGNED)
+def test_signed_overflow_wraps(backend, cname, bits):
+    src = f"{cname} bump({cname} x) {{ return x + 1; }}"
+    top = (1 << (bits - 1)) - 1
+    result = run_c(src, "bump", [top], backend)
+    assert result.value == -(1 << (bits - 1))
+
+
+@BOTH
+@pytest.mark.parametrize("cname,bits", SIGNED)
+def test_signed_underflow_wraps(backend, cname, bits):
+    src = f"{cname} dip({cname} x) {{ return x - 1; }}"
+    bottom = -(1 << (bits - 1))
+    result = run_c(src, "dip", [bottom], backend)
+    assert result.value == (1 << (bits - 1)) - 1
+
+
+@BOTH
+@pytest.mark.parametrize("cname,bits", UNSIGNED)
+def test_unsigned_overflow_wraps_to_zero(backend, cname, bits):
+    src = f"{cname} bump({cname} x) {{ return x + 1; }}"
+    result = run_c(src, "bump", [(1 << bits) - 1], backend)
+    assert result.value == 0
+
+
+@BOTH
+@pytest.mark.parametrize("cname,bits", UNSIGNED)
+def test_unsigned_underflow_wraps_to_max(backend, cname, bits):
+    src = f"{cname} dip({cname} x) {{ return x - 1; }}"
+    result = run_c(src, "dip", [0], backend)
+    assert result.value == (1 << bits) - 1
+
+
+@BOTH
+@pytest.mark.parametrize("bits", [3, 7, 12, 23])
+def test_fpga_int_wrap(backend, bits):
+    src = f"""
+    #include "fpga.h"
+    int bump(int x) {{
+        fpga_uint<{bits}> v = x;
+        v = v + 1;
+        return (int)v;
+    }}
+    """
+    result = run_c(src, "bump", [(1 << bits) - 1], backend)
+    assert result.value == 0
+
+
+# ---------------------------------------------------------------------------
+# Pointer arithmetic across MemBlock boundaries
+# ---------------------------------------------------------------------------
+
+WALK_SRC = """
+int poke(int n) {
+    int a[4];
+    a[0] = 7; a[1] = 8; a[2] = 9; a[3] = 10;
+    int *p = a;
+    p = p + n;
+    return *p;
+}
+"""
+
+
+@BOTH
+def test_pointer_walk_in_bounds(backend):
+    assert run_c(WALK_SRC, "poke", [3], backend).value == 10
+
+
+@BOTH
+def test_pointer_walks_off_block_faults(backend):
+    with pytest.raises(MemoryFault):
+        run_c(WALK_SRC, "poke", [4], backend)
+    with pytest.raises(MemoryFault):
+        run_c(WALK_SRC, "poke", [-1], backend)
+
+
+def test_pointer_fault_messages_identical():
+    """A divergent diagnostic would trip the cross-check harness."""
+    excs = []
+    for backend in ("tree", "compiled"):
+        with pytest.raises(MemoryFault) as info:
+            run_c(WALK_SRC, "poke", [4], backend)
+        excs.append(str(info.value))
+    assert excs[0] == excs[1]
+
+
+@BOTH
+def test_cross_block_pointer_difference_faults(backend):
+    src = """
+    int gap() {
+        int a[4];
+        int b[4];
+        int *p = a;
+        int *q = b;
+        return q - p;
+    }
+    """
+    with pytest.raises(InterpError):
+        run_c(src, "gap", [], backend)
+
+
+# ---------------------------------------------------------------------------
+# Short-circuit step charges
+# ---------------------------------------------------------------------------
+
+SHORT_AND = """
+int guard(int a, int b) {
+    if (a != 0 && b / a > 1) { return 1; }
+    return 0;
+}
+"""
+
+SHORT_OR = """
+int fallback(int a, int b) {
+    if (a == 0 || b / a > 1) { return 1; }
+    return 0;
+}
+"""
+
+
+@pytest.mark.parametrize("src,args", [
+    (SHORT_AND, [0, 10]),
+    (SHORT_AND, [3, 10]),
+    (SHORT_OR, [0, 10]),
+    (SHORT_OR, [3, 10]),
+])
+def test_short_circuit_step_charges_match(src, args):
+    unit = parse(src)
+    func = "guard" if src is SHORT_AND else "fallback"
+    tree = run_program(unit, func, args, backend="tree")
+    compiled = run_program(unit, func, args, backend="compiled")
+    assert tree.value == compiled.value
+    assert tree.steps == compiled.steps
+
+
+def test_short_circuit_skips_rhs_charges():
+    unit = parse(SHORT_AND)
+    taken = run_program(unit, "guard", [3, 10], backend="compiled")
+    skipped = run_program(unit, "guard", [0, 10], backend="compiled")
+    # a == 0 short-circuits past the division, so fewer abstract steps —
+    # and crucially no division fault.
+    assert skipped.steps < taken.steps
+    assert skipped.value == 0
+
+
+# ---------------------------------------------------------------------------
+# HLS-mode faults
+# ---------------------------------------------------------------------------
+
+OVERFLOW_SRC = """
+int kernel(int n) {
+    int a[4];
+    for (int i = 0; i < n; i++) { a[i] = i; }
+    return a[0];
+}
+"""
+
+
+@BOTH
+def test_static_array_overflow_is_hls_fault(backend):
+    with pytest.raises(HlsSimulationFault):
+        run_c(OVERFLOW_SRC, "kernel", [5], backend, hls_mode=True)
+
+
+@BOTH
+def test_static_array_overflow_is_memory_fault_on_cpu(backend):
+    with pytest.raises(MemoryFault) as info:
+        run_c(OVERFLOW_SRC, "kernel", [5], backend, hls_mode=False)
+    assert not isinstance(info.value, HlsSimulationFault)
+
+
+# ---------------------------------------------------------------------------
+# Whole-result equivalence on a meaty program
+# ---------------------------------------------------------------------------
+
+def test_full_result_identical_on_recursive_program(tree_source):
+    unit = parse(tree_source)
+    args = [[5, 3, 8, 1, 4, 9, 2, 7, 6, 0, 11, 13, 12, 10, 15, 14], 16]
+    tree = run_program(unit, "kernel", args, backend="tree")
+    compiled = run_program(unit, "kernel", args, backend="compiled")
+    assert tree.observable() == compiled.observable()
+    assert tree.steps == compiled.steps
+    assert tree.coverage.hits == compiled.coverage.hits
+
+
+@BOTH
+def test_want_out_args_gating(backend, sum_array_source):
+    unit = parse(sum_array_source)
+    args = [[1, 2, 3, 4, 5, 6, 7, 8], 8]
+    lean = make_engine(unit, backend=backend, want_out_args=False)
+    full = make_engine(unit, backend=backend)
+    lean_result = lean.run("sum_array", list(args))
+    full_result = full.run("sum_array", list(args))
+    assert lean_result.out_args == []
+    assert full_result.out_args  # materialized
+    assert lean_result.value == full_result.value
+    assert lean_result.steps == full_result.steps
+
+
+# ---------------------------------------------------------------------------
+# The cross-check harness itself
+# ---------------------------------------------------------------------------
+
+def test_cross_backend_runs_and_agrees(sum_array_source):
+    engine = make_engine(parse(sum_array_source), backend="cross")
+    assert isinstance(engine, CrossCheckEngine)
+    result = engine.run("sum_array", [[1, 2, 3, 4, 5, 6, 7, 8], 4])
+    assert result.value == 10
+
+
+def test_cross_backend_compares_exceptions():
+    engine = make_engine(parse(WALK_SRC), backend="cross")
+    with pytest.raises(MemoryFault):
+        engine.run("poke", [4])
+
+
+def test_cross_backend_detects_value_divergence(sum_array_source):
+    engine = make_engine(parse(sum_array_source), backend="cross")
+    real_run = engine.compiled.run
+
+    def tampered(func_name, args):
+        result = real_run(func_name, args)
+        result.value += 1
+        return result
+
+    engine.compiled.run = tampered
+    with pytest.raises(BackendMismatch):
+        engine.run("sum_array", [[1, 2, 3, 4, 5, 6, 7, 8], 4])
+
+
+def test_cross_backend_detects_missing_exception(sum_array_source):
+    engine = make_engine(parse(WALK_SRC), backend="cross")
+    engine.compiled.run = lambda func_name, args: None  # swallows the fault
+    with pytest.raises(BackendMismatch):
+        engine.run("poke", [4])
+
+
+def test_backend_mismatch_is_not_interp_error():
+    """The harness treats InterpError as a candidate fault; a backend bug
+    must never be swallowed that way."""
+    assert not issubclass(BackendMismatch, InterpError)
+    assert issubclass(BackendMismatch, AssertionError)
+
+
+# ---------------------------------------------------------------------------
+# Backend selection and the compile cache
+# ---------------------------------------------------------------------------
+
+def test_make_engine_types(sum_array_source):
+    unit = parse(sum_array_source)
+    assert isinstance(make_engine(unit, backend="tree"), Interpreter)
+    assert isinstance(make_engine(unit, backend="compiled"), CompiledEngine)
+    assert isinstance(make_engine(unit, backend="cross"), CrossCheckEngine)
+    with pytest.raises(ValueError):
+        make_engine(unit, backend="bogus")
+
+
+def test_default_backend_roundtrip(sum_array_source):
+    unit = parse(sum_array_source)
+    original = default_backend()
+    try:
+        set_default_backend("tree")
+        assert isinstance(make_engine(unit), Interpreter)
+        set_default_backend("compiled")
+        assert isinstance(make_engine(unit), CompiledEngine)
+        with pytest.raises(ValueError):
+            set_default_backend("bogus")
+    finally:
+        set_default_backend(original)
+    assert set(BACKENDS) == {"tree", "compiled", "cross"}
+
+
+def test_compiled_program_cached_per_unit(sum_array_source):
+    unit = parse(sum_array_source)
+    assert compile_program(unit) is compile_program(unit)
+
+
+def test_clone_recompiles(sum_array_source):
+    from repro.cfront.nodes import clone
+
+    unit = parse(sum_array_source)
+    program = compile_program(unit)
+    copy_unit = clone(unit)
+    # The stale compilation must not travel into the clone: an edited
+    # clone executing the original's closures would be a silent miscompile.
+    assert copy_unit.__dict__.get("_compiled_program") is None
+    recompiled = compile_program(copy_unit)
+    assert isinstance(recompiled, CompiledProgram)
+    assert recompiled is not program
+    args = [[1, 2, 3, 4, 5, 6, 7, 8], 8]
+    assert (
+        run_program(unit, "sum_array", args, backend="compiled").value
+        == run_program(copy_unit, "sum_array", args, backend="compiled").value
+    )

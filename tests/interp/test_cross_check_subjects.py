@@ -1,0 +1,58 @@
+"""Acceptance: both backends stay bit-identical across the Table 3 subjects.
+
+Fuzzing each subject under ``backend="cross"`` executes every generated
+input through both the tree-walker and the closure-compiled engine and
+asserts identical observables, step counts, coverage hits and value
+profiles.  :class:`BackendMismatch` is an ``AssertionError``, not an
+``InterpError``, so a divergence is never swallowed as an ordinary
+candidate fault — it fails the fuzz campaign (and this test) outright.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import FuzzConfig, fuzz_kernel, get_kernel_seed
+from repro.interp import ExecLimits, make_engine
+from repro.errors import InterpError
+from repro.subjects import all_subjects
+
+#: Modest CI budget; the ad-hoc sweep used during development ran each
+#: subject at several hundred executions with zero mismatches.
+CROSS_EXECS = 120
+
+LIMITS = ExecLimits(max_steps=60_000, max_depth=128)
+
+SUBJECTS = all_subjects()
+
+
+@pytest.mark.parametrize("subject", SUBJECTS, ids=[s.id for s in SUBJECTS])
+def test_fuzz_corpus_cross_checks(subject):
+    unit = subject.parse()
+    seeds = subject.existing_test_list() or None
+    if subject.host:
+        try:
+            seeds = get_kernel_seed(
+                unit, subject.host, subject.kernel, list(subject.host_args),
+                backend="cross",
+            ) + (seeds or [])
+        except InterpError:
+            pass
+    report = fuzz_kernel(
+        unit,
+        subject.kernel,
+        FuzzConfig(max_execs=CROSS_EXECS, plateau_execs=CROSS_EXECS, seed=7),
+        seeds=seeds,
+        limits=LIMITS,
+        backend="cross",
+    )
+    assert report.execs > 0
+
+    # Replay part of the corpus in HLS mode: the wrap/fault translation
+    # path must agree between backends too.
+    engine = make_engine(unit, backend="cross", limits=LIMITS, hls_mode=True)
+    for test in report.suite(20):
+        try:
+            engine.run(subject.kernel, test)
+        except InterpError:
+            pass  # a fault is fine — only divergence is not
