@@ -64,8 +64,18 @@ def clone(node: Node) -> Node:
     Edits operate on clones so the pristine program survives; preserved
     uids let diagnostics produced against the original still locate nodes
     in the copy.
+
+    A clone is made to be mutated in place, so any cached content
+    fingerprints (see :mod:`repro.cfront.fingerprint`) are dropped from
+    the copy — a mutated declaration carrying an inherited digest would
+    be silently stale.  Edits that can bound their rewrite re-inherit
+    the surviving entries through ``edits/base.cloned_unit``.
     """
-    return copy.deepcopy(node)
+    copied = copy.deepcopy(node)
+    if isinstance(copied, TranslationUnit):
+        copied.__dict__.pop("_fp_table", None)
+        copied.__dict__.pop("_unit_fp", None)
+    return copied
 
 
 # --------------------------------------------------------------------------

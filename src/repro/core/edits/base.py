@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ...cfront import fingerprint
 from ...cfront import nodes as N
 from ...cfront.nodes import clone
 from ...hls.diagnostics import Diagnostic, ErrorType
@@ -125,8 +126,40 @@ class Edit(abc.ABC):
         return f"<Edit {self.signature or self.name}>"
 
 
-def cloned_unit(candidate: Candidate) -> N.TranslationUnit:
-    """Deep-copy the candidate's unit for in-place rewriting."""
+def cloned_unit(
+    candidate: Candidate,
+    dirty: Optional[Sequence[str]] = None,
+) -> N.TranslationUnit:
+    """Deep-copy the candidate's unit for in-place rewriting.
+
+    *dirty* names the top-level declarations (function names, global or
+    typedef names, struct tags) the caller is about to mutate in the
+    clone.  Cached content fingerprints of every *other* declaration are
+    inherited from the parent so downstream incremental caches keep
+    hitting (see :mod:`repro.cfront.fingerprint`).  ``dirty=None`` means
+    the rewrite's extent is unknown: nothing is inherited and every
+    digest is recomputed lazily — always safe, never wrong.
+    """
     unit = clone(candidate.unit)
     assert isinstance(unit, N.TranslationUnit)
+    if dirty is not None:
+        fingerprint.inherit_fingerprints(unit, candidate.unit, dirty)
     return unit
+
+
+def owning_decl_names(
+    unit: N.TranslationUnit, node_uid: int
+) -> Optional[List[str]]:
+    """Dirty-set for an edit anchored at *node_uid*: the name (or struct
+    tag) of the top-level declaration whose subtree contains the node.
+    Returns None when the node cannot be located — callers pass that
+    straight to :func:`cloned_unit`, where None means "invalidate
+    everything"."""
+    for decl in unit.decls:
+        for node in decl.walk():
+            if node.uid == node_uid:
+                if isinstance(decl, N.StructDef):
+                    return [decl.tag]
+                name = getattr(decl, "name", "")
+                return [name] if name else None
+    return None

@@ -56,7 +56,7 @@ class DeleteDataflowEdit(Edit):
         return out
 
     def _apply(self, candidate: Candidate, func_name: str, label: str):
-        unit = cloned_unit(candidate)
+        unit = cloned_unit(candidate, dirty=[func_name])
         func = unit.function(func_name)
         if func is None or func.body is None:
             return None
@@ -294,7 +294,7 @@ class MoveDataflowEdit(Edit):
         return None
 
     def _apply(self, candidate: Candidate, func_name: str, label: str):
-        unit = cloned_unit(candidate)
+        unit = cloned_unit(candidate, dirty=[func_name])
         func = unit.function(func_name)
         if func is None or func.body is None:
             return None

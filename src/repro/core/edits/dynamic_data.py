@@ -292,7 +292,7 @@ class StackTransEdit(Edit):
     # -- transformation --------------------------------------------------------
 
     def _apply(self, candidate: Candidate, func_name: str, label: str):
-        unit = cloned_unit(candidate)
+        unit = cloned_unit(candidate, dirty=[func_name])
         func = unit.function(func_name)
         if func is None or func.body is None or not self._convertible(func):
             return None

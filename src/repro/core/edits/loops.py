@@ -29,7 +29,7 @@ from ...cfront import typesys as T
 from ...cfront.visitor import find_all, parent_map
 from ...hls.diagnostics import ErrorType
 from ...hls.pragmas import loop_pragmas, parse_pragma
-from .base import Candidate, Edit, EditApplication, cloned_unit
+from .base import Candidate, Edit, EditApplication, cloned_unit, owning_decl_names
 
 #: Factors tried by the exploration edits.
 UNROLL_FACTORS = (2, 4, 8)
@@ -80,7 +80,9 @@ class IndexStaticEdit(Edit):
         return out
 
     def _apply(self, candidate: Candidate, loop_uid: int, label: str):
-        unit = cloned_unit(candidate)
+        unit = cloned_unit(
+            candidate, dirty=owning_decl_names(candidate.unit, loop_uid)
+        )
         for _func, loop in _loops_in(unit):
             if loop.uid != loop_uid:
                 continue
@@ -151,7 +153,9 @@ class ExploreUnrollEdit(Edit):
         return out
 
     def _set_factor(self, candidate: Candidate, loop_uid: int, factor: int, label: str):
-        unit = cloned_unit(candidate)
+        unit = cloned_unit(
+            candidate, dirty=owning_decl_names(candidate.unit, loop_uid)
+        )
         pragma_node = self._unroll_pragma_of(unit, loop_uid)
         if pragma_node is None:
             return None
@@ -159,7 +163,9 @@ class ExploreUnrollEdit(Edit):
         return candidate.with_unit(unit, label)
 
     def _delete_unroll(self, candidate: Candidate, loop_uid: int, label: str):
-        unit = cloned_unit(candidate)
+        unit = cloned_unit(
+            candidate, dirty=owning_decl_names(candidate.unit, loop_uid)
+        )
         pragma_node = self._unroll_pragma_of(unit, loop_uid)
         if pragma_node is None:
             return None
@@ -227,7 +233,9 @@ class MemResetEdit(Edit):
     def _apply(self, candidate: Candidate, loop_uid: int, array_name: str, label: str):
         from ...cfront.parser import parse_fragment_stmts
 
-        unit = cloned_unit(candidate)
+        unit = cloned_unit(
+            candidate, dirty=owning_decl_names(candidate.unit, loop_uid)
+        )
         size = None
         for decl in find_all(unit, N.VarDecl):
             if decl.name == array_name:
@@ -357,7 +365,9 @@ class PerfPragmaEdit(Edit):
 
     @staticmethod
     def _insert_at_loop_tail(candidate: Candidate, loop_uid: int, text: str, label: str):
-        unit = cloned_unit(candidate)
+        unit = cloned_unit(
+            candidate, dirty=owning_decl_names(candidate.unit, loop_uid)
+        )
         for func in unit.functions():
             if func.body is None:
                 continue
@@ -373,7 +383,9 @@ class PerfPragmaEdit(Edit):
 
     @staticmethod
     def _insert_before_loop(candidate: Candidate, loop_uid: int, text: str, label: str):
-        unit = cloned_unit(candidate)
+        unit = cloned_unit(
+            candidate, dirty=owning_decl_names(candidate.unit, loop_uid)
+        )
         for func in unit.functions():
             if func.body is None:
                 continue
@@ -438,7 +450,9 @@ class PerfPragmaEdit(Edit):
 
     @staticmethod
     def _insert_loop_pragma(candidate: Candidate, loop_uid: int, text: str, label: str):
-        unit = cloned_unit(candidate)
+        unit = cloned_unit(
+            candidate, dirty=owning_decl_names(candidate.unit, loop_uid)
+        )
         for func in unit.functions():
             if func.body is None:
                 continue
@@ -456,7 +470,7 @@ class PerfPragmaEdit(Edit):
     def _insert_partition(
         candidate: Candidate, func_name: str, array_name: str, factor: int, label: str
     ):
-        unit = cloned_unit(candidate)
+        unit = cloned_unit(candidate, dirty=[func_name])
         func = unit.function(func_name)
         if func is None or func.body is None:
             return None

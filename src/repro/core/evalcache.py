@@ -56,6 +56,7 @@ from dataclasses import dataclass
 from typing import Any, Optional, Sequence, Tuple
 
 from ..cfront import nodes as N
+from ..cfront.fingerprint import incremental_enabled, unit_fingerprint
 from ..cfront.printer import render
 from ..difftest import DiffReport
 from ..hls.clock import ChargeEvent
@@ -89,16 +90,50 @@ def candidate_key(
     config: SolutionConfig,
     context: str = "",
 ) -> str:
-    """Canonical cache key: hash of the pretty-printed source, the
-    solution knobs and the evaluation-context token."""
+    """Canonical cache key: hash of the candidate source, the solution
+    knobs and the evaluation-context token.
+
+    Incrementally (the default), the source component is the unit's
+    structural fingerprint — combined from cached per-declaration
+    digests, so an edited candidate re-hashes only the declarations its
+    edit touched instead of pretty-printing the whole unit.  The
+    fingerprint distinguishes at least everything the pretty-printer
+    distinguishes (every semantic AST field), so the incremental key is
+    finer-or-equal: it can only turn would-be hits into misses, and a
+    miss re-runs the deterministic toolchain — results stay bit-identical
+    either way.  ``REPRO_INCREMENTAL=0`` restores the render-based key.
+    """
     digest = hashlib.sha256()
-    digest.update(render(unit).encode())
+    if incremental_enabled():
+        digest.update(b"fp:")
+        digest.update(unit_fingerprint(unit).encode())
+    else:
+        digest.update(render(unit).encode())
     digest.update(
         f"|top={config.top_name}|dev={config.device}"
         f"|clk={config.clock_period_ns!r}|".encode()
     )
     digest.update(context.encode())
     return digest.hexdigest()
+
+
+def cached_candidate_key(candidate: Any, context: str = "") -> str:
+    """:func:`candidate_key` memoized on the candidate object itself.
+
+    The speculative fan-out recomputes the key for the frontier's best
+    entries on *every* iteration; a candidate's unit and config are
+    immutable once published, so the key is computed once and stashed on
+    the (frozen) dataclass via ``object.__setattr__``.  The context token
+    is kept alongside so a candidate crossing into another search (a
+    shared frontier would be a bug, but a cheap guard beats a silent
+    cross-context hit) never reuses a stale key.
+    """
+    memo = candidate.__dict__.get("_cache_key")
+    if memo is not None and memo[0] == context:
+        return memo[1]
+    key = candidate_key(candidate.unit, candidate.config, context)
+    object.__setattr__(candidate, "_cache_key", (context, key))
+    return key
 
 
 def context_token(

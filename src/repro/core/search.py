@@ -32,7 +32,12 @@ from ..interp import ExecLimits
 from .classification import RepairLocalizer, classify
 from .dependence import ordered_applications, unordered_applications
 from .edits import Candidate, EditRegistry, RepairContext, build_registry
-from .evalcache import CachedEvaluation, EvalCache, candidate_key, context_token
+from .evalcache import (
+    CachedEvaluation,
+    EvalCache,
+    cached_candidate_key,
+    context_token,
+)
 from .fitness import Fitness, fitness_from_reports
 
 #: Fault budget per fitness evaluation: deeply broken candidates fault on
@@ -282,7 +287,7 @@ class RepairSearch:
         ):
             if len(self._inflight) >= self.config.workers * 2:
                 break
-            key = candidate_key(candidate.unit, candidate.config, self._cache_context)
+            key = cached_candidate_key(candidate, self._cache_context)
             if key in self._inflight:
                 continue
             if self.cache is not None and self.cache.contains(key):
@@ -303,11 +308,19 @@ class RepairSearch:
         raw: Optional[CachedEvaluation] = None
         key: Optional[str] = None
         if self.cache is not None or self._inflight:
-            key = candidate_key(candidate.unit, candidate.config, self._cache_context)
+            key = cached_candidate_key(candidate, self._cache_context)
         if self.cache is not None and key is not None:
             raw = self.cache.get(key)
         if raw is not None:
             self.stats.cache_hits += 1
+            # A speculative run for the same key may still be in flight
+            # (submitted before the entry landed): pop and cancel it so
+            # it stops occupying an inflight slot — and a worker — until
+            # shutdown.
+            if key is not None:
+                stale = self._inflight.pop(key, None)
+                if stale is not None:
+                    stale.cancel()
         else:
             future = self._inflight.pop(key, None) if key is not None else None
             raw = future.result() if future is not None else self._run_toolchain(candidate)

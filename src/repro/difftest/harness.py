@@ -67,7 +67,17 @@ class DiffReport:
 
 
 def outputs_equal(left: Any, right: Any) -> bool:
-    """Structural comparison with float tolerance."""
+    """Structural comparison with float tolerance.
+
+    Fast path: exact equality implies tolerant equality (ints compare
+    exactly; ``1 == 1.0`` is also isclose; ``==`` never equates NaNs, so
+    the NaN==NaN rule is untouched), and the overwhelmingly common case —
+    int-only nested lists from a passing candidate — short-circuits in a
+    single C-level comparison instead of a Python walk.  Only a ``False``
+    falls through to the tolerant traversal, so mixed list/tuple shapes
+    and near-equal floats behave exactly as before."""
+    if left == right:
+        return True
     if isinstance(left, (list, tuple)) and isinstance(right, (list, tuple)):
         if len(left) != len(right):
             return False

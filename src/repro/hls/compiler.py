@@ -27,22 +27,42 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from ..cfront import nodes as N
 from ..cfront import typesys as T
+from ..cfront.fingerprint import (
+    exact_fp,
+    incremental_enabled,
+    structural_fp,
+    unit_fingerprint,
+)
 from ..cfront.printer import count_loc
 from ..cfront.visitor import find_all
 from . import diagnostics as D
 from .clock import ACT_HLS_COMPILE, SimulatedClock
+from .memo import AnalysisCache
 from .platform import DEVICES, SolutionConfig
 from .pragmas import has_dataflow, loop_pragmas, parse_pragma
-from .schedule import estimate
+from .schedule import estimate, static_tripcount
 
 #: Simulated seconds charged per full compilation: a base plus a
 #: per-line cost, landing in the "minutes" regime the paper describes.
 COMPILE_BASE_SECONDS = 90.0
 COMPILE_SECONDS_PER_LOC = 1.5
+
+#: Sub-analysis memos, content-addressed by AST fingerprints (see
+#: :mod:`repro.cfront.fingerprint`).  Diagnostic tuples are keyed by the
+#: *exact* fingerprint — equal exact digests mean value-identical
+#: subtrees, so the cached diagnostics (which embed node uids) are
+#: bit-identical to a recomputation.  Name- and bool-valued results
+#: (callee sequences, parameter-write analysis, LOC counts) depend only
+#: on semantic content and use the coarser *structural* fingerprint,
+#: which also hits across re-parsed copies.
+_DIAG_MEMO = AnalysisCache("compile.check_diags")
+_CALLEE_SEQ_MEMO = AnalysisCache("compile.callee_seq")
+_PARAM_WRITTEN_MEMO = AnalysisCache("compile.param_written")
+_LOC_MEMO = AnalysisCache("compile.count_loc")
 
 #: Real (not simulated) invocations of :func:`compile_unit` since process
 #: start.  The evaluation cache asserts against this: a cache hit must
@@ -58,8 +78,18 @@ def compile_invocations() -> int:
 
 
 def compile_seconds_for(unit: N.TranslationUnit) -> float:
-    """The simulated cost one full compilation of *unit* will charge."""
-    return COMPILE_BASE_SECONDS + COMPILE_SECONDS_PER_LOC * count_loc(unit)
+    """The simulated cost one full compilation of *unit* will charge.
+
+    The LOC count is memoized by unit fingerprint; the charge itself is
+    always issued live by :func:`compile_unit`, and an identical count
+    yields an identical charge — the clock journal cannot diverge."""
+    if incremental_enabled():
+        loc = _LOC_MEMO.get_or_compute(
+            ("loc", unit_fingerprint(unit)), lambda: count_loc(unit)
+        )
+    else:
+        loc = count_loc(unit)
+    return COMPILE_BASE_SECONDS + COMPILE_SECONDS_PER_LOC * loc
 
 
 def compile_unit(
@@ -90,6 +120,47 @@ class _Checker:
         # are computed once and reused across all ~10 checks.
         self._reachable: Optional[List[N.FunctionDef]] = None
         self._var_decls: Optional[List[N.VarDecl]] = None
+
+    # -- incremental helpers -----------------------------------------------------
+
+    def _memo_diags(
+        self,
+        check: str,
+        func: N.FunctionDef,
+        context: Hashable,
+        compute: Callable[[], Sequence[D.Diagnostic]],
+    ) -> None:
+        """Append *compute*'s per-function diagnostics, memoized by the
+        function's exact fingerprint plus whatever unit-level *context*
+        the check reads.  Each check keeps its own outer loop over the
+        reachable functions, so the report's diagnostic order is exactly
+        the legacy order whether entries hit or miss."""
+        if not incremental_enabled():
+            self.diags.extend(compute())
+            return
+        key = (check, exact_fp(self.unit, func), context)
+        self.diags.extend(
+            _DIAG_MEMO.get_or_compute(key, lambda: tuple(compute()))
+        )
+
+    def _callee_seq(self, func: N.FunctionDef) -> Tuple[str, ...]:
+        """Named callees of *func* in syntactic order, duplicates kept —
+        reachability pushes them on a stack, so the sequence (not the
+        set) determines traversal order."""
+
+        def compute() -> Tuple[str, ...]:
+            assert func.body is not None
+            return tuple(
+                call.callee_name
+                for call in find_all(func.body, N.Call)
+                if call.callee_name
+            )
+
+        if not incremental_enabled():
+            return compute()
+        return _CALLEE_SEQ_MEMO.get_or_compute(
+            ("callees", structural_fp(self.unit, func)), compute
+        )
 
     def run(self) -> D.CompileReport:
         self._check_top_function()
@@ -143,14 +214,7 @@ class _Checker:
             seen.add(name)
             func = self.functions[name]
             order.append(func)
-            assert func.body is not None
-            for call in find_all(func.body, N.Call):
-                callee = call.callee_name
-                if callee:
-                    stack.append(callee)
-                elif isinstance(call.func, N.Member):
-                    # Struct method: reachable via its owner.
-                    pass
+            stack.extend(self._callee_seq(func))
         # Struct methods are reachable whenever their struct is used.
         for decl in self.unit.decls:
             if isinstance(decl, N.StructDef):
@@ -160,12 +224,7 @@ class _Checker:
     def _check_recursion(self) -> None:
         graph: Dict[str, Set[str]] = {}
         for func in self._reachable_functions():
-            assert func.body is not None
-            graph[func.name] = {
-                call.callee_name
-                for call in find_all(func.body, N.Call)
-                if call.callee_name
-            }
+            graph[func.name] = set(self._callee_seq(func))
         for name in graph:
             if self._reaches(graph, name, name):
                 func = self.functions.get(name)
@@ -188,22 +247,36 @@ class _Checker:
 
     def _check_dynamic_memory(self) -> None:
         for func in self._reachable_functions():
-            assert func.body is not None
-            for call in find_all(func.body, N.Call):
-                if call.callee_name in ("malloc", "calloc", "realloc", "free"):
-                    self.diags.append(
-                        D.dynamic_alloc_error(self._alloc_symbol(call, func), call.uid)
-                    )
+            self._memo_diags(
+                "dynamic_memory",
+                func,
+                (),
+                lambda f=func: self._dynamic_memory_diags(f),
+            )
+
+    def _dynamic_memory_diags(self, func: N.FunctionDef) -> List[D.Diagnostic]:
+        assert func.body is not None
+        return [
+            D.dynamic_alloc_error(self._alloc_symbol(call, func), call.uid)
+            for call in find_all(func.body, N.Call)
+            if call.callee_name in ("malloc", "calloc", "realloc", "free")
+        ]
 
     @staticmethod
     def _alloc_symbol(call: N.Call, func: N.FunctionDef) -> str:
         return func.name
 
     def _check_unknown_arrays(self) -> None:
-        for decl in self._all_var_decls():
-            resolved = T.strip_typedefs(decl.type)
-            if isinstance(resolved, T.ArrayType) and resolved.size is None:
-                self.diags.append(D.unknown_size_error(decl.name, decl.uid))
+        # Same decl order as the legacy `_all_var_decls` walk: globals
+        # first, then each reachable function's locals.
+        self.diags.extend(_unknown_array_diags(self.unit.globals()))
+        for func in self._reachable_functions():
+            self._memo_diags(
+                "unknown_arrays",
+                func,
+                (),
+                lambda f=func: _unknown_array_diags(_local_decls(f)),
+            )
 
     # -- Unsupported Data Types ------------------------------------------------------
 
@@ -220,14 +293,28 @@ class _Checker:
     def _check_pointers(self) -> None:
         top = self.config.top_name
         for func in self._reachable_functions():
-            for param in func.params:
-                if func.name == top:
-                    continue  # top-level pointers are hardware interfaces
-                if self._contains_pointer(param.type):
-                    self.diags.append(D.pointer_error(param.name, param.uid))
-        for decl in self._all_var_decls():
+            # Whether the function is the top affects the verdict, so it
+            # is part of the memo context.
+            self._memo_diags(
+                "pointers.params",
+                func,
+                func.name == top,
+                lambda f=func: self._pointer_param_diags(f, f.name == top),
+            )
+        for decl in self.unit.globals():
             if self._contains_pointer(decl.type):
                 self.diags.append(D.pointer_error(decl.name, decl.uid))
+        for func in self._reachable_functions():
+            self._memo_diags(
+                "pointers.locals",
+                func,
+                (),
+                lambda f=func: [
+                    D.pointer_error(d.name, d.uid)
+                    for d in _local_decls(f)
+                    if self._contains_pointer(d.type)
+                ],
+            )
         for sdef in self.unit.decls:
             if isinstance(sdef, N.StructDef):
                 assert isinstance(sdef.type, T.StructType)
@@ -236,6 +323,17 @@ class _Checker:
                         self.diags.append(
                             D.pointer_error(f"{sdef.tag}.{fld.name}", sdef.uid)
                         )
+
+    def _pointer_param_diags(
+        self, func: N.FunctionDef, is_top: bool
+    ) -> List[D.Diagnostic]:
+        if is_top:
+            return []  # top-level pointers are hardware interfaces
+        return [
+            D.pointer_error(param.name, param.uid)
+            for param in func.params
+            if self._contains_pointer(param.type)
+        ]
 
     @staticmethod
     def _contains_pointer(ctype: T.CType) -> bool:
@@ -247,24 +345,35 @@ class _Checker:
         return False
 
     def _check_unsupported_types(self) -> None:
-        for decl in self._all_var_decls():
-            resolved = T.strip_typedefs(decl.type)
-            if isinstance(resolved, T.FloatType) and not resolved.is_synthesizable():
-                self.diags.append(
-                    D.unsupported_type_error(decl.name, str(resolved), decl.uid)
-                )
+        self.diags.extend(_unsupported_type_diags(self.unit.globals()))
         for func in self._reachable_functions():
-            resolved = T.strip_typedefs(func.return_type)
-            if isinstance(resolved, T.FloatType) and not resolved.is_synthesizable():
-                self.diags.append(
-                    D.unsupported_type_error(func.name, str(resolved), func.uid)
+            self._memo_diags(
+                "unsupported.locals",
+                func,
+                (),
+                lambda f=func: _unsupported_type_diags(_local_decls(f)),
+            )
+        for func in self._reachable_functions():
+            self._memo_diags(
+                "unsupported.signature",
+                func,
+                (),
+                lambda f=func: self._unsupported_signature_diags(f),
+            )
+
+    @staticmethod
+    def _unsupported_signature_diags(func: N.FunctionDef) -> List[D.Diagnostic]:
+        out: List[D.Diagnostic] = []
+        resolved = T.strip_typedefs(func.return_type)
+        if isinstance(resolved, T.FloatType) and not resolved.is_synthesizable():
+            out.append(D.unsupported_type_error(func.name, str(resolved), func.uid))
+        for param in func.params:
+            presolved = T.strip_typedefs(param.type)
+            if isinstance(presolved, T.FloatType) and not presolved.is_synthesizable():
+                out.append(
+                    D.unsupported_type_error(param.name, str(presolved), param.uid)
                 )
-            for param in func.params:
-                presolved = T.strip_typedefs(param.type)
-                if isinstance(presolved, T.FloatType) and not presolved.is_synthesizable():
-                    self.diags.append(
-                        D.unsupported_type_error(param.name, str(presolved), param.uid)
-                    )
+        return out
 
     def _check_implicit_conversions(self) -> None:
         """Custom HLS float types need explicit casts on mixed-type
@@ -276,40 +385,48 @@ class _Checker:
         repair puts the helpers it generates.
         """
         for func in self._reachable_functions():
-            if func.name.startswith("thls_"):
+            self._memo_diags(
+                "implicit_conversions",
+                func,
+                (),
+                lambda f=func: self._implicit_conversion_diags(f),
+            )
+
+    def _implicit_conversion_diags(self, func: N.FunctionDef) -> List[D.Diagnostic]:
+        out: List[D.Diagnostic] = []
+        if func.name.startswith("thls_"):
+            return out
+        assert func.body is not None
+        fpga_float_vars = self._fpga_float_vars(func)
+        if not fpga_float_vars:
+            return out
+        for binop in find_all(func.body, N.BinOp):
+            if binop.op not in ("+", "-", "*", "/"):
                 continue
-            assert func.body is not None
-            fpga_float_vars = self._fpga_float_vars(func)
-            if not fpga_float_vars:
+            sides = (binop.left, binop.right)
+            custom = next(
+                (
+                    s.name
+                    for s in sides
+                    if isinstance(s, N.Ident) and s.name in fpga_float_vars
+                ),
+                None,
+            )
+            if custom is None:
                 continue
-            for binop in find_all(func.body, N.BinOp):
-                if binop.op not in ("+", "-", "*", "/"):
-                    continue
-                sides = (binop.left, binop.right)
-                custom = next(
-                    (
-                        s.name
-                        for s in sides
-                        if isinstance(s, N.Ident) and s.name in fpga_float_vars
-                    ),
-                    None,
-                )
-                if custom is None:
-                    continue
-                if any(isinstance(s, (N.IntLit, N.FloatLit)) for s in sides):
-                    self.diags.append(D.missing_cast_error(custom, binop.uid))
-                else:
-                    self.diags.append(D.overload_error(custom, binop.uid))
-            for assign in find_all(func.body, N.Assign):
-                if assign.op == "=":
-                    continue
-                if (
-                    isinstance(assign.target, N.Ident)
-                    and assign.target.name in fpga_float_vars
-                ):
-                    self.diags.append(
-                        D.overload_error(assign.target.name, assign.uid)
-                    )
+            if any(isinstance(s, (N.IntLit, N.FloatLit)) for s in sides):
+                out.append(D.missing_cast_error(custom, binop.uid))
+            else:
+                out.append(D.overload_error(custom, binop.uid))
+        for assign in find_all(func.body, N.Assign):
+            if assign.op == "=":
+                continue
+            if (
+                isinstance(assign.target, N.Ident)
+                and assign.target.name in fpga_float_vars
+            ):
+                out.append(D.overload_error(assign.target.name, assign.uid))
+        return out
 
     def _fpga_float_vars(self, func: N.FunctionDef) -> Set[str]:
         names: Set[str] = set()
@@ -330,42 +447,74 @@ class _Checker:
             if isinstance(decl, N.StructDef):
                 assert isinstance(decl.type, T.StructType)
                 struct_defs[decl.tag] = decl.type
+        # The verdict for one function also reads the unit's struct
+        # definitions; their canonical reprs join the memo key.
+        structs_key = tuple(
+            (tag, repr(stype)) for tag, stype in struct_defs.items()
+        )
         for func in self._reachable_functions():
-            assert func.body is not None
-            in_dataflow = has_dataflow(func)
-            for decl_stmt in find_all(func.body, N.DeclStmt):
-                decl = decl_stmt.decl
-                resolved = T.strip_typedefs(decl.type)
-                if isinstance(resolved, T.StructType):
-                    definition = struct_defs.get(resolved.tag, resolved)
-                    if definition.method_names and not definition.has_constructor:
-                        self.diags.append(D.struct_error(resolved.tag, decl.uid))
-                if (
-                    isinstance(resolved, T.StreamType)
-                    and in_dataflow
-                    and not decl.is_static
-                ):
-                    self.diags.append(D.stream_storage_error(decl.name, decl.uid))
+            self._memo_diags(
+                "structs_streams",
+                func,
+                structs_key,
+                lambda f=func: self._struct_stream_diags(f, struct_defs),
+            )
+
+    @staticmethod
+    def _struct_stream_diags(
+        func: N.FunctionDef, struct_defs: Dict[str, T.StructType]
+    ) -> List[D.Diagnostic]:
+        out: List[D.Diagnostic] = []
+        assert func.body is not None
+        in_dataflow = has_dataflow(func)
+        for decl_stmt in find_all(func.body, N.DeclStmt):
+            decl = decl_stmt.decl
+            resolved = T.strip_typedefs(decl.type)
+            if isinstance(resolved, T.StructType):
+                definition = struct_defs.get(resolved.tag, resolved)
+                if definition.method_names and not definition.has_constructor:
+                    out.append(D.struct_error(resolved.tag, decl.uid))
+            if (
+                isinstance(resolved, T.StreamType)
+                and in_dataflow
+                and not decl.is_static
+            ):
+                out.append(D.stream_storage_error(decl.name, decl.uid))
+        return out
 
     # -- Dataflow Optimization --------------------------------------------------------------
 
     def _check_array_partition(self) -> None:
         sizes = self._array_sizes()
+        sizes_key = tuple(sorted(sizes.items()))
         for func in self._reachable_functions():
-            assert func.body is not None
-            for pragma_node in find_all(func.body, N.Pragma):
-                pragma = parse_pragma(pragma_node)
-                if pragma is None or pragma.directive != "array_partition":
-                    continue
-                factor = pragma.factor
-                variable = pragma.variable
-                if factor <= 0 or "complete" in pragma.options:
-                    continue
-                size = sizes.get(variable)
-                if size is not None and size % factor != 0:
-                    self.diags.append(
-                        D.partition_factor_error(variable, size, factor, pragma_node.uid)
-                    )
+            self._memo_diags(
+                "array_partition",
+                func,
+                sizes_key,
+                lambda f=func: self._array_partition_diags(f, sizes),
+            )
+
+    @staticmethod
+    def _array_partition_diags(
+        func: N.FunctionDef, sizes: Dict[str, int]
+    ) -> List[D.Diagnostic]:
+        out: List[D.Diagnostic] = []
+        assert func.body is not None
+        for pragma_node in find_all(func.body, N.Pragma):
+            pragma = parse_pragma(pragma_node)
+            if pragma is None or pragma.directive != "array_partition":
+                continue
+            factor = pragma.factor
+            variable = pragma.variable
+            if factor <= 0 or "complete" in pragma.options:
+                continue
+            size = sizes.get(variable)
+            if size is not None and size % factor != 0:
+                out.append(
+                    D.partition_factor_error(variable, size, factor, pragma_node.uid)
+                )
+        return out
 
     def _array_sizes(self) -> Dict[str, int]:
         sizes: Dict[str, int] = {}
@@ -410,7 +559,7 @@ class _Checker:
                     if not self._is_array_name(func, name):
                         continue
                     first_use_uid.setdefault(name, stmt.uid)
-                    if callee is not None and self._param_is_written(
+                    if callee is not None and self._param_written(
                         callee, position
                     ):
                         writers[name] = writers.get(name, 0) + 1
@@ -421,6 +570,16 @@ class _Checker:
                     self.diags.append(
                         D.dataflow_check_error(name, first_use_uid[name])
                     )
+
+    def _param_written(self, callee: N.FunctionDef, position: int) -> bool:
+        """Memoized :meth:`_param_is_written` — a pure bool of the callee's
+        content, so the structural fingerprint suffices as key."""
+        if not incremental_enabled():
+            return self._param_is_written(callee, position)
+        key = (structural_fp(self.unit, callee), position)
+        return _PARAM_WRITTEN_MEMO.get_or_compute(
+            key, lambda: self._param_is_written(callee, position)
+        )
 
     @staticmethod
     def _param_is_written(callee: N.FunctionDef, position: int) -> bool:
@@ -467,35 +626,40 @@ class _Checker:
 
     def _check_loop_pragmas(self) -> None:
         for func in self._reachable_functions():
-            assert func.body is not None
-            dataflow = has_dataflow(func)
-            for loop in find_all(func.body, N.For) + list(find_all(func.body, N.While)):
-                body = loop.body
-                pragmas = loop_pragmas(body)
-                unroll = next((p for p in pragmas if p.directive == "unroll"), None)
-                if unroll is None:
-                    continue
-                factor = unroll.factor
-                if dataflow and factor >= 50:
-                    # Post 721719: interacting dataflow + large unroll.
-                    self.diags.append(
-                        D.presynthesis_error(
-                            f"unroll factor {factor} interacts with the "
-                            "enclosing dataflow region",
-                            func.name,
-                            loop.uid,
-                        )
-                    )
-                static_n = None
-                if isinstance(loop, N.For):
-                    from .schedule import Scheduler
+            self._memo_diags(
+                "loop_pragmas",
+                func,
+                (),
+                lambda f=func: self._loop_pragma_diags(f),
+            )
 
-                    static_n = Scheduler(self.unit, self.config)._static_tripcount(loop)
-                has_tripcount = any(
-                    p.directive == "loop_tripcount" for p in pragmas
+    @staticmethod
+    def _loop_pragma_diags(func: N.FunctionDef) -> List[D.Diagnostic]:
+        out: List[D.Diagnostic] = []
+        assert func.body is not None
+        dataflow = has_dataflow(func)
+        for loop in find_all(func.body, N.For) + list(find_all(func.body, N.While)):
+            body = loop.body
+            pragmas = loop_pragmas(body)
+            unroll = next((p for p in pragmas if p.directive == "unroll"), None)
+            if unroll is None:
+                continue
+            factor = unroll.factor
+            if dataflow and factor >= 50:
+                # Post 721719: interacting dataflow + large unroll.
+                out.append(
+                    D.presynthesis_error(
+                        f"unroll factor {factor} interacts with the "
+                        "enclosing dataflow region",
+                        func.name,
+                        loop.uid,
+                    )
                 )
-                if factor > 1 and static_n is None and not has_tripcount:
-                    self.diags.append(D.loop_bound_error(func.name, loop.uid))
+            static_n = static_tripcount(loop) if isinstance(loop, N.For) else None
+            has_tripcount = any(p.directive == "loop_tripcount" for p in pragmas)
+            if factor > 1 and static_n is None and not has_tripcount:
+                out.append(D.loop_bound_error(func.name, loop.uid))
+        return out
 
     # -- Resources ---------------------------------------------------------------------------
 
@@ -506,3 +670,26 @@ class _Checker:
             return
         for resource, used, available in report.resources.overflows(device):
             self.diags.append(D.resource_error(resource, used, available))
+
+
+def _local_decls(func: N.FunctionDef) -> List[N.VarDecl]:
+    assert func.body is not None
+    return [d.decl for d in find_all(func.body, N.DeclStmt)]
+
+
+def _unknown_array_diags(decls: Sequence[N.VarDecl]) -> List[D.Diagnostic]:
+    out: List[D.Diagnostic] = []
+    for decl in decls:
+        resolved = T.strip_typedefs(decl.type)
+        if isinstance(resolved, T.ArrayType) and resolved.size is None:
+            out.append(D.unknown_size_error(decl.name, decl.uid))
+    return out
+
+
+def _unsupported_type_diags(decls: Sequence[N.VarDecl]) -> List[D.Diagnostic]:
+    out: List[D.Diagnostic] = []
+    for decl in decls:
+        resolved = T.strip_typedefs(decl.type)
+        if isinstance(resolved, T.FloatType) and not resolved.is_synthesizable():
+            out.append(D.unsupported_type_error(decl.name, str(resolved), decl.uid))
+    return out

@@ -24,18 +24,46 @@ toolchain rewards (see DESIGN.md).
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..cfront import nodes as N
 from ..cfront import typesys as T
+from ..cfront.fingerprint import (
+    incremental_enabled,
+    structural_fp,
+    unit_fingerprint,
+)
 from ..cfront.visitor import find_all
+from .memo import AnalysisCache
 from .platform import OFFLOAD_OVERHEAD_NS, ResourceUsage, SolutionConfig
 from .pragmas import function_pragmas, loop_pragmas
 
 #: Default tripcount guess for loops whose bound the model cannot see.
 DEFAULT_TRIPCOUNT = 16
+
+#: Report counters a function-cost walk may bump.  Bumps are buffered in
+#: a per-function frame so they can be stored in the cost memo and
+#: replayed on hits — hit and miss leave identical counters behind.
+_COST_COUNTERS = ("pipelined_loops", "unrolled_loops", "dataflow_functions")
+
+#: Per-function cost memo.  The value is a pure snapshot
+#: ``(cycles, resource 4-tuple, counter deltas, costed callee names)``;
+#: the key (see :meth:`Scheduler._cost_key`) covers the function's
+#: structural fingerprint, the fingerprints of every transitive callee,
+#: and the unit-level typing context.  ``verify=False``: replaying a hit
+#: mutates the live scheduler (counters, ``_cost_cache``), so cross-check
+#: recomputation on a hit would double-apply those effects — this memo is
+#: exercised by the report-level cross-check of the ``estimate`` memo and
+#: the end-to-end pipeline cross-check instead.
+_COST_MEMO = AnalysisCache("schedule.function_cost", verify=False)
+
+#: Whole-design memo: ``(unit fingerprint, top, clock) -> report
+#: snapshot``.  Values are immutable tuples; every hit materializes a
+#: fresh ScheduleReport/ResourceUsage, because callers mutate reports.
+_ESTIMATE_MEMO = AnalysisCache("schedule.estimate")
 
 
 @dataclass
@@ -87,6 +115,14 @@ class Scheduler:
         )
         #: arrays partitioned in the current function: name -> factor
         self._partitions: Dict[str, int] = {}
+        #: typing environment of the current function (set per function).
+        self._env = None
+        #: counter/callee frames, one per in-flight function-cost walk.
+        self._frames: List[Dict[str, object]] = []
+        #: per-scheduler memo of cost fingerprints; None marks functions
+        #: on a recursive cycle (never memoized globally).
+        self._fp_cache: Dict[str, Optional[str]] = {}
+        self._env_key_cache: Optional[str] = None
 
     # -- public ----------------------------------------------------------------
 
@@ -125,22 +161,163 @@ class Scheduler:
             # Recursion: synthesizability checking rejects it before
             # scheduling, but stay safe if called out of order.
             return _FuncCost(cycles=math.inf, resources=ResourceUsage())
-        self._in_progress.add(name)
-        func = self.functions[name]
-        self._partitions = self._collect_partitions(func)
-        from ..core.typing import TypeEnv
-
-        self._env = TypeEnv(self.unit, func)
-        assert func.body is not None
-        if any(p.directive == "dataflow" for p in function_pragmas(func)):
-            cost = self._dataflow_cost(func)
-            self.report.dataflow_functions += 1
+        key = self._cost_key(name) if incremental_enabled() else None
+        if key is not None:
+            value = _COST_MEMO.get_or_compute(
+                key, lambda: self._measure_cost(name)
+            )
         else:
-            cycles, resources = self._stmts_cost(func.body.items)
-            cost = _FuncCost(cycles, resources)
-        self._in_progress.discard(name)
+            value = self._measure_cost(name)
+        return self._apply_cost(name, value)
+
+    def _measure_cost(
+        self, name: str
+    ) -> Tuple[float, Tuple[int, int, int, int], Tuple[int, ...], Tuple[str, ...]]:
+        """Walk one function and return its cost as a pure snapshot.
+
+        The walk buffers its own counter bumps in a frame (applied later
+        by :meth:`_apply_cost`) and records which callees it actually
+        costed, so a memo hit can replay both.  Caller-scoped state
+        (``_partitions``, ``_env``) is saved and restored, keeping the
+        walk a pure function of (function content, callees, unit
+        context) — the property the memo key relies on.
+        """
+        func = self.functions[name]
+        assert func.body is not None
+        saved_partitions = self._partitions
+        saved_env = self._env
+        self._in_progress.add(name)
+        frame: Dict[str, object] = {c: 0 for c in _COST_COUNTERS}
+        frame["callees"] = []
+        self._frames.append(frame)
+        try:
+            self._partitions = self._collect_partitions(func)
+            from ..core.typing import TypeEnv
+
+            self._env = TypeEnv(self.unit, func)
+            if any(p.directive == "dataflow" for p in function_pragmas(func)):
+                cost = self._dataflow_cost(func)
+                self._bump("dataflow_functions")
+            else:
+                cycles, resources = self._stmts_cost(func.body.items)
+                cost = _FuncCost(cycles, resources)
+        finally:
+            self._frames.pop()
+            self._in_progress.discard(name)
+            self._partitions = saved_partitions
+            self._env = saved_env
+        res = cost.resources
+        return (
+            cost.cycles,
+            (res.luts, res.ffs, res.bram_36k, res.dsps),
+            tuple(int(frame[c]) for c in _COST_COUNTERS),  # type: ignore[arg-type]
+            tuple(frame["callees"]),  # type: ignore[arg-type]
+        )
+
+    def _apply_cost(
+        self,
+        name: str,
+        value: Tuple[float, Tuple[int, int, int, int], Tuple[int, ...], Tuple[str, ...]],
+    ) -> _FuncCost:
+        """Install a cost snapshot: fresh resource object, counter deltas
+        onto the report, and (on memo hits) replay of callee costs so
+        their counters and cache entries materialize exactly as a fresh
+        walk would have left them.  Counter totals are order-independent
+        sums, so replay order does not matter."""
+        cycles, res, deltas, callees = value
+        cost = _FuncCost(
+            cycles=cycles,
+            resources=ResourceUsage(
+                luts=res[0], ffs=res[1], bram_36k=res[2], dsps=res[3]
+            ),
+        )
         self._cost_cache[name] = cost
+        for counter, delta in zip(_COST_COUNTERS, deltas):
+            setattr(self.report, counter, getattr(self.report, counter) + delta)
+        for callee in callees:
+            if (
+                callee not in self._cost_cache
+                and callee in self.functions
+                and callee not in self._in_progress
+            ):
+                self._function_cost(callee)
         return cost
+
+    def _bump(self, counter: str) -> None:
+        if self._frames:
+            self._frames[-1][counter] += 1  # type: ignore[operator]
+        else:
+            setattr(self.report, counter, getattr(self.report, counter) + 1)
+
+    def _record_callee(self, name: str) -> None:
+        if self._frames:
+            callees = self._frames[-1]["callees"]
+            if name not in callees:  # type: ignore[operator]
+                callees.append(name)  # type: ignore[union-attr]
+
+    # -- cost fingerprints ---------------------------------------------------------
+
+    def _cost_key(self, name: str) -> Optional[Tuple[str, str, str]]:
+        """Global memo key for one function's cost, or None when the
+        function sits on (or calls into) a recursive cycle."""
+        fp = self._cost_fp(name)
+        if fp is None:
+            return None
+        return ("func_cost", fp, self._env_key())
+
+    def _cost_fp(self, name: str, _stack: Optional[Set[str]] = None) -> Optional[str]:
+        """Content fingerprint of everything a function's cost depends on
+        below the unit context: its own structural digest plus, per call
+        site, the callee's cost fingerprint (or an ``extern`` marker for
+        names the scheduler treats as builtins)."""
+        if name in self._fp_cache:
+            return self._fp_cache[name]
+        if _stack is None:
+            _stack = set()
+        if name in _stack:
+            return None  # recursive cycle: fall back to the uncached walk
+        func = self.functions.get(name)
+        if func is None or func.body is None:
+            return None
+        _stack.add(name)
+        digest = hashlib.sha256()
+        digest.update(structural_fp(self.unit, func).encode())
+        acyclic = True
+        for call in find_all(func.body, N.Call):
+            callee = call.callee_name
+            if not callee:
+                continue
+            if callee in self.functions:
+                sub = self._cost_fp(callee, _stack)
+                if sub is None:
+                    acyclic = False
+                    break
+                digest.update(f"|{callee}={sub}".encode())
+            else:
+                digest.update(f"|{callee}=extern".encode())
+        _stack.discard(name)
+        value = digest.hexdigest() if acyclic else None
+        self._fp_cache[name] = value
+        return value
+
+    def _env_key(self) -> str:
+        """Digest of the unit-level context a function-cost walk reads:
+        every non-function declaration (globals, structs, typedefs feed
+        ``TypeEnv``/``infer_type``) and every function's name and return
+        type.  Function *bodies* are deliberately excluded — they enter
+        via :meth:`_cost_fp` only where actually called."""
+        if self._env_key_cache is None:
+            digest = hashlib.sha256()
+            for decl in self.unit.decls:
+                if isinstance(decl, N.FunctionDef):
+                    digest.update(
+                        f"f:{decl.name}:{decl.return_type!r}|".encode()
+                    )
+                elif not isinstance(decl, N.Pragma):
+                    digest.update(structural_fp(self.unit, decl).encode())
+                    digest.update(b"|")
+            self._env_key_cache = digest.hexdigest()
+        return self._env_key_cache
 
     def _collect_partitions(self, func: N.FunctionDef) -> Dict[str, int]:
         partitions: Dict[str, int] = {}
@@ -222,30 +399,7 @@ class Scheduler:
     # -- loops ------------------------------------------------------------------------
 
     def _static_tripcount(self, loop: N.For) -> Optional[int]:
-        """Recover N from the canonical ``for (i = a; i < b; i += s)``."""
-        start = stop = step = None
-        if isinstance(loop.init, N.DeclStmt) and isinstance(loop.init.decl.init, N.IntLit):
-            start = loop.init.decl.init.value
-        elif (
-            isinstance(loop.init, N.ExprStmt)
-            and isinstance(loop.init.expr, N.Assign)
-            and isinstance(loop.init.expr.value, N.IntLit)
-        ):
-            start = loop.init.expr.value.value
-        if isinstance(loop.cond, N.BinOp) and isinstance(loop.cond.right, N.IntLit):
-            if loop.cond.op in ("<", "<="):
-                stop = loop.cond.right.value + (1 if loop.cond.op == "<=" else 0)
-        if isinstance(loop.step, N.IncDec):
-            step = 1
-        elif (
-            isinstance(loop.step, N.Assign)
-            and loop.step.op == "+="
-            and isinstance(loop.step.value, N.IntLit)
-        ):
-            step = loop.step.value.value
-        if start is None or stop is None or not step:
-            return None
-        return max(0, math.ceil((stop - start) / step))
+        return static_tripcount(loop)
 
     def _loop_cost(
         self, loop: N.Stmt, body: N.Stmt, static_n: Optional[int]
@@ -280,11 +434,11 @@ class Scheduler:
             iterations = math.ceil(tripcount / factor)
             cycles = iterations * body_cycles * (factor / max(parallel, 1))
             resources = body_res.scaled(factor)
-            self.report.unrolled_loops += 1
+            self._bump("unrolled_loops")
         elif pipeline is not None and not has_nested_loop:
             ii = max(1, pipeline.int_option("ii", 1))
             cycles = body_cycles + max(0, tripcount - 1) * ii
-            self.report.pipelined_loops += 1
+            self._bump("pipelined_loops")
         else:
             cycles = tripcount * (body_cycles + 1.0)  # +1: loop control
         return cycles, resources
@@ -374,6 +528,7 @@ class Scheduler:
         if isinstance(node, N.Call):
             name = node.callee_name
             if name and name in self.functions:
+                self._record_callee(name)
                 cost = self._function_cost(name)
                 return cost.cycles + 2.0, cost.resources
             if isinstance(node.func, N.Member):
@@ -434,6 +589,37 @@ class Scheduler:
         return usage
 
 
+def static_tripcount(loop: N.For) -> Optional[int]:
+    """Recover N from the canonical ``for (i = a; i < b; i += s)``.
+
+    Module-level (it reads nothing but the loop) so callers like the
+    loop-pragma synthesizability check don't have to construct a whole
+    Scheduler per loop just to ask this question."""
+    start = stop = step = None
+    if isinstance(loop.init, N.DeclStmt) and isinstance(loop.init.decl.init, N.IntLit):
+        start = loop.init.decl.init.value
+    elif (
+        isinstance(loop.init, N.ExprStmt)
+        and isinstance(loop.init.expr, N.Assign)
+        and isinstance(loop.init.expr.value, N.IntLit)
+    ):
+        start = loop.init.expr.value.value
+    if isinstance(loop.cond, N.BinOp) and isinstance(loop.cond.right, N.IntLit):
+        if loop.cond.op in ("<", "<="):
+            stop = loop.cond.right.value + (1 if loop.cond.op == "<=" else 0)
+    if isinstance(loop.step, N.IncDec):
+        step = 1
+    elif (
+        isinstance(loop.step, N.Assign)
+        and loop.step.op == "+="
+        and isinstance(loop.step.value, N.IntLit)
+    ):
+        step = loop.step.value.value
+    if start is None or stop is None or not step:
+        return None
+    return max(0, math.ceil((stop - start) / step))
+
+
 def _total_bits(array_type: T.ArrayType) -> int:
     size = array_type.size or DEFAULT_TRIPCOUNT
     elem = T.strip_typedefs(array_type.elem)
@@ -452,6 +638,53 @@ def _total_bits(array_type: T.ArrayType) -> int:
     return size * bits
 
 
+def _report_snapshot(
+    report: ScheduleReport,
+) -> Tuple[float, Tuple[int, int, int, int], float, int, int, int]:
+    res = report.resources
+    return (
+        report.cycles,
+        (res.luts, res.ffs, res.bram_36k, res.dsps),
+        report.clock_period_ns,
+        report.pipelined_loops,
+        report.unrolled_loops,
+        report.dataflow_functions,
+    )
+
+
+def _report_from_snapshot(
+    snap: Tuple[float, Tuple[int, int, int, int], float, int, int, int],
+) -> ScheduleReport:
+    cycles, res, clock, pipelined, unrolled, dataflow = snap
+    return ScheduleReport(
+        cycles=cycles,
+        resources=ResourceUsage(
+            luts=res[0], ffs=res[1], bram_36k=res[2], dsps=res[3]
+        ),
+        clock_period_ns=clock,
+        pipelined_loops=pipelined,
+        unrolled_loops=unrolled,
+        dataflow_functions=dataflow,
+    )
+
+
 def estimate(unit: N.TranslationUnit, config: SolutionConfig) -> ScheduleReport:
-    """Schedule *unit* for *config* and return the latency/resource report."""
-    return Scheduler(unit, config).schedule()
+    """Schedule *unit* for *config* and return the latency/resource report.
+
+    Incrementally, the whole report is memoized content-addressed by the
+    unit's structural fingerprint plus the config fields scheduling reads
+    (``top_name``, ``clock_period_ns`` — the device does not enter the
+    model).  Hits return a freshly materialized report: callers mutate
+    report.resources, so the memo stores only immutable snapshots."""
+    if not incremental_enabled():
+        return Scheduler(unit, config).schedule()
+    key = (
+        "estimate",
+        unit_fingerprint(unit),
+        config.top_name,
+        repr(config.clock_period_ns),
+    )
+    snap = _ESTIMATE_MEMO.get_or_compute(
+        key, lambda: _report_snapshot(Scheduler(unit, config).schedule())
+    )
+    return _report_from_snapshot(snap)

@@ -33,7 +33,7 @@ import math
 import os
 import struct as _struct
 import threading
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..errors import (
     HlsSimulationFault,
@@ -598,6 +598,15 @@ class _FunctionCompiler:
         self.scopes: List[Dict[str, _Binding]] = []
         self.scope_resets: List[List[int]] = []
         self.n_slots = 0
+        #: Call bindings this function's closures captured, as
+        #: ``(kind, name)`` with kind in {"func", "builtin", "undef"}.
+        #: Incremental recompilation replays these to decide whether a
+        #: fingerprint-unchanged function may reuse its old closures: a
+        #: "func" binding pins the callee's CompiledFunction object, the
+        #: other kinds pin the *absence* of a defined function by that name.
+        self.deps: List[Tuple[str, str]] = []
+        #: True when any closure captured the program's method table.
+        self.uses_methods = False
 
     # -- scopes and slots --------------------------------------------------
 
@@ -1815,6 +1824,7 @@ class _FunctionCompiler:
         arg_cs = tuple(self.compile_expr(a) for a in expr.args)
         cf = self.program.functions.get(name)
         if cf is not None:
+            self.deps.append(("func", name))
             fname = name
 
             def c_call(rt, frame):
@@ -1826,6 +1836,7 @@ class _FunctionCompiler:
             return c_call
         builtin = BUILTINS.get(name)
         if builtin is not None:
+            self.deps.append(("builtin", name))
 
             def c_builtin(rt, frame):
                 args = [a(rt, frame) for a in arg_cs]
@@ -1835,6 +1846,7 @@ class _FunctionCompiler:
                 return builtin(rt, args)
 
             return c_builtin
+        self.deps.append(("undef", name))
         message = f"call to undefined function {name!r} at line {expr.line}"
 
         def c_undef(rt, frame):
@@ -1846,6 +1858,7 @@ class _FunctionCompiler:
 
     def _compile_method_call(self, expr: N.Call):
         assert isinstance(expr.func, N.Member)
+        self.uses_methods = True
         member = expr.func
         obj_c = self.compile_expr(member.obj)
         arg_cs = tuple(self.compile_expr(a) for a in expr.args)
@@ -1902,36 +1915,180 @@ class _FunctionCompiler:
 # --------------------------------------------------------------------------
 
 
+class _CompiledLineage:
+    """Deepcopy residue of a :class:`CompiledProgram`.
+
+    A unit clone must not *be* served by its ancestor's compilation (the
+    clone is about to be edited), but it may *reuse parts* of it once its
+    own content is known.  Deepcopying a program therefore leaves this
+    marker in the clone's cache slot; ``compile_program`` follows it to
+    the ancestor and reuses per-function closures for functions whose
+    exact fingerprints are unchanged.  The marker deep-copies to itself,
+    so a chain of never-executed clones still points at the most recent
+    actually-compiled ancestor.
+    """
+
+    __slots__ = ("program",)
+
+    def __init__(self, program: "CompiledProgram") -> None:
+        self.program = program
+
+    def __deepcopy__(self, memo: Dict[int, Any]) -> "_CompiledLineage":
+        return self
+
+
+#: Key of a compiled body: a function name, or ``(struct_tag, method)``.
+_CfKey = Any
+
+
+def _reusable_keys(
+    unit: N.TranslationUnit, parent: "CompiledProgram"
+) -> Set[_CfKey]:
+    """Which of *parent*'s compiled functions may serve *unit* verbatim.
+
+    Sound reuse needs two things.  First, everything a closure captured
+    from *outside* its own function must be unchanged: global slot
+    numbers, struct layouts and typedefs — guaranteed by requiring every
+    non-function top-level declaration to be exact-fingerprint-identical
+    in the same order (globals always recompile regardless; their makers
+    are cheap and reference function objects of the new program).
+    Second, the function itself and everything its closures *pin* must
+    match: its own exact fingerprint (closures embed uids and line
+    numbers), each "func" call binding must resolve to a callee that is
+    itself reused (the closure holds that exact CompiledFunction), each
+    "builtin"/"undef" binding requires the name to still not be a defined
+    function, and a method call pins the whole method table.  The last
+    three are checked as a shrinking fixpoint: start from all
+    fingerprint-equal functions, drop violators until stable — mutually
+    recursive fingerprint-equal functions legitimately survive.
+    """
+    from ..cfront.fingerprint import exact_fp, incremental_enabled
+
+    if not incremental_enabled():
+        return set()
+
+    def env_profile(u: N.TranslationUnit) -> List[Tuple[str, str]]:
+        return [
+            (type(d).__name__, exact_fp(u, d))
+            for d in u.decls
+            if not isinstance(d, N.FunctionDef)
+        ]
+
+    if env_profile(unit) != env_profile(parent.unit):
+        return set()
+
+    def defs_by_key(u: N.TranslationUnit) -> Dict[_CfKey, N.FunctionDef]:
+        out: Dict[_CfKey, N.FunctionDef] = {}
+        for d in u.decls:
+            if isinstance(d, N.FunctionDef) and d.body is not None:
+                out[d.name] = d
+            elif isinstance(d, N.StructDef):
+                for m in d.methods:
+                    if m.body is not None:
+                        out[(d.tag, m.name)] = m
+        return out
+
+    new_defs = defs_by_key(unit)
+    old_defs = defs_by_key(parent.unit)
+    new_func_names = {k for k in new_defs if isinstance(k, str)}
+    method_keys = {k for k in new_defs if not isinstance(k, str)}
+    candidates: Set[_CfKey] = set()
+    for key, new_def in new_defs.items():
+        old_def = old_defs.get(key)
+        if old_def is None or key not in parent.deps:
+            continue
+        if exact_fp(unit, new_def) == exact_fp(parent.unit, old_def):
+            candidates.add(key)
+
+    changed = True
+    while changed:
+        changed = False
+        for key in list(candidates):
+            ok = True
+            for kind, name in parent.deps[key]:
+                if kind == "func":
+                    if name not in candidates:
+                        ok = False
+                        break
+                elif name in new_func_names:
+                    # A name that bound to a builtin (or to nothing) now
+                    # names a defined function: resolution would differ.
+                    ok = False
+                    break
+            if ok and key in parent.uses_methods:
+                ok = method_keys <= candidates
+            if not ok:
+                candidates.discard(key)
+                changed = True
+    return candidates
+
+
 class CompiledProgram:
-    """All functions of one translation unit, compiled once."""
+    """All functions of one translation unit, compiled once.
 
-    def __deepcopy__(self, memo: Dict[int, Any]) -> None:
+    With a *parent* (the compiled ancestor a clone descends from),
+    functions approved by :func:`_reusable_keys` adopt the parent's
+    CompiledFunction objects instead of recompiling; everything else —
+    globals, struct/binding tables, changed functions — is compiled
+    fresh against this program.  Reused closures keep referencing the
+    ancestor's AST nodes; exact-fingerprint equality makes those nodes
+    value-identical to this unit's, so observable behaviour (including
+    uids in observations and line numbers in errors) is bit-identical.
+    """
+
+    def __deepcopy__(self, memo: Dict[int, Any]) -> Optional[_CompiledLineage]:
         # Units are cloned before being edited; a clone must not inherit
-        # the compilation of the pristine tree.  Returning None leaves the
-        # clone's cache slot empty so it recompiles on first execution.
-        return None
+        # the compilation of the pristine tree wholesale.  Leave a lineage
+        # marker so the clone can reuse unchanged functions when it first
+        # executes (None — full recompile — when incremental is off).
+        from ..cfront.fingerprint import incremental_enabled
 
-    def __init__(self, unit: N.TranslationUnit) -> None:
+        return _CompiledLineage(self) if incremental_enabled() else None
+
+    def __init__(
+        self,
+        unit: N.TranslationUnit,
+        parent: Optional["CompiledProgram"] = None,
+    ) -> None:
         self.unit = unit
         self.functions: Dict[str, CompiledFunction] = {}
         self.methods: Dict[Tuple[str, str], CompiledFunction] = {}
         self.structs: Dict[str, T.StructType] = {}
         self.global_bindings: Dict[str, _Binding] = {}
         self.global_makers: List[Callable[[Runtime], MemBlock]] = []
-        to_compile: List[Tuple[N.FunctionDef, CompiledFunction]] = []
+        #: call bindings per compiled key, carried across reuse so later
+        #: generations can run the fixpoint against this program too.
+        self.deps: Dict[_CfKey, Tuple[Tuple[str, str], ...]] = {}
+        self.uses_methods: Set[_CfKey] = set()
+        self.reused_functions = 0
+        reusable = _reusable_keys(unit, parent) if parent is not None else set()
+        to_compile: List[Tuple[_CfKey, N.FunctionDef, CompiledFunction]] = []
+
+        def register(key: _CfKey, func: N.FunctionDef) -> CompiledFunction:
+            if key in reusable:
+                assert parent is not None
+                cf = parent.methods[key] if isinstance(key, tuple) else (
+                    parent.functions[key]
+                )
+                self.deps[key] = parent.deps[key]
+                if key in parent.uses_methods:
+                    self.uses_methods.add(key)
+                self.reused_functions += 1
+            else:
+                cf = CompiledFunction(func)
+                to_compile.append((key, func, cf))
+            return cf
+
         for decl in unit.decls:
             if isinstance(decl, N.FunctionDef) and decl.body is not None:
-                cf = CompiledFunction(decl)
-                self.functions[decl.name] = cf
-                to_compile.append((decl, cf))
+                self.functions[decl.name] = register(decl.name, decl)
             elif isinstance(decl, N.StructDef):
                 assert isinstance(decl.type, T.StructType)
                 self.structs[decl.tag] = decl.type
                 for method in decl.methods:
                     if method.body is not None:
-                        cf = CompiledFunction(method)
-                        self.methods[(decl.tag, method.name)] = cf
-                        to_compile.append((method, cf))
+                        key = (decl.tag, method.name)
+                        self.methods[key] = register(key, method)
         # Globals compile in declaration order; each initializer sees only
         # the globals registered before it (matching _init_globals).
         for decl in unit.decls:
@@ -1950,9 +2107,12 @@ class CompiledProgram:
                 ctype=ctype.elem if is_array else decl.type,
                 maybe_unset=False,
             )
-        for func, cf in to_compile:
+        for key, func, cf in to_compile:
             compiler = _FunctionCompiler(self)
             compiler.compile_function(func, cf)
+            self.deps[key] = tuple(compiler.deps)
+            if compiler.uses_methods:
+                self.uses_methods.add(key)
 
     def init_globals(self, rt: Runtime) -> None:
         gframe = rt.gframe
@@ -1971,15 +2131,24 @@ def compile_program(unit: N.TranslationUnit) -> CompiledProgram:
     one compilation per candidate.  Units are not mutated after execution
     starts (edits always clone), which keeps the cache sound.  The program
     is stashed on the unit itself (TranslationUnit is an eq-comparing
-    dataclass, hence unhashable) so it dies with the unit.
+    dataclass, hence unhashable) so it dies with the unit.  A cloned unit
+    carries a :class:`_CompiledLineage` marker instead of a program; the
+    first compilation of the clone follows it and reuses the ancestor's
+    closures for fingerprint-unchanged functions.
     """
     program = unit.__dict__.get("_compiled_program")
-    if program is None:
-        with _PROGRAM_CACHE_LOCK:
-            program = unit.__dict__.get("_compiled_program")
-            if program is None:
-                program = CompiledProgram(unit)
-                unit.__dict__["_compiled_program"] = program
+    if isinstance(program, CompiledProgram):
+        return program
+    with _PROGRAM_CACHE_LOCK:
+        program = unit.__dict__.get("_compiled_program")
+        if not isinstance(program, CompiledProgram):
+            parent = (
+                program.program
+                if isinstance(program, _CompiledLineage)
+                else None
+            )
+            program = CompiledProgram(unit, parent=parent)
+            unit.__dict__["_compiled_program"] = program
     return program
 
 

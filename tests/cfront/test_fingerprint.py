@@ -1,0 +1,162 @@
+"""Fingerprint semantics (the contract every incremental cache rests on).
+
+Structural digests must be blind to bookkeeping (uids, lines) and
+sensitive to every semantic token; exact digests must additionally pin
+the bookkeeping, so exact-equality means value-identity.
+"""
+
+import pytest
+
+from repro.cfront import nodes as N
+from repro.cfront import fingerprint as fp
+from repro.cfront.nodes import clone
+from repro.cfront.parser import parse
+from repro.cfront.printer import render
+from repro.core.edits.base import Candidate, cloned_unit, owning_decl_names
+from repro.hls.platform import SolutionConfig
+
+SOURCE = """
+int scale = 3;
+
+int helper(int x) {
+    return x * scale;
+}
+
+int kernel(int data[8], int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i += 1) {
+#pragma HLS unroll factor=2
+        acc += helper(data[i]);
+    }
+    return acc;
+}
+"""
+
+
+def _func(unit, name):
+    func = unit.function(name)
+    assert func is not None
+    return func
+
+
+def test_reparse_hashes_structurally_equal():
+    a = parse(SOURCE, top_name="kernel")
+    b = parse(SOURCE, top_name="kernel")
+    for name in ("helper", "kernel"):
+        assert fp.structural_fp(a, _func(a, name)) == fp.structural_fp(
+            b, _func(b, name)
+        )
+    assert fp.unit_fingerprint(a) == fp.unit_fingerprint(b)
+    # The second parse drew fresh uids, so the *exact* digests differ:
+    # they pin bookkeeping on purpose.
+    assert fp.exact_fp(a, _func(a, "kernel")) != fp.exact_fp(
+        b, _func(b, "kernel")
+    )
+
+
+@pytest.mark.parametrize(
+    "before, after",
+    [
+        ("return x * scale;", "return x + scale;"),  # operator
+        ("int acc = 0;", "int acc = 1;"),  # literal
+        ("factor=2", "factor=4"),  # pragma argument
+    ],
+)
+def test_single_token_edits_change_structural_digest(before, after):
+    a = parse(SOURCE, top_name="kernel")
+    b = parse(SOURCE.replace(before, after), top_name="kernel")
+    changed = "helper" if "scale" in before else "kernel"
+    assert fp.structural_fp(a, _func(a, changed)) != fp.structural_fp(
+        b, _func(b, changed)
+    )
+    assert fp.unit_fingerprint(a) != fp.unit_fingerprint(b)
+
+
+def test_declaration_order_changes_unit_digest():
+    reordered = SOURCE.replace(
+        "int scale = 3;\n", ""
+    ).replace("int kernel", "int scale = 3;\n\nint kernel", 1)
+    a = parse(SOURCE, top_name="kernel")
+    b = parse(reordered, top_name="kernel")
+    # Same declarations, different order: per-decl digests agree but the
+    # combined unit digest must not.
+    assert fp.structural_fp(a, _func(a, "helper")) == fp.structural_fp(
+        b, _func(b, "helper")
+    )
+    assert fp.unit_fingerprint(a) != fp.unit_fingerprint(b)
+
+
+def test_clone_roundtrip_preserves_both_digests():
+    unit = parse(SOURCE, top_name="kernel")
+    structural = fp.structural_fp(unit, _func(unit, "kernel"))
+    exact = fp.exact_fp(unit, _func(unit, "kernel"))
+    copied = clone(unit)
+    # clone() preserves uids/lines, so even the exact digest survives —
+    # and the clone starts with an empty table (recomputed, not inherited).
+    assert fp.FP_TABLE_ATTR not in copied.__dict__
+    assert fp.structural_fp(copied, _func(copied, "kernel")) == structural
+    assert fp.exact_fp(copied, _func(copied, "kernel")) == exact
+
+
+def test_print_reparse_roundtrip_preserves_structural_digest():
+    unit = parse(SOURCE, top_name="kernel")
+    reparsed = parse(render(unit), top_name="kernel")
+    for name in ("helper", "kernel"):
+        assert fp.structural_fp(unit, _func(unit, name)) == fp.structural_fp(
+            reparsed, _func(reparsed, name)
+        )
+    assert fp.unit_fingerprint(unit) == fp.unit_fingerprint(reparsed)
+
+
+def test_dirty_aware_clone_inherits_clean_entries_only():
+    with fp.forced_mode("on"):
+        unit = parse(SOURCE, top_name="kernel")
+        helper_uid = _func(unit, "helper").uid
+        kernel_uid = _func(unit, "kernel").uid
+        # Populate the parent's table.
+        fp.decl_digests(unit, _func(unit, "helper"))
+        fp.decl_digests(unit, _func(unit, "kernel"))
+        candidate = Candidate(
+            unit=unit, config=SolutionConfig(top_name="kernel")
+        )
+        child = cloned_unit(candidate, dirty=["kernel"])
+        table = child.__dict__.get(fp.FP_TABLE_ATTR, {})
+        assert helper_uid in table  # clean decl: digest inherited
+        assert kernel_uid not in table  # dirty decl: recomputed lazily
+        # And the inherited entry matches a from-scratch recomputation.
+        assert table[helper_uid] == fp.node_digests(_func(child, "helper"))
+
+
+def test_dirty_none_inherits_nothing():
+    unit = parse(SOURCE, top_name="kernel")
+    fp.decl_digests(unit, _func(unit, "helper"))
+    candidate = Candidate(unit=unit, config=SolutionConfig(top_name="kernel"))
+    child = cloned_unit(candidate, dirty=None)
+    assert not child.__dict__.get(fp.FP_TABLE_ATTR)
+
+
+def test_owning_decl_names_locates_enclosing_function():
+    unit = parse(SOURCE, top_name="kernel")
+    kernel = _func(unit, "kernel")
+    loop = next(n for n in kernel.walk() if isinstance(n, N.For))
+    assert owning_decl_names(unit, loop.uid) == ["kernel"]
+    assert owning_decl_names(unit, 10**9) is None
+
+
+def test_mutation_after_dirty_clone_changes_only_dirty_digest():
+    unit = parse(SOURCE, top_name="kernel")
+    fp.decl_digests(unit, _func(unit, "helper"))
+    fp.decl_digests(unit, _func(unit, "kernel"))
+    candidate = Candidate(unit=unit, config=SolutionConfig(top_name="kernel"))
+    child = cloned_unit(candidate, dirty=["kernel"])
+    lit = next(
+        n for n in _func(child, "kernel").walk() if isinstance(n, N.IntLit)
+    )
+    lit.value += 41
+    assert fp.structural_fp(child, _func(child, "kernel")) != fp.structural_fp(
+        unit, _func(unit, "kernel")
+    )
+    assert fp.structural_fp(child, _func(child, "helper")) == fp.structural_fp(
+        unit, _func(unit, "helper")
+    )
+    assert fp.unit_fingerprint(child) != fp.unit_fingerprint(unit)

@@ -1,0 +1,371 @@
+"""End-to-end guarantees of the incremental-evaluation layer.
+
+The contract: with incremental caches on (or in cross-check mode), every
+observable of a transpile run — diagnostics, diff reports, fitness,
+search history, and the simulated-clock charge journal — is bit-identical
+to a run with ``REPRO_INCREMENTAL=0``.  Caches may only change wall-clock
+time, never results.
+
+The full ten-subject sweep is expensive; tier-1 runs two subjects and the
+rest are gated behind ``REPRO_CROSSCHECK_FULL=1`` (the CI `incremental`
+job sets it).
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import os
+
+import pytest
+
+from repro.baselines.variants import default_config, make_heterogen
+from repro.cfront import nodes as N
+from repro.cfront import parse
+from repro.cfront.fingerprint import forced_mode, incremental_mode
+from repro.cfront.printer import render
+from repro.core.edits.base import Candidate
+from repro.core.evalcache import cached_candidate_key, candidate_key
+from repro.hls.clock import SimulatedClock
+from repro.hls.compiler import compile_unit
+from repro.hls.memo import clear_analysis_caches
+from repro.hls.platform import SolutionConfig
+from repro.hls.schedule import estimate
+from repro.hls.stylecheck import check_style
+from repro.interp.compile import CompiledProgram, compile_program
+from repro.subjects import all_subjects, get_subject
+
+FULL_SWEEP = os.environ.get("REPRO_CROSSCHECK_FULL", "") == "1"
+
+#: Two structurally different subjects keep the tier-1 cross-check cheap;
+#: the env-gated sweep covers all ten.
+QUICK_SUBJECTS = ("P1", "P3")
+
+
+def _quick_config():
+    return default_config(
+        budget_seconds=2400.0,
+        max_iterations=60,
+        fuzz_execs=200,
+        workers=1,
+    )
+
+
+def _observables(subject, mode):
+    """One full transpile under *mode*, reduced to comparable values.
+
+    Every pass starts from identical global state: the uid counter is
+    reset so both passes parse into identical trees (uids appear in
+    diagnostics), and the analysis memos are cleared so the incremental
+    pass cannot coast on entries from an earlier test.
+    """
+    N._uid_counter = itertools.count(1)
+    clear_analysis_caches()
+    clock = SimulatedClock.recording()
+    with forced_mode(mode):
+        result = make_heterogen(_quick_config()).transpile(
+            subject.source,
+            kernel_name=subject.kernel,
+            solution=subject.solution,
+            host_name=subject.host,
+            host_args=list(subject.host_args),
+            tests=subject.existing_test_list() or None,
+            subject_name=subject.id,
+            clock=clock,
+        )
+    best = result.search_result.best
+    return {
+        "clock_seconds": clock.seconds,
+        "clock_by_activity": dict(clock.by_activity),
+        "clock_counts": dict(clock.counts),
+        "clock_events": list(clock.events or []),
+        "history": list(result.search_result.history),
+        "fitness": best.fitness if best is not None else None,
+        "applied": best.candidate.applied if best is not None else None,
+        "final_diff": result.final_diff,
+        "final_unit": (
+            render(result.final_unit) if result.final_unit is not None else None
+        ),
+        "success_seconds": result.search_result.success_seconds,
+    }
+
+
+def _assert_identical(subject_id):
+    subject = get_subject(subject_id)
+    baseline = _observables(subject, "off")
+    # "cross" additionally recomputes on every verified cache hit and
+    # raises IncrementalMismatch on divergence, so one pass both exercises
+    # the incremental path and self-checks its memo contents.
+    incremental = _observables(subject, "cross")
+    for field in baseline:
+        assert incremental[field] == baseline[field], (
+            f"{subject_id}: incremental run diverged on {field!r}"
+        )
+
+
+@pytest.mark.parametrize("subject_id", QUICK_SUBJECTS)
+def test_incremental_pipeline_bit_identical_quick(subject_id):
+    _assert_identical(subject_id)
+
+
+@pytest.mark.skipif(not FULL_SWEEP, reason="set REPRO_CROSSCHECK_FULL=1")
+@pytest.mark.parametrize(
+    "subject_id",
+    [s.id for s in all_subjects() if s.id not in QUICK_SUBJECTS],
+)
+def test_incremental_pipeline_bit_identical_full(subject_id):
+    _assert_identical(subject_id)
+
+
+# ---------------------------------------------------------------------------
+# Charges are never memoized
+# ---------------------------------------------------------------------------
+
+KERNEL_SRC = """
+int scale = 2;
+
+int helper(int x) {
+    return x * scale;
+}
+
+int kernel(int data[16], int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i += 1) {
+        acc += helper(data[i]);
+    }
+    return acc;
+}
+"""
+
+
+def _charges(fn):
+    clock = SimulatedClock.recording()
+    fn(clock)
+    return (clock.seconds, dict(clock.by_activity), dict(clock.counts),
+            list(clock.events))
+
+
+def test_style_and_compile_charges_identical_on_cache_hit():
+    """Cold-cache and warm-cache runs must charge the simulated clock
+    identically — memos hold pure computation, never charges."""
+    unit = parse(KERNEL_SRC, top_name="kernel")
+    config = SolutionConfig(top_name="kernel")
+    with forced_mode("on"):
+        clear_analysis_caches()
+        cold_style = _charges(lambda c: check_style(unit, clock=c))
+        warm_style = _charges(lambda c: check_style(unit, clock=c))
+        cold_compile = _charges(lambda c: compile_unit(unit, config, clock=c))
+        warm_compile = _charges(lambda c: compile_unit(unit, config, clock=c))
+    assert warm_style == cold_style
+    assert warm_compile == cold_compile
+    assert cold_compile[0] > 0  # the compile charge itself was issued live
+    with forced_mode("off"):
+        off_style = _charges(lambda c: check_style(unit, clock=c))
+        off_compile = _charges(lambda c: compile_unit(unit, config, clock=c))
+    assert off_style == cold_style
+    assert off_compile == cold_compile
+
+
+def test_compile_reports_identical_across_modes():
+    source = KERNEL_SRC.replace("int data[16]", "int *data")  # provoke diags
+    config = SolutionConfig(top_name="kernel")
+    N._uid_counter = itertools.count(1)
+    off_unit = parse(source, top_name="kernel")
+    with forced_mode("off"):
+        off_report = compile_unit(off_unit, config)
+    N._uid_counter = itertools.count(1)
+    on_unit = parse(source, top_name="kernel")
+    with forced_mode("cross"):
+        clear_analysis_caches()
+        first = compile_unit(on_unit, config)
+        second = compile_unit(on_unit, config)  # warm: every memo hits
+    assert [d for d in first.diagnostics] == [d for d in off_report.diagnostics]
+    assert [d for d in second.diagnostics] == [d for d in off_report.diagnostics]
+    assert first.compile_seconds == off_report.compile_seconds
+
+
+# ---------------------------------------------------------------------------
+# Schedule memo
+# ---------------------------------------------------------------------------
+
+
+def test_estimate_memo_hits_return_fresh_equal_reports():
+    config = SolutionConfig(top_name="kernel")
+    with forced_mode("on"):
+        clear_analysis_caches()
+        unit_a = parse(KERNEL_SRC, top_name="kernel")
+        first = estimate(unit_a, config)
+        # A *separate parse* of the same source hits via the structural
+        # fingerprint even though every uid differs.
+        unit_b = parse(KERNEL_SRC, top_name="kernel")
+        second = estimate(unit_b, config)
+        assert second == first
+        assert second is not first
+        assert second.resources is not first.resources
+        # Callers mutate report.resources; the memo must be isolated.
+        second.resources.luts += 10**6
+        third = estimate(parse(KERNEL_SRC, top_name="kernel"), config)
+        assert third == first
+    with forced_mode("off"):
+        legacy = estimate(parse(KERNEL_SRC, top_name="kernel"), config)
+    assert legacy == first
+
+
+def test_estimate_distinguishes_clock_period():
+    with forced_mode("on"):
+        clear_analysis_caches()
+        fast = estimate(
+            parse(KERNEL_SRC, top_name="kernel"),
+            SolutionConfig(top_name="kernel", clock_period_ns=3.33),
+        )
+        slow = estimate(
+            parse(KERNEL_SRC, top_name="kernel"),
+            SolutionConfig(top_name="kernel", clock_period_ns=10.0),
+        )
+    assert fast.clock_period_ns != slow.clock_period_ns
+
+
+# ---------------------------------------------------------------------------
+# Candidate cache keys (S2) and the evaluation key contract
+# ---------------------------------------------------------------------------
+
+
+def test_cached_candidate_key_memoizes_per_context():
+    unit = parse(KERNEL_SRC, top_name="kernel")
+    candidate = Candidate(unit=unit, config=SolutionConfig(top_name="kernel"))
+    with forced_mode("on"):
+        key = cached_candidate_key(candidate, "ctx-a")
+        assert candidate.__dict__["_cache_key"] == ("ctx-a", key)
+        assert cached_candidate_key(candidate, "ctx-a") == key
+        # A different context must not reuse the stashed key.
+        other = cached_candidate_key(candidate, "ctx-b")
+        assert other != key
+        assert cached_candidate_key(candidate, "ctx-b") == other
+
+
+def test_candidate_key_modes_agree_on_distinctions():
+    """The fingerprint key must distinguish whatever the render key did."""
+    config = SolutionConfig(top_name="kernel")
+    variant = KERNEL_SRC.replace("x * scale", "x + scale")
+    for mode in ("on", "off"):
+        with forced_mode(mode):
+            base = candidate_key(parse(KERNEL_SRC, top_name="kernel"), config)
+            same = candidate_key(parse(KERNEL_SRC, top_name="kernel"), config)
+            edited = candidate_key(parse(variant, top_name="kernel"), config)
+            retuned = candidate_key(
+                parse(KERNEL_SRC, top_name="kernel"),
+                SolutionConfig(top_name="kernel", clock_period_ns=7.0),
+            )
+        assert same == base, mode
+        assert edited != base, mode
+        assert retuned != base, mode
+
+
+# ---------------------------------------------------------------------------
+# Interpreter closure reuse across clones
+# ---------------------------------------------------------------------------
+
+
+def test_interp_clone_reuses_unchanged_function_closures():
+    with forced_mode("on"):
+        unit = parse(KERNEL_SRC, top_name="kernel")
+        parent = compile_program(unit)
+        child_unit = copy.deepcopy(unit)
+        # Mutate only `kernel` in the clone.
+        kernel = child_unit.function("kernel")
+        lit = next(n for n in kernel.walk() if isinstance(n, N.IntLit))
+        lit.value += 1
+        child = compile_program(child_unit)
+        assert isinstance(child, CompiledProgram)
+        assert child is not parent
+        # `helper` is byte-identical: its compiled closure is shared.
+        assert child.functions["helper"] is parent.functions["helper"]
+        assert child.functions["kernel"] is not parent.functions["kernel"]
+        assert child.reused_functions >= 1
+
+
+def test_interp_clone_reuse_does_not_leak_stale_globals():
+    with forced_mode("on"):
+        unit = parse(KERNEL_SRC, top_name="kernel")
+        compile_program(unit)
+        child_unit = copy.deepcopy(unit)
+        glob = next(
+            d for d in child_unit.decls
+            if isinstance(d, N.VarDecl) and d.name == "scale"
+        )
+        glob.init.value = 5  # scale: 2 -> 5
+        from repro.interp import run_program
+
+        original = run_program(
+            unit, "kernel", [[1, 2, 3, 4] + [0] * 12, 4], backend="compiled"
+        )
+        changed = run_program(
+            child_unit, "kernel", [[1, 2, 3, 4] + [0] * 12, 4], backend="compiled"
+        )
+        assert original.value == 20
+        # A stale reused closure reading the old global env would return
+        # 20 here — the global-profile gate must force a recompile.
+        assert changed.value == 50
+
+
+def test_interp_reuse_disabled_when_incremental_off():
+    with forced_mode("off"):
+        unit = parse(KERNEL_SRC, top_name="kernel")
+        compile_program(unit)
+        child_unit = copy.deepcopy(unit)
+        assert child_unit.__dict__.get("_compiled_program") is None
+        child = compile_program(child_unit)
+        assert child.reused_functions == 0
+
+
+# ---------------------------------------------------------------------------
+# Speculative-evaluation hygiene (S1)
+# ---------------------------------------------------------------------------
+
+
+class _FakeFuture:
+    def __init__(self):
+        self.cancelled = False
+
+    def cancel(self):
+        self.cancelled = True
+        return True
+
+
+def test_cache_hit_pops_and_cancels_stale_inflight_future():
+    """A speculative run submitted before its cache entry landed must be
+    evicted on the hit — a leaked future occupies an inflight slot (and a
+    worker) until shutdown."""
+    from repro.core import RepairSearch, SearchConfig
+
+    unit = parse(KERNEL_SRC, top_name="kernel")
+    search = RepairSearch(
+        original=unit,
+        kernel_name="kernel",
+        tests=[[[1, 2, 3, 4] + [0] * 12, 4]],
+        config=SearchConfig(use_cache=True, workers=1),
+    )
+    candidate = Candidate(unit=unit, config=SolutionConfig(top_name="kernel"))
+    search.evaluate(candidate)  # miss: populates the cache
+    key = cached_candidate_key(candidate, search._cache_context)
+    stale = _FakeFuture()
+    search._inflight[key] = stale
+    evaluation = search.evaluate(candidate)  # hit
+    assert key not in search._inflight
+    assert stale.cancelled
+    assert evaluation.fitness is not None
+
+
+# ---------------------------------------------------------------------------
+# Mode plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_forced_mode_restores_previous_mode():
+    before = incremental_mode()
+    with forced_mode("off"):
+        assert incremental_mode() == "off"
+        with forced_mode("cross"):
+            assert incremental_mode() == "cross"
+        assert incremental_mode() == "off"
+    assert incremental_mode() == before

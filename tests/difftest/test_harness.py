@@ -48,6 +48,27 @@ class TestOutputsEqual:
     def test_float_vs_non_number(self):
         assert not outputs_equal(1.0, "1.0")
 
+    def test_exact_fast_path_preserves_tolerant_semantics(self):
+        # The `left == right` short-circuit may only fire when the
+        # tolerant walk would also say True.
+        assert outputs_equal([1, [2, 3]], [1, [2, 3]])  # int fast path
+        assert outputs_equal(1, 1.0)  # == True, and isclose too
+        assert outputs_equal(0.1 + 0.2, 0.3)  # == False -> tolerant walk
+        assert not outputs_equal(1.0, 1.0 * (1 + 2e-4))  # beyond rtol
+        assert outputs_equal(1.0, 1.0 * (1 + 2e-5))  # within rtol
+
+    def test_fast_path_never_bypasses_nan_rule(self):
+        # == never equates NaNs, so NaN comparisons always reach the walk.
+        nan = float("nan")
+        assert outputs_equal([nan, 1], [nan, 1])
+        assert outputs_equal({"x": nan}, {"x": nan})
+        assert not outputs_equal([nan], [1.0])
+
+    def test_fast_path_list_tuple_mix(self):
+        # list != tuple under ==, so mixed shapes still take the walk.
+        assert outputs_equal([1, 2], (1, 2))
+        assert outputs_equal(((1.5,),), [[1.5 + 1e-9]])
+
 
 class TestCpuReference:
     def test_observables_and_latency(self):
