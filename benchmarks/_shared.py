@@ -14,6 +14,7 @@ EXPERIMENTS.md).
 from __future__ import annotations
 
 import functools
+import json
 from pathlib import Path
 
 from repro.baselines import TWELVE_HOURS, default_config, run_variant
@@ -21,6 +22,7 @@ from repro.core.report import TranspileResult
 from repro.subjects import all_subjects, get_subject
 
 OUT_DIR = Path(__file__).parent / "out"
+REPO_ROOT = Path(__file__).parent.parent
 
 #: One deterministic seed for every run in the harness.
 SEED = 2022
@@ -30,6 +32,23 @@ def write_table(name: str, text: str) -> Path:
     OUT_DIR.mkdir(exist_ok=True)
     path = OUT_DIR / name
     path.write_text(text)
+    return path
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Emit a ``BENCH_*.json`` artifact (the single mirroring helper).
+
+    Convention (see benchmarks/README.md): the artifact is written under
+    ``benchmarks/out/`` like every other harness output, and mirrored
+    verbatim to the repo root so the headline numbers are one click away
+    in the tree.  All bench scripts emit through here; nothing else
+    writes to the root.
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    text = json.dumps(payload, indent=2)
+    path = OUT_DIR / name
+    path.write_text(text)
+    (REPO_ROOT / name).write_text(text)
     return path
 
 

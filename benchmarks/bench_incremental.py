@@ -18,11 +18,10 @@ Two measurements, both emitted into ``benchmarks/out/BENCH_incremental.json``
 
 from __future__ import annotations
 
+import gc
 import itertools
-import json
 import statistics
 import time
-from pathlib import Path
 
 from repro.baselines import run_variant
 from repro.cfront import nodes as N
@@ -35,10 +34,24 @@ from repro.hls.stylecheck import check_style
 from repro.interp.compile import compile_program
 from repro.subjects import all_subjects
 
-from _shared import OUT_DIR, config_for, write_table
+from _shared import config_for, write_bench_json, write_table
 
 #: Simulated repair-chain length per subject in the microbench.
 CHAIN_LENGTH = 25
+
+#: Chain repetitions per (subject, mode); the reported per-stage time is
+#: the repetition minimum.  Single-shot stage timings on a shared host
+#: swing by milliseconds (scheduler preemption, GC pauses) — more than
+#: the few-millisecond per-stage costs being compared — and the minimum
+#: is the standard estimator that filters that additive noise out.
+CHAIN_REPS = 5
+
+#: Relative slowdown below which a subject counts as *parity*, not a
+#: regression.  Min-of-reps chain totals still wobble by ±1 % on a
+#: shared host (measured: ±0.4 ms on 50 ms chains at 15 reps), so a
+#: strict ``inc > off`` comparison of equal-cost modes is a coin flip;
+#: only a slowdown the measurement can actually resolve is flagged.
+REGRESSION_TOLERANCE = 0.02
 
 #: Cold-cache sweep rounds; the reported number is their median.
 SWEEP_ROUNDS = 3
@@ -72,6 +85,18 @@ def run_chain(subject, mode):
     # Diagnostics embed node uids; both passes must parse into identical
     # trees for the output comparison to be meaningful.
     N._uid_counter = itertools.count(1)
+    # A collection pause landing inside one mode's timed window (clone
+    # garbage accumulates across links) would skew a few-ms comparison;
+    # collect up front, then keep the collector out of the timings.
+    gc.collect()
+    gc.disable()
+    try:
+        return _run_chain_timed(subject, mode)
+    finally:
+        gc.enable()
+
+
+def _run_chain_timed(subject, mode):
     with forced_mode(mode):
         clear_analysis_caches()
         unit = subject.parse()
@@ -106,12 +131,35 @@ def run_chain(subject, mode):
         return timings, observations
 
 
+def _best_chains(subject):
+    """Min-of-:data:`CHAIN_REPS` per-stage timings for both modes.
+
+    Repetitions interleave the modes (on, off, on, off, ...) so slow
+    drift on a shared host — frequency scaling, a neighbour waking up —
+    biases neither side; the minimum then filters the additive spikes.
+    """
+    inc_best, inc_obs = run_chain(subject, "on")
+    stats = analysis_cache_stats()
+    off_best, off_obs = run_chain(subject, "off")
+    for _ in range(CHAIN_REPS - 1):
+        for mode, best, reference in (
+            ("on", inc_best, inc_obs), ("off", off_best, off_obs)
+        ):
+            timings, obs = run_chain(subject, mode)
+            assert obs == reference, (
+                f"{subject.id}: chain repetition diverged under mode {mode!r}"
+            )
+            for stage in STAGES:
+                best[stage] = min(best[stage], timings[stage])
+    return inc_best, off_best, inc_obs, off_obs, stats
+
+
 def run_microbench():
     rows = []
     for subject in all_subjects():
-        inc_timings, inc_obs = run_chain(subject, "on")
-        stats = analysis_cache_stats()
-        off_timings, off_obs = run_chain(subject, "off")
+        inc_timings, off_timings, inc_obs, off_obs, stats = (
+            _best_chains(subject)
+        )
         assert inc_obs == off_obs, (
             f"{subject.id}: incremental chain diverged from the legacy path"
         )
@@ -119,8 +167,16 @@ def run_microbench():
         for stage in STAGES:
             row[f"{stage}_off_s"] = round(off_timings[stage], 4)
             row[f"{stage}_inc_s"] = round(inc_timings[stage], 4)
-        row["off_total_s"] = round(sum(off_timings.values()), 4)
-        row["inc_total_s"] = round(sum(inc_timings.values()), 4)
+        off_total = sum(off_timings.values())
+        inc_total = sum(inc_timings.values())
+        row["off_total_s"] = round(off_total, 4)
+        row["inc_total_s"] = round(inc_total, 4)
+        if inc_total > off_total * (1.0 + REGRESSION_TOLERANCE):
+            row["verdict"] = "regressed"
+        elif off_total > inc_total * (1.0 + REGRESSION_TOLERANCE):
+            row["verdict"] = "faster"
+        else:
+            row["verdict"] = "parity"
         row["cache_stats"] = stats
         rows.append(row)
     return rows
@@ -168,15 +224,11 @@ def test_incremental_eval(benchmark):
             "speedup": round(BASELINE_SWEEP_SECONDS / sweep_median, 2),
         },
     }
-    OUT_DIR.mkdir(exist_ok=True)
-    text = json.dumps(payload, indent=2)
-    (OUT_DIR / "BENCH_incremental.json").write_text(text)
-    # Mirror to the repo root so the latest numbers travel with the tree.
-    (Path(__file__).parent.parent / "BENCH_incremental.json").write_text(text)
+    write_bench_json("BENCH_incremental.json", payload)
 
     lines = [
         "Incremental evaluation — content-addressed caches vs full re-analysis",
-        f"{'ID':4} {'Off(s)':>8} {'Incr(s)':>8} {'Speedup':>8}",
+        f"{'ID':4} {'Off(s)':>8} {'Incr(s)':>8} {'Speedup':>8}  Verdict",
     ]
     for row in rows:
         speedup = (
@@ -184,7 +236,7 @@ def test_incremental_eval(benchmark):
         )
         lines.append(
             f"{row['subject']:4} {row['off_total_s']:8.3f} "
-            f"{row['inc_total_s']:8.3f} {speedup:7.2f}x"
+            f"{row['inc_total_s']:8.3f} {speedup:7.2f}x  {row['verdict']}"
         )
     lines.append("")
     lines.append("per-stage totals (all subjects):")
@@ -202,3 +254,7 @@ def test_incremental_eval(benchmark):
 
     assert inc_total < off_total
     assert sweep_median < BASELINE_SWEEP_SECONDS
+    # The small-unit memo bypass must hold: no subject — in particular
+    # the 2-function ones — may pay a resolvable incremental overhead.
+    regressed = [r["subject"] for r in rows if r["verdict"] == "regressed"]
+    assert not regressed, f"incremental overhead regression on {regressed}"

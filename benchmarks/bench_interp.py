@@ -18,7 +18,6 @@ Three measurements, all emitted into ``benchmarks/out/BENCH_interp.json``
 
 from __future__ import annotations
 
-import json
 import statistics
 import time
 
@@ -28,7 +27,7 @@ from repro.fuzz import FuzzConfig, fuzz_kernel
 from repro.interp import ExecLimits, make_engine
 from repro.subjects import all_subjects
 
-from _shared import OUT_DIR, SEED, config_for, write_table
+from _shared import SEED, config_for, write_bench_json, write_table
 
 #: Corpus replays per backend when timing the interpreter loop.
 REPEATS = 3
@@ -155,8 +154,7 @@ def test_interp_backend(benchmark):
             "speedup": round(TREE_SWEEP_SECONDS / sweep_seconds, 2),
         },
     }
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / "BENCH_interp.json").write_text(json.dumps(payload, indent=2))
+    write_bench_json("BENCH_interp.json", payload)
 
     lines = [
         "Interpreter backends — closure-compiled vs tree-walking",

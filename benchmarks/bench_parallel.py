@@ -1,0 +1,196 @@
+"""Process-parallel sweeps × the persistent result store.
+
+The full workers × store matrix, emitted into
+``benchmarks/out/BENCH_parallel.json`` (mirrored to the repo root and
+uploaded as a CI artifact): for each worker count in
+:data:`WORKER_COUNTS`, one **cold** ten-subject HeteroGen sweep against
+a fresh store file and one **warm** rerun against the store the cold
+sweep just filled.  Three guarantees are asserted along the way:
+
+1. every cell's per-subject results (history, clock journal, attempts,
+   final source) are bit-identical — parallelism and the store may only
+   move wall-clock;
+2. the warm rerun answers >= 50 % of its evaluations from the store
+   (in practice ~100 %: the sweep is deterministic);
+3. on a host with >= 4 CPUs, the cold sweep at 4 process workers is
+   >= 2x faster than at 1 worker.  Subject-level fan-out
+   (:func:`repro.core.parallel.run_subjects`) is what scales — inside
+   one search, candidate evaluation is only ~20 % of wall-clock and is
+   consumed in strict priority order, so candidate-grain speculation
+   alone cannot reach 2x.  On smaller hosts the matrix is still
+   measured and recorded, but the speedup assertion is skipped (and
+   flagged in the payload): you cannot buy wall-clock parallelism the
+   kernel does not offer.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.core.parallel import run_subjects, shutdown_pool
+from repro.core.store import close_stores
+from repro.hls.memo import clear_analysis_caches
+from repro.subjects import all_subjects
+
+from _shared import OUT_DIR, config_for, write_bench_json, write_table
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+#: Worker count whose cold sweep must beat the 1-worker cold sweep 2x
+#: (enforced only when the host can actually run 4 workers at once).
+TARGET_WORKERS = 4
+TARGET_SPEEDUP = 2.0
+MIN_WARM_HIT_RATE = 0.5
+
+#: Result fields that must be bit-identical across every cell.  Cache
+#: and store counters are deliberately absent: ``cache_hits`` counts
+#: evaluations answered without running the toolchain (any tier), so
+#: cold and warm runs *should* differ there — that difference is the
+#: entire point of the store.
+IDENTICAL_FIELDS = (
+    "subject",
+    "success",
+    "hls_compatible",
+    "repair_minutes",
+    "clock_seconds",
+    "history",
+    "attempts",
+    "final_source",
+)
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _fresh_store(workers: int) -> str:
+    """A per-cell store file (removing any previous run's leftovers)."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"parallel_store_w{workers}.sqlite"
+    for suffix in ("", "-wal", "-shm"):
+        leftover = Path(str(path) + suffix)
+        if leftover.exists():
+            leftover.unlink()
+    return str(path)
+
+
+def _run_cell(subject_ids, config, workers, store_path):
+    """One sweep cell: fresh pool, cold parent caches, timed."""
+    # Every cell forks its workers from the same parent state: analysis
+    # memos cleared, no warm pool inherited from the previous cell.
+    clear_analysis_caches()
+    shutdown_pool()
+    close_stores()
+    start = time.perf_counter()
+    summaries = run_subjects(
+        subject_ids, "HeteroGen", config, workers, store_path=store_path
+    )
+    elapsed = time.perf_counter() - start
+    return summaries, elapsed
+
+
+def _comparable(summaries):
+    return [{k: s[k] for k in IDENTICAL_FIELDS} for s in summaries]
+
+
+def _hit_rate(summaries):
+    hits = sum(s["store_hits"] for s in summaries)
+    misses = sum(s["store_misses"] for s in summaries)
+    return hits / (hits + misses) if hits + misses else 0.0
+
+
+def run_matrix(subject_ids, config):
+    cells = []
+    reference = None
+    for workers in WORKER_COUNTS:
+        store_path = _fresh_store(workers)
+        cold_summaries, cold_s = _run_cell(
+            subject_ids, config, workers, store_path
+        )
+        warm_summaries, warm_s = _run_cell(
+            subject_ids, config, workers, store_path
+        )
+        assert _hit_rate(cold_summaries) == 0.0, (
+            f"workers={workers}: the cold store was not cold"
+        )
+        warm_rate = _hit_rate(warm_summaries)
+        comparable = _comparable(cold_summaries)
+        assert _comparable(warm_summaries) == comparable, (
+            f"workers={workers}: warm-store rerun diverged from the cold run"
+        )
+        if reference is None:
+            reference = comparable
+        assert comparable == reference, (
+            f"workers={workers}: results diverged from the 1-worker cell"
+        )
+        cells.append({
+            "workers": workers,
+            "cold_seconds": round(cold_s, 1),
+            "warm_seconds": round(warm_s, 1),
+            "warm_store_hit_rate": round(warm_rate, 3),
+        })
+    return cells
+
+
+def test_parallel_sweep(benchmark):
+    subject_ids = [s.id for s in all_subjects()]
+    config = config_for("HeteroGen")
+    config.search.workers = 1  # subject-level fan-out only
+    cells = benchmark.pedantic(
+        run_matrix, args=(subject_ids, config), rounds=1, iterations=1
+    )
+    shutdown_pool()
+    close_stores()
+
+    cpus = _available_cpus()
+    baseline = next(c for c in cells if c["workers"] == 1)
+    target = next(c for c in cells if c["workers"] == TARGET_WORKERS)
+    for cell in cells:
+        cell["cold_speedup_vs_1"] = round(
+            baseline["cold_seconds"] / cell["cold_seconds"], 2
+        )
+    speedup_enforced = cpus >= TARGET_WORKERS
+
+    payload = {
+        "subjects": subject_ids,
+        "available_cpus": cpus,
+        "matrix": cells,
+        "cold_speedup_at_target": target["cold_speedup_vs_1"],
+        "target_workers": TARGET_WORKERS,
+        "target_speedup": TARGET_SPEEDUP,
+        "speedup_target_enforced": speedup_enforced,
+        "min_warm_hit_rate": MIN_WARM_HIT_RATE,
+    }
+    write_bench_json("BENCH_parallel.json", payload)
+
+    lines = [
+        "Process-parallel sweeps x persistent store "
+        f"({len(subject_ids)} subjects, {cpus} CPUs available)",
+        f"{'Workers':>7} {'Cold(s)':>8} {'Warm(s)':>8} {'WarmHit':>8} "
+        f"{'Speedup':>8}",
+    ]
+    for cell in cells:
+        lines.append(
+            f"{cell['workers']:7} {cell['cold_seconds']:8.1f} "
+            f"{cell['warm_seconds']:8.1f} "
+            f"{cell['warm_store_hit_rate']:7.0%} "
+            f"{cell['cold_speedup_vs_1']:7.2f}x"
+        )
+    lines.append("")
+    lines.append(
+        f"cold speedup at {TARGET_WORKERS} workers: "
+        f"{target['cold_speedup_vs_1']:.2f}x "
+        f"(target {TARGET_SPEEDUP:.0f}x, "
+        f"{'enforced' if speedup_enforced else 'not enforced: too few CPUs'})"
+    )
+    write_table("bench_parallel.txt", "\n".join(lines))
+
+    for cell in cells:
+        assert cell["warm_store_hit_rate"] >= MIN_WARM_HIT_RATE
+    if speedup_enforced:
+        assert target["cold_speedup_vs_1"] >= TARGET_SPEEDUP

@@ -133,6 +133,44 @@ def forced_mode(mode: str) -> Iterator[None]:
         set_incremental_mode(previous)
 
 
+#: Units with at most this many function definitions (free functions
+#: plus struct methods) bypass the fingerprint-memo machinery: hashing,
+#: table upkeep and memo locking cost more than simply re-analysing one
+#: or two small functions, which is exactly the regression the P1/P2
+#: benchmark rows showed.
+SMALL_UNIT_FUNCTIONS = 2
+
+
+def memo_worthwhile(unit: N.TranslationUnit) -> bool:
+    """Is *unit* big enough for fingerprint memos to pay for themselves?
+
+    Memoized on the unit (``clone()`` drops the flag with the other
+    fingerprint state).  The verdict is structural — a function count —
+    so structurally-equal units always agree, which keeps cache-key
+    schemes consistent between any two candidates that could share an
+    entry.
+    """
+    cached = unit.__dict__.get("_memo_worthwhile")
+    if cached is None:
+        count = 0
+        for decl in unit.decls:
+            if isinstance(decl, N.FunctionDef):
+                count += 1
+            elif isinstance(decl, N.StructDef):
+                count += len(decl.methods)
+        cached = count > SMALL_UNIT_FUNCTIONS
+        unit.__dict__["_memo_worthwhile"] = cached
+    return cached
+
+
+def unit_incremental_enabled(unit: N.TranslationUnit) -> bool:
+    """The per-unit memo gate: incremental mode is on AND the unit is
+    large enough that memo bookkeeping beats recomputation.  Pure-result
+    memos consult this instead of :func:`incremental_enabled`; the
+    bypass only changes *where* a value is computed, never the value."""
+    return _MODE != "off" and memo_worthwhile(unit)
+
+
 # --------------------------------------------------------------------------
 # Digest computation
 # --------------------------------------------------------------------------

@@ -75,6 +75,9 @@ def clone(node: Node) -> Node:
     if isinstance(copied, TranslationUnit):
         copied.__dict__.pop("_fp_table", None)
         copied.__dict__.pop("_unit_fp", None)
+        copied.__dict__.pop("_walk_uids", None)
+        copied.__dict__.pop("_walk_index", None)
+        copied.__dict__.pop("_memo_worthwhile", None)
     return copied
 
 

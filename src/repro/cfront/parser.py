@@ -658,6 +658,13 @@ class Parser:
         if tok.kind == "keyword" and tok.text in ("true", "false"):
             self._advance()
             return N.IntLit(value=1 if tok.text == "true" else 0, text=tok.text, **self._loc(tok))
+        if (
+            tok.kind == "ident"
+            and tok.text == "thls"
+            and self._peek(1).text == "::"
+            and self._peek(2).text == "to"
+        ):
+            return self._parse_policy_cast(tok)
         if tok.kind == "ident":
             self._advance()
             return N.Ident(name=tok.text, **self._loc(tok))
@@ -667,6 +674,47 @@ class Parser:
             self._expect("punct", ")")
             return expr
         raise self._error(f"unexpected token {tok.text!r} in expression")
+
+    def _parse_policy_cast(self, tok: Token) -> N.Expr:
+        """``thls::to<T, policy>(expr)`` — the Figure 4 explicit-policy
+        cast the ``type_casting`` repair edits emit.  The printer renders
+        :class:`~repro.cfront.nodes.Cast` nodes with a non-empty
+        ``explicit_policy`` in this form, so accepting it here keeps the
+        render → parse round trip closed for repaired candidates (the
+        process executor ships candidates as rendered source)."""
+        self._advance()  # thls
+        self._expect("punct", "::")
+        self._expect("ident", "to")
+        self._expect("punct", "<")
+        to_type = self._parse_type()
+        while self._accept("punct", "*"):
+            to_type = T.PointerType(to_type)
+        self._expect("punct", ",")
+        # The policy is free-form (`thls::convert_policy(0xF)`): collect
+        # its tokens verbatim up to the `>` closing the template.
+        parts: List[str] = []
+        depth = 0
+        while True:
+            nxt = self._peek()
+            if nxt.kind == "eof":
+                raise self._error("unterminated thls::to<...> policy")
+            if nxt.kind == "punct" and nxt.text == "<":
+                depth += 1
+            elif nxt.kind == "punct" and nxt.text == ">":
+                if depth == 0:
+                    break
+                depth -= 1
+            parts.append(self._advance().text)
+        self._expect("punct", ">")
+        self._expect("punct", "(")
+        expr = self._parse_expr()
+        self._expect("punct", ")")
+        return N.Cast(
+            to_type=to_type,
+            expr=expr,
+            explicit_policy="".join(parts),
+            **self._loc(tok),
+        )
 
 
 def _fold_int(expr: N.Expr) -> Optional[int]:

@@ -58,6 +58,9 @@ def result_to_dict(result: TranspileResult) -> dict:
         "repair_minutes": result.search_result.repair_minutes,
         "cache_hits": result.search_result.stats.cache_hits,
         "cache_hit_ratio": result.search_result.stats.cache_hit_ratio,
+        "store_hits": result.search_result.stats.store_hits,
+        "store_misses": result.search_result.stats.store_misses,
+        "store_hit_ratio": result.search_result.stats.store_hit_ratio,
         "remaining_errors": result.remaining_errors,
         "tests_generated": (
             result.fuzz_report.tests_generated if result.fuzz_report else 0
@@ -67,6 +70,17 @@ def result_to_dict(result: TranspileResult) -> dict:
         ),
         "final_source": result.final_source(),
     }
+
+
+def _apply_parallel_flags(search: SearchConfig, args: argparse.Namespace) -> None:
+    """Overlay the executor/store CLI flags on a search config whose
+    defaults already honour REPRO_EXECUTOR / REPRO_WORKERS / REPRO_STORE."""
+    if getattr(args, "executor", None):
+        search.executor = args.executor
+    if getattr(args, "no_store", False):
+        search.store_path = None
+    elif getattr(args, "store", None):
+        search.store_path = args.store
 
 
 def cmd_transpile(args: argparse.Namespace) -> int:
@@ -82,6 +96,7 @@ def cmd_transpile(args: argparse.Namespace) -> int:
             interp_backend=args.interp_backend,
         ),
     )
+    _apply_parallel_flags(config.search, args)
     tool = HeteroGen(config)
     result = tool.transpile(
         source,
@@ -166,16 +181,15 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 def cmd_subjects(args: argparse.Namespace) -> int:
     if args.run:
         subject = get_subject(args.run)
-        result = run_variant(
-            subject, args.variant,
-            default_config(
-                max_iterations=args.max_iterations,
-                seed=args.seed,
-                workers=args.workers,
-                use_cache=not args.no_cache,
-                interp_backend=args.interp_backend,
-            ),
+        config = default_config(
+            max_iterations=args.max_iterations,
+            seed=args.seed,
+            workers=args.workers,
+            use_cache=not args.no_cache,
+            interp_backend=args.interp_backend,
         )
+        _apply_parallel_flags(config.search, args)
+        result = run_variant(subject, args.variant, config)
         if args.json:
             print(json.dumps(result_to_dict(result), indent=2))
         else:
@@ -247,6 +261,31 @@ def build_parser() -> argparse.ArgumentParser:
                        "'cross' runs both backends and asserts identical "
                        "behaviour)")
 
+    def parallel_flags(p):
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker-pool width for speculative candidate "
+                       "evaluation (1 = serial).  Speculation never changes "
+                       "reported results — history, fitness and simulated "
+                       "clock are bit-identical to serial; only wall-clock "
+                       "drops.  With the default thread executor the GIL "
+                       "limits scaling; combine with --executor process")
+        p.add_argument("--executor", choices=["thread", "process"],
+                       default=None,
+                       help="where candidate evaluation runs: 'thread' "
+                       "(in-process; GIL-bound) or 'process' (persistent "
+                       "worker-process pool, GIL-free).  Default: "
+                       "$REPRO_EXECUTOR or 'thread'")
+        p.add_argument("--store", metavar="PATH", default=None,
+                       help="persistent evaluation store (SQLite): verdicts "
+                       "are reused across runs with identical reported "
+                       "results.  Default: $REPRO_STORE or disabled")
+        p.add_argument("--no-store", action="store_true",
+                       help="disable the persistent evaluation store even "
+                       "if $REPRO_STORE is set")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the candidate-evaluation memo cache "
+                       "(also disables the persistent store)")
+
     t = sub.add_parser("transpile", help="transpile a C kernel to HLS-C")
     t.add_argument("file", help="C source file, or - for stdin")
     t.add_argument("--kernel", required=True, help="kernel function name")
@@ -257,11 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--max-iterations", type=int, default=220)
     t.add_argument("--diff", action="store_true",
                    help="print a unified diff instead of the full output")
-    t.add_argument("--workers", type=int, default=1,
-                   help="thread-pool width for speculative candidate "
-                   "evaluation (1 = serial; results are identical)")
-    t.add_argument("--no-cache", action="store_true",
-                   help="disable the candidate-evaluation memo cache")
+    parallel_flags(t)
     common(t)
     backend_flag(t)
     t.set_defaults(func=cmd_transpile)
@@ -287,11 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["HeteroGen", "WithoutChecker",
                             "WithoutDependence", "HeteroRefactor"])
     s.add_argument("--max-iterations", type=int, default=220)
-    s.add_argument("--workers", type=int, default=1,
-                   help="thread-pool width for speculative candidate "
-                   "evaluation (1 = serial; results are identical)")
-    s.add_argument("--no-cache", action="store_true",
-                   help="disable the candidate-evaluation memo cache")
+    parallel_flags(s)
     common(s, kernel=False)
     backend_flag(s)
     s.set_defaults(func=cmd_subjects)

@@ -44,6 +44,24 @@ Entries are safe to share across runs and threads: reports are treated
 as immutable once stored, and the cache itself is lock-protected so the
 parallel fan-out in :class:`~repro.core.search.RepairSearch` can consult
 it from worker threads.
+
+Canonical uid space
+-------------------
+
+Node uids are drawn from a process-global counter, so the uids embedded
+in diagnostics are an artifact of *which* structurally-equal candidate
+was evaluated first — meaningless to another process (the process
+executor re-parses candidates) and to the next run (the persistent
+store outlives the uid counter).  Payloads that cross a cache, process
+or store boundary are therefore held in the **canonical uid space**:
+every ``node_uid`` is replaced by the node's position in the unit's
+pre-order walk, encoded as ``-(index + 1)`` (0 keeps meaning "no
+node").  Structural equality implies walk isomorphism, so rebinding a
+canonical payload against the consuming candidate's tree
+(:func:`rebind_evaluation`) yields exactly the diagnostics a fresh
+toolchain run on that candidate would have produced — which is also why
+rebound cache hits are *more* faithful to an uncached run than raw
+first-writer uids ever were.
 """
 
 from __future__ import annotations
@@ -52,17 +70,18 @@ import hashlib
 import json
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Any, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, List, Optional, Sequence, Tuple
 
 from ..cfront import nodes as N
-from ..cfront.fingerprint import incremental_enabled, unit_fingerprint
+from ..cfront.fingerprint import unit_fingerprint, unit_incremental_enabled
 from ..cfront.printer import render
 from ..difftest import DiffReport
 from ..hls.clock import ChargeEvent
 from ..hls.diagnostics import CompileReport
 from ..hls.platform import SolutionConfig
 from ..hls.stylecheck import StyleViolation
+from .store import EvalStore
 
 #: Default capacity: one entry holds a couple of small report objects, so
 #: a few thousand entries comfortably cover the largest search runs while
@@ -101,10 +120,14 @@ def candidate_key(
     distinguishes (every semantic AST field), so the incremental key is
     finer-or-equal: it can only turn would-be hits into misses, and a
     miss re-runs the deterministic toolchain — results stay bit-identical
-    either way.  ``REPRO_INCREMENTAL=0`` restores the render-based key.
+    either way.  ``REPRO_INCREMENTAL=0`` restores the render-based key,
+    as do units too small for fingerprint bookkeeping to pay off
+    (:func:`~repro.cfront.fingerprint.memo_worthwhile`) — the scheme is
+    a pure function of the unit's structure, so any two candidates that
+    could share an entry agree on it.
     """
     digest = hashlib.sha256()
-    if incremental_enabled():
+    if unit_incremental_enabled(unit):
         digest.update(b"fp:")
         digest.update(unit_fingerprint(unit).encode())
     else:
@@ -154,11 +177,132 @@ def context_token(
     return digest.hexdigest()
 
 
-class EvalCache:
-    """Thread-safe LRU memo of :class:`CachedEvaluation` entries."""
+# --------------------------------------------------------------------------
+# Canonical uid space
+# --------------------------------------------------------------------------
 
-    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+
+def _walk_uids(unit: N.TranslationUnit) -> List[int]:
+    """Pre-order walk uids of ``unit``, memoized on the unit.
+
+    ``clone()`` drops the memo alongside the fingerprint table, and edit
+    transforms mutate only cloned units, so a published candidate's walk
+    list is stable for its lifetime.
+    """
+    memo = unit.__dict__.get("_walk_uids")
+    if memo is None:
+        memo = [node.uid for node in unit.walk()]
+        unit.__dict__["_walk_uids"] = memo
+    return memo
+
+
+def _canonical_map(unit: N.TranslationUnit) -> dict:
+    memo = unit.__dict__.get("_walk_index")
+    if memo is None:
+        memo = {uid: index for index, uid in enumerate(_walk_uids(unit))}
+        unit.__dict__["_walk_index"] = memo
+    return memo
+
+
+def _map_uid_out(uid: int, index_of: dict) -> int:
+    if uid == 0:
+        return 0
+    index = index_of.get(uid)
+    # A uid outside the unit's walk has no canonical name; 0 ("no node")
+    # is the only deterministic anchor left for it.
+    return -(index + 1) if index is not None else 0
+
+
+def _map_uid_in(uid: int, uids: List[int]) -> int:
+    if uid >= 0:
+        # Already a live uid (or 0): payload did not cross a boundary.
+        return uid
+    index = -uid - 1
+    return uids[index] if index < len(uids) else 0
+
+
+def canonicalize_evaluation(
+    evaluation: CachedEvaluation, unit: N.TranslationUnit
+) -> CachedEvaluation:
+    """Re-encode every ``node_uid`` as a walk-order index (``-(i+1)``).
+
+    ``unit`` must be the tree the toolchain actually ran on.  The result
+    is position-addressed, so it survives pickling to another process and
+    persisting across runs, where live uids are meaningless.
+    """
+    index_of = _canonical_map(unit)
+    return _remap_evaluation(evaluation, lambda uid: _map_uid_out(uid, index_of))
+
+
+def rebind_evaluation(
+    evaluation: CachedEvaluation, unit: N.TranslationUnit
+) -> CachedEvaluation:
+    """Resolve canonical walk indices back to ``unit``'s live uids.
+
+    ``unit`` must be structurally equal to the tree the payload was
+    produced from (guaranteed by the cache key), which makes the two
+    walks isomorphic and the rebind exact: diagnostics land on the same
+    structural positions a fresh toolchain run on ``unit`` would report.
+    """
+    uids = _walk_uids(unit)
+    return _remap_evaluation(evaluation, lambda uid: _map_uid_in(uid, uids))
+
+
+def _remap_evaluation(
+    evaluation: CachedEvaluation, remap
+) -> CachedEvaluation:
+    changed = False
+
+    violations = []
+    for violation in evaluation.style_violations:
+        uid = remap(violation.node_uid)
+        if uid != violation.node_uid:
+            violation = replace(violation, node_uid=uid)
+            changed = True
+        violations.append(violation)
+
+    compile_report = evaluation.compile_report
+    if compile_report is not None and compile_report.diagnostics:
+        diagnostics = []
+        diags_changed = False
+        for diag in compile_report.diagnostics:
+            uid = remap(diag.node_uid)
+            if uid != diag.node_uid:
+                diag = replace(diag, node_uid=uid)
+                diags_changed = True
+            diagnostics.append(diag)
+        if diags_changed:
+            compile_report = replace(compile_report, diagnostics=diagnostics)
+            changed = True
+
+    if not changed:
+        return evaluation
+    return replace(
+        evaluation,
+        style_violations=tuple(violations),
+        compile_report=compile_report,
+    )
+
+
+class EvalCache:
+    """Thread-safe LRU memo of :class:`CachedEvaluation` entries.
+
+    Optionally backed by a persistent :class:`~repro.core.store.EvalStore`
+    tier: ``lookup`` reads through to the store on a memory miss
+    (promoting hits into memory), and ``put`` writes new entries
+    through.  All entries that crossed or may cross a process/run
+    boundary are kept in the canonical uid space; rebinding to the
+    consuming candidate happens at the search layer, not here — the
+    cache is uid-space agnostic.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        store: Optional[EvalStore] = None,
+    ) -> None:
         self.max_entries = max_entries
+        self.store = store
         self._entries: "OrderedDict[str, CachedEvaluation]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
@@ -178,22 +322,48 @@ class EvalCache:
 
     def get(self, key: str) -> Optional[CachedEvaluation]:
         """Fetch an entry, counting the lookup as a hit or miss."""
+        return self.lookup(key)[0]
+
+    def lookup(self, key: str) -> Tuple[Optional[CachedEvaluation], Optional[str]]:
+        """Fetch an entry plus the tier that answered it.
+
+        Returns ``(entry, "memory")``, ``(entry, "store")`` — the entry
+        was promoted into memory on the way out — or ``(None, None)``.
+        Memory hit/miss counters track only the memory tier; the store
+        keeps its own, so a store hit shows up as a memory miss plus a
+        store hit (which is what happened).
+        """
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
-                self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return entry
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry, "memory"
+            self.misses += 1
+        if self.store is None:
+            return None, None
+        entry = self.store.get(key)
+        if entry is None:
+            return None, None
+        self._insert(key, entry)
+        return entry, "store"
 
     def contains(self, key: str) -> bool:
         """Presence probe that does not disturb hit/miss accounting
         (used by the speculative fan-out to skip redundant submits)."""
         with self._lock:
-            return key in self._entries
+            if key in self._entries:
+                return True
+        return self.store is not None and self.store.contains(key)
 
     def put(self, key: str, value: CachedEvaluation) -> None:
+        self._insert(key, value)
+        if self.store is not None:
+            self.store.put(key, value)
+
+    def _insert(self, key: str, value: CachedEvaluation) -> None:
+        """Memory-tier insert (no store write-through; used to promote
+        store hits without rewriting an identical payload)."""
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)

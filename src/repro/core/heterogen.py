@@ -28,6 +28,7 @@ from .edits import Candidate, EditRegistry, RepairContext, build_registry
 from .evalcache import EvalCache
 from .report import TranspileResult
 from .search import RepairSearch, SearchConfig
+from .store import get_store
 
 
 @dataclass
@@ -68,11 +69,15 @@ class HeteroGen:
         # long-lived transpiler (a service handling many requests, or a
         # benchmark harness re-running subjects) reuses verdicts across
         # transpile calls.  Context tokens keep entries from different
-        # programs/suites apart.
+        # programs/suites apart.  A configured store path additionally
+        # backs the cache with the persistent cross-run tier.
         if cache is not None:
             self.cache: Optional[EvalCache] = cache
         elif self.config.search.use_cache:
-            self.cache = EvalCache()
+            store_path = self.config.search.store_path
+            self.cache = EvalCache(
+                store=get_store(store_path) if store_path else None
+            )
         else:
             self.cache = None
 

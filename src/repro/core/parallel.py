@@ -1,0 +1,342 @@
+"""Process-based evaluation executor — the GIL-free verify pool.
+
+``SearchConfig.workers`` (PR 1) fans candidate verification out on a
+``ThreadPoolExecutor``, but style checking, HLS compilation and the
+interpreter are pure Python: the GIL serializes them, so thread workers
+overlap almost nothing.  This module ships the same work to a pool of
+**worker processes** instead (``SearchConfig.executor = "process"``,
+CLI ``--executor``, env :data:`EXECUTOR_ENV`).
+
+Wire format
+-----------
+
+Live search state does not cross the process boundary.  AST nodes are
+mutable, closure-compiled programs (:mod:`repro.interp.compile`) hold
+unpicklable cell chains, and shipping either would be both slow and a
+determinism hazard.  A job (:class:`EvalJob`) therefore carries only
+plain data:
+
+* the candidate's **rendered source** and its ``SolutionConfig``;
+* the evaluation context, once per context: the original program's
+  rendered source, kernel name, diff-test subset, execution limits and
+  fault budget — exactly the inputs :func:`~repro.core.evalcache.context_token`
+  hashes, and the token itself as the worker-side context-cache key;
+* the pipeline knobs (style checker on/off, interpreter backend,
+  incremental mode) that the worker must mirror.
+
+The worker parses the source, runs the identical style → compile →
+differential-test pipeline against a recording clock, and returns a
+:class:`~repro.core.evalcache.CachedEvaluation` in the **canonical uid
+space** (worker-local uids would be meaningless to the parent).  The
+parent replays the journalled charges into its own clock at consumption
+time, so serial, thread-parallel and process-parallel runs are
+bit-identical in every simulated measurement.
+
+Fork-server pool
+----------------
+
+Workers are persistent (fork-server style): one pool outlives the
+search that first needed it, so later searches — a benchmark sweep, a
+long-lived service — reuse warm workers whose imports, parsed contexts
+and analysis memos are already paid for.  Each worker keeps a small
+context cache keyed by the context token (parsed original, precomputed
+CPU reference) and resets the node-uid counter before parsing each
+candidate, which keeps exact fingerprints — and therefore the
+per-function analysis memos of PR 3 — shared across jobs.
+
+Subject-level fan-out
+---------------------
+
+One search's candidate stream is consumed strictly in priority order,
+which caps how much latency speculation can hide.  Sweeps over many
+independent subjects (Table 3) have no such ordering constraint, so
+:func:`run_subjects` fans whole-subject pipeline runs out over the same
+pool and reaches near-linear speedups.  Workers return a plain summary
+dict (a ``TranspileResult`` holds ASTs and is deliberately not
+picklable as a whole).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..cfront import nodes as N
+from ..cfront.fingerprint import forced_mode, incremental_mode
+from ..cfront.parser import parse
+from ..difftest import DiffReport, differential_test, run_cpu_reference
+from ..hls.clock import SimulatedClock
+from ..hls.compiler import compile_unit
+from ..hls.platform import SolutionConfig
+from ..hls.stylecheck import check_style
+from ..interp import ExecLimits
+from .evalcache import CachedEvaluation, canonicalize_evaluation
+
+EXECUTORS = ("thread", "process")
+
+#: Environment variable selecting the default executor.
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+#: Environment variable selecting the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Worker-side context-cache capacity.  Contexts are one parsed unit
+#: plus one reference-output list each; a handful covers any sweep.
+_MAX_WORKER_CONTEXTS = 8
+
+
+def default_executor() -> str:
+    raw = os.environ.get(EXECUTOR_ENV, "").strip().lower()
+    return raw if raw in EXECUTORS else "thread"
+
+
+def default_workers() -> Optional[int]:
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    try:
+        return max(1, int(raw)) if raw else None
+    except ValueError:
+        return None
+
+
+# --------------------------------------------------------------------------
+# Job wire format
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EvalJob:
+    """One candidate verification, as plain picklable data."""
+
+    source: str
+    """Rendered candidate source (the worker re-parses it)."""
+    config: SolutionConfig
+    context_id: str
+    """The search's cache-context token; keys the worker context cache."""
+    original_source: str
+    kernel_name: str
+    tests: Tuple[Tuple[Any, ...], ...]
+    limits: Optional[ExecLimits]
+    max_faults: int
+    use_style_checker: bool
+    interp_backend: Optional[str]
+    incremental: str
+    """Incremental mode the worker must force (the parent may be inside
+    ``forced_mode``, which the child cannot see through the pool)."""
+
+
+@dataclass
+class _WorkerContext:
+    original: N.TranslationUnit
+    reference: Any
+    cpu_ns: float
+
+
+_WORKER_CONTEXTS: Dict[str, _WorkerContext] = {}
+
+
+def _worker_context(job: EvalJob) -> _WorkerContext:
+    context = _WORKER_CONTEXTS.get(job.context_id)
+    if context is None:
+        original = parse(job.original_source, top_name=job.kernel_name)
+        # The reference run's charges were already paid by the parent
+        # when *its* search initialized; here they go to a scratch clock.
+        reference, cpu_ns = run_cpu_reference(
+            original,
+            job.kernel_name,
+            [list(test) for test in job.tests],
+            limits=job.limits,
+            clock=SimulatedClock(),
+            backend=job.interp_backend,
+        )
+        context = _WorkerContext(original, reference, cpu_ns)
+        while len(_WORKER_CONTEXTS) >= _MAX_WORKER_CONTEXTS:
+            _WORKER_CONTEXTS.pop(next(iter(_WORKER_CONTEXTS)))
+        _WORKER_CONTEXTS[job.context_id] = context
+    return context
+
+
+def evaluate_job(job: EvalJob) -> CachedEvaluation:
+    """Worker entry point: the search's ``_run_toolchain`` on plain data.
+
+    Mirrors :meth:`repro.core.search.RepairSearch._run_toolchain` stage
+    for stage.  The returned payload is canonical-space: uids minted in
+    this process never leak out.
+    """
+    with forced_mode(job.incremental):
+        context = _worker_context(job)
+        # Deterministic uids per job: re-parses of the same source get
+        # identical exact fingerprints, so the per-function analysis
+        # memos hit across jobs that share unedited functions.
+        N._uid_counter = itertools.count(1)
+        unit = parse(job.source, top_name=job.kernel_name)
+        recorder = SimulatedClock.recording()
+        violations: Tuple = ()
+        if job.use_style_checker:
+            violations = tuple(check_style(unit, clock=recorder))
+            if violations:
+                return canonicalize_evaluation(
+                    CachedEvaluation(
+                        style_violations=violations,
+                        compile_report=None,
+                        diff_report=None,
+                        charges=tuple(recorder.events or ()),
+                    ),
+                    unit,
+                )
+        compile_report = compile_unit(unit, job.config, clock=recorder)
+        diff_report: Optional[DiffReport] = None
+        if compile_report.ok:
+            diff_report = differential_test(
+                context.original,
+                unit,
+                job.kernel_name,
+                job.config,
+                [list(test) for test in job.tests],
+                limits=job.limits,
+                clock=recorder,
+                reference=context.reference,
+                cpu_latency_ns=context.cpu_ns,
+                max_faults=job.max_faults,
+                backend=job.interp_backend,
+            )
+        return canonicalize_evaluation(
+            CachedEvaluation(
+                style_violations=violations,
+                compile_report=compile_report,
+                diff_report=diff_report,
+                charges=tuple(recorder.events or ()),
+            ),
+            unit,
+        )
+
+
+# --------------------------------------------------------------------------
+# The pool
+# --------------------------------------------------------------------------
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_SIZE = 0
+
+
+def _start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    # fork: cheapest start, and the child inherits warm imports and
+    # analysis memos.  Jobs are submitted from the main thread only, so
+    # the classic fork-under-held-lock hazard does not apply.
+    return "fork" if "fork" in methods else "spawn"
+
+
+def get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared persistent pool, grown to at least *workers* wide.
+
+    A narrower request reuses the existing (wider) pool — recreating it
+    would throw away warm worker contexts for no benefit.
+    """
+    global _POOL, _POOL_SIZE
+    if _POOL is not None and _POOL_SIZE >= workers:
+        return _POOL
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+    _POOL = ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=multiprocessing.get_context(_start_method()),
+    )
+    _POOL_SIZE = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear the shared pool down (tests, end-of-process hygiene)."""
+    global _POOL, _POOL_SIZE
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_SIZE = 0
+
+
+def submit_job(job: EvalJob, workers: int) -> "Future[CachedEvaluation]":
+    return get_pool(max(1, workers)).submit(evaluate_job, job)
+
+
+# --------------------------------------------------------------------------
+# Subject-level fan-out
+# --------------------------------------------------------------------------
+
+
+def _run_subject_summary(
+    subject_id: str,
+    variant: str,
+    config: Any,
+    store_path: Optional[str],
+    incremental: str,
+) -> Dict[str, Any]:
+    """Worker entry point for whole-subject runs (Table 3 sweeps).
+
+    Returns a plain summary dict; the full ``TranspileResult`` holds
+    ASTs and stays in the worker.
+    """
+    # Deferred imports: core → baselines is a cycle at module scope.
+    from ..baselines.variants import run_variant
+    from ..cfront.printer import render
+    from ..subjects import get_subject
+
+    if config is not None:
+        config.search.store_path = store_path
+    # Deterministic uids per subject run: search-history labels embed
+    # node uids, so without this a subject's history would depend on
+    # which worker (or how warm a parent process) ran it.
+    N._uid_counter = itertools.count(1)
+    with forced_mode(incremental):
+        result = run_variant(get_subject(subject_id), variant, config)
+    search = result.search_result
+    return {
+        "subject": subject_id,
+        "success": result.success,
+        "hls_compatible": result.hls_compatible,
+        "repair_minutes": search.repair_minutes,
+        "clock_seconds": search.clock.seconds,
+        "history": list(search.history),
+        "attempts": search.stats.attempts,
+        "cache_hits": search.stats.cache_hits,
+        "store_hits": search.stats.store_hits,
+        "store_misses": search.stats.store_misses,
+        "final_source": render(result.final_unit) if result.final_unit else "",
+    }
+
+
+def run_subjects(
+    subject_ids: Sequence[str],
+    variant: str,
+    config: Any,
+    workers: int,
+    store_path: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Run independent subjects concurrently on the shared pool.
+
+    Results come back in ``subject_ids`` order regardless of completion
+    order, and each subject's run is bit-identical to a serial run (the
+    subjects share no mutable state; the persistent store, when given,
+    is multi-process safe by construction).
+    """
+    mode = incremental_mode()
+    if workers <= 1:
+        return [
+            _run_subject_summary(sid, variant, config, store_path, mode)
+            for sid in subject_ids
+        ]
+    if store_path:
+        # Create (and WAL-convert) the store before any worker opens it:
+        # the rollback-journal → WAL switch on a brand-new file needs a
+        # moment of exclusivity that racing first-opens would fight over.
+        from .store import get_store
+
+        get_store(store_path)
+    pool = get_pool(workers)
+    futures = [
+        pool.submit(_run_subject_summary, sid, variant, config, store_path, mode)
+        for sid in subject_ids
+    ]
+    return [future.result() for future in futures]

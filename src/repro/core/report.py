@@ -161,6 +161,11 @@ class TranspileResult:
             f"({stats.cache_hit_ratio:.0%}), "
             f"{stats.hls_invocations} real HLS compiles",
         ]
+        if stats.store_hits or stats.store_misses:
+            lines.append(
+                f"eval store       : {stats.store_hits} hits / "
+                f"{stats.store_misses} misses ({stats.store_hit_ratio:.0%})"
+            )
         if self.fuzz_report is not None:
             lines.append(
                 f"tests generated  : {self.fuzz_report.tests_generated} "

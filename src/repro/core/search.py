@@ -18,11 +18,14 @@ import heapq
 import itertools
 import math
 import random
+import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..cfront import nodes as N
+from ..cfront.fingerprint import incremental_mode
+from ..cfront.printer import render
 from ..difftest import DiffReport, differential_test, run_cpu_reference
 from ..hls.clock import SimulatedClock
 from ..hls.compiler import compile_unit
@@ -36,9 +39,19 @@ from .evalcache import (
     CachedEvaluation,
     EvalCache,
     cached_candidate_key,
+    canonicalize_evaluation,
     context_token,
+    rebind_evaluation,
 )
 from .fitness import Fitness, fitness_from_reports
+from .parallel import (
+    EXECUTORS,
+    EvalJob,
+    default_executor,
+    default_workers,
+    submit_job,
+)
+from .store import default_store_path, get_store
 
 #: Fault budget per fitness evaluation: deeply broken candidates fault on
 #: every test; cut them off early — the signal is already conclusive.
@@ -65,11 +78,31 @@ class SearchConfig:
     """Memoize candidate evaluations (see :mod:`repro.core.evalcache`).
     Cached and uncached searches produce identical results and identical
     simulated-clock activity; only real wall-clock differs."""
-    workers: int = 1
-    """Thread-pool width for speculative candidate evaluation.  Values
-    above 1 pre-evaluate the frontier's best entries concurrently while
-    the main loop consumes them strictly in priority order, so results
-    stay bit-identical to serial mode under a fixed seed."""
+    workers: int = field(default_factory=lambda: default_workers() or 1)
+    """Worker-pool width for speculative candidate evaluation (env
+    ``REPRO_WORKERS`` sets the default).
+
+    **Determinism contract:** speculation never changes reported
+    results.  Values above 1 pre-evaluate the frontier's best entries
+    concurrently, but the main loop consumes candidates strictly in
+    priority order and merges each one's journalled clock charges at
+    consumption time, so the search history, fitness trajectory and
+    every simulated-clock measurement are bit-identical to serial mode
+    under a fixed seed — only real wall-clock changes.
+
+    With the default ``executor="thread"`` the workers share the GIL
+    and CPU-bound evaluation barely overlaps; use
+    ``executor="process"`` (CLI ``--executor process``) for real
+    scaling."""
+    executor: str = field(default_factory=default_executor)
+    """``"thread"`` or ``"process"`` (env ``REPRO_EXECUTOR`` sets the
+    default).  ``process`` ships candidates to a persistent worker-
+    process pool as rendered-source jobs (see :mod:`repro.core.parallel`)
+    — same determinism contract as above, without the GIL."""
+    store_path: Optional[str] = field(default_factory=default_store_path)
+    """Path of the persistent evaluation store (env ``REPRO_STORE`` sets
+    the default; None/empty disables).  Ignored when ``use_cache`` is
+    False — the store is a durable tier *under* the in-memory cache."""
     interp_backend: Optional[str] = None
     """Execution backend for every interpreted run ("tree", "compiled",
     "cross"; None = process default).  Deliberately NOT part of the
@@ -98,9 +131,15 @@ class SearchStats:
     """Real full-compile executions (cache hits excluded)."""
     iterations: int = 0
     cache_hits: int = 0
-    """Evaluations answered from the memo without re-running anything."""
+    """Evaluations answered from the memo without re-running anything
+    (both tiers: in-memory and persistent-store hits)."""
     cache_misses: int = 0
     """Evaluations that ran the real toolchain pipeline."""
+    store_hits: int = 0
+    """Subset of ``cache_hits`` answered by the persistent store (a
+    previous run or another worker produced the entry)."""
+    store_misses: int = 0
+    """Evaluations that probed a configured store and found nothing."""
 
     @property
     def hls_invocation_ratio(self) -> float:
@@ -109,6 +148,11 @@ class SearchStats:
     @property
     def cache_hit_ratio(self) -> float:
         return self.cache_hits / self.attempts if self.attempts else 0.0
+
+    @property
+    def store_hit_ratio(self) -> float:
+        lookups = self.store_hits + self.store_misses
+        return self.store_hits / lookups if lookups else 0.0
 
 
 @dataclass
@@ -187,13 +231,20 @@ class RepairSearch:
             backend=self.config.interp_backend,
         )
         # Memoization: an explicitly shared cache wins; otherwise one is
-        # created per search when enabled.  The context token scopes the
-        # entries to this oracle (original program, kernel, test subset,
-        # harness knobs) so shared caches can never cross-contaminate.
+        # created per search when enabled, read-through-backed by the
+        # persistent store when one is configured.  The context token
+        # scopes the entries to this oracle (original program, kernel,
+        # test subset, harness knobs) so shared caches and stores can
+        # never cross-contaminate.
         if cache is not None:
             self.cache: Optional[EvalCache] = cache
         elif self.config.use_cache:
-            self.cache = EvalCache()
+            store = (
+                get_store(self.config.store_path)
+                if self.config.store_path
+                else None
+            )
+            self.cache = EvalCache(store=store)
         else:
             self.cache = None
         self._cache_context = context_token(
@@ -203,6 +254,14 @@ class RepairSearch:
             extra=f"max_faults={EVAL_MAX_FAULTS}|limits={limits!r}",
         )
         self._inflight: Dict[str, "Future[CachedEvaluation]"] = {}
+        if self.config.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.config.executor!r}; "
+                f"expected one of {EXECUTORS}"
+            )
+        self._process_mode = self.config.executor == "process"
+        self._original_source: Optional[str] = None
+        self._job_template: Optional[EvalJob] = None
 
     # -- public ------------------------------------------------------------------
 
@@ -214,7 +273,16 @@ class RepairSearch:
         best: Optional[Evaluation] = None
         success_seconds: Optional[float] = None
         executor: Optional[ThreadPoolExecutor] = None
-        if self.config.workers > 1:
+        speculative = self.config.workers > 1
+        if speculative and not self._process_mode:
+            warnings.warn(
+                "SearchConfig.workers > 1 with executor='thread': the GIL "
+                "serializes the CPU-bound toolchain pipeline, so thread "
+                "workers barely overlap real work; use executor='process' "
+                "(--executor process / REPRO_EXECUTOR=process) for scaling.",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             executor = ThreadPoolExecutor(
                 max_workers=self.config.workers,
                 thread_name_prefix="repair-eval",
@@ -226,7 +294,7 @@ class RepairSearch:
                 and self.stats.iterations < self.config.max_iterations
                 and self.clock.seconds < self.config.budget_seconds
             ):
-                if executor is not None:
+                if speculative:
                     self._speculate(frontier, executor)
                 _prio, _tick, candidate = heapq.heappop(frontier)
                 self.stats.iterations += 1
@@ -254,11 +322,14 @@ class RepairSearch:
                     priority = self._child_priority(evaluation, child)
                     heapq.heappush(frontier, (priority, next(counter), child))
         finally:
+            for future in self._inflight.values():
+                future.cancel()
+            self._inflight.clear()
             if executor is not None:
-                for future in self._inflight.values():
-                    future.cancel()
-                self._inflight.clear()
                 executor.shutdown(wait=True)
+            # The process pool is shared and persistent (fork-server
+            # style): it is deliberately NOT shut down here, so later
+            # searches reuse warm workers.
         return SearchResult(
             best=best,
             stats=self.stats,
@@ -271,9 +342,9 @@ class RepairSearch:
     def _speculate(
         self,
         frontier: List[Tuple[Tuple, int, Candidate]],
-        executor: ThreadPoolExecutor,
+        executor: Optional[ThreadPoolExecutor],
     ) -> None:
-        """Pre-evaluate the frontier's best entries on worker threads.
+        """Pre-evaluate the frontier's best entries on the worker pool.
 
         The main loop still consumes candidates strictly in priority
         order and merges each one's journalled clock charges at that
@@ -292,7 +363,11 @@ class RepairSearch:
                 continue
             if self.cache is not None and self.cache.contains(key):
                 continue
-            self._inflight[key] = executor.submit(self._run_toolchain, candidate)
+            if executor is not None:
+                future = executor.submit(self._run_toolchain, candidate)
+            else:
+                future = submit_job(self._make_job(candidate), self.config.workers)
+            self._inflight[key] = future
 
     # -- evaluation --------------------------------------------------------------
 
@@ -307,10 +382,14 @@ class RepairSearch:
         self.stats.attempts += 1
         raw: Optional[CachedEvaluation] = None
         key: Optional[str] = None
-        if self.cache is not None or self._inflight:
+        if self.cache is not None or self._inflight or self._process_mode:
             key = cached_candidate_key(candidate, self._cache_context)
         if self.cache is not None and key is not None:
-            raw = self.cache.get(key)
+            raw, tier = self.cache.lookup(key)
+            if tier == "store":
+                self.stats.store_hits += 1
+            elif raw is None and self.cache.store is not None:
+                self.stats.store_misses += 1
         if raw is not None:
             self.stats.cache_hits += 1
             # A speculative run for the same key may still be in flight
@@ -323,7 +402,7 @@ class RepairSearch:
                     stale.cancel()
         else:
             future = self._inflight.pop(key, None) if key is not None else None
-            raw = future.result() if future is not None else self._run_toolchain(candidate)
+            raw = future.result() if future is not None else self._execute(candidate)
             self.stats.cache_misses += 1
             if self.config.use_style_checker:
                 self.stats.style_checks += 1
@@ -343,16 +422,57 @@ class RepairSearch:
                 style_rejected=True,
             )
         assert raw.compile_report is not None
+        # Payloads live in the canonical uid space (they may have come
+        # from another process, a previous run, or a structurally-equal
+        # twin of this candidate); rebind them to this candidate's tree.
+        bound = rebind_evaluation(raw, candidate.unit)
         return Evaluation(
             candidate=candidate,
-            compile_report=raw.compile_report,
-            diff_report=raw.diff_report,
-            fitness=fitness_from_reports(raw.compile_report, raw.diff_report),
+            compile_report=bound.compile_report,
+            diff_report=bound.diff_report,
+            fitness=fitness_from_reports(bound.compile_report, bound.diff_report),
+        )
+
+    def _execute(self, candidate: Candidate) -> CachedEvaluation:
+        """Run the toolchain pipeline where the executor says to run it."""
+        if self._process_mode:
+            return submit_job(self._make_job(candidate), self.config.workers).result()
+        return self._run_toolchain(candidate)
+
+    def _make_job(self, candidate: Candidate) -> EvalJob:
+        """Package a candidate as a picklable worker job (wire format of
+        :mod:`repro.core.parallel`): rendered source plus plain data,
+        never live AST or engine objects."""
+        import dataclasses
+
+        if self._job_template is None:
+            self._original_source = render(self.original)
+            self._job_template = EvalJob(
+                source="",
+                config=candidate.config,
+                context_id=self._cache_context,
+                original_source=self._original_source,
+                kernel_name=self.kernel_name,
+                tests=tuple(tuple(test) for test in self._diff_tests),
+                limits=self.limits,
+                max_faults=EVAL_MAX_FAULTS,
+                use_style_checker=self.config.use_style_checker,
+                interp_backend=self.config.interp_backend,
+                incremental=incremental_mode(),
+            )
+        return dataclasses.replace(
+            self._job_template,
+            source=render(candidate.unit),
+            config=candidate.config,
+            incremental=incremental_mode(),
         )
 
     def _run_toolchain(self, candidate: Candidate) -> CachedEvaluation:
         """Execute the real pipeline against a recording clock.
 
+        Returns a canonical-uid-space payload (see
+        :mod:`repro.core.evalcache`), exactly like the process workers
+        do, so every entry that reaches the cache or store is uniform.
         Pure in everything but the recorder: reads only immutable search
         state (original unit, precomputed CPU reference, test subset), so
         worker threads may run it speculatively."""
@@ -361,11 +481,14 @@ class RepairSearch:
         if self.config.use_style_checker:
             violations = tuple(check_style(candidate.unit, clock=recorder))
             if violations:
-                return CachedEvaluation(
-                    style_violations=violations,
-                    compile_report=None,
-                    diff_report=None,
-                    charges=tuple(recorder.events or ()),
+                return canonicalize_evaluation(
+                    CachedEvaluation(
+                        style_violations=violations,
+                        compile_report=None,
+                        diff_report=None,
+                        charges=tuple(recorder.events or ()),
+                    ),
+                    candidate.unit,
                 )
         compile_report = compile_unit(candidate.unit, candidate.config, clock=recorder)
         diff_report: Optional[DiffReport] = None
@@ -383,11 +506,14 @@ class RepairSearch:
                 max_faults=EVAL_MAX_FAULTS,
                 backend=self.config.interp_backend,
             )
-        return CachedEvaluation(
-            style_violations=violations,
-            compile_report=compile_report,
-            diff_report=diff_report,
-            charges=tuple(recorder.events or ()),
+        return canonicalize_evaluation(
+            CachedEvaluation(
+                style_violations=violations,
+                compile_report=compile_report,
+                diff_report=diff_report,
+                charges=tuple(recorder.events or ()),
+            ),
+            candidate.unit,
         )
 
     # -- proposal ---------------------------------------------------------------

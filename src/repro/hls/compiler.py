@@ -33,9 +33,9 @@ from ..cfront import nodes as N
 from ..cfront import typesys as T
 from ..cfront.fingerprint import (
     exact_fp,
-    incremental_enabled,
     structural_fp,
     unit_fingerprint,
+    unit_incremental_enabled,
 )
 from ..cfront.printer import count_loc
 from ..cfront.visitor import find_all
@@ -83,7 +83,7 @@ def compile_seconds_for(unit: N.TranslationUnit) -> float:
     The LOC count is memoized by unit fingerprint; the charge itself is
     always issued live by :func:`compile_unit`, and an identical count
     yields an identical charge — the clock journal cannot diverge."""
-    if incremental_enabled():
+    if unit_incremental_enabled(unit):
         loc = _LOC_MEMO.get_or_compute(
             ("loc", unit_fingerprint(unit)), lambda: count_loc(unit)
         )
@@ -135,7 +135,7 @@ class _Checker:
         the check reads.  Each check keeps its own outer loop over the
         reachable functions, so the report's diagnostic order is exactly
         the legacy order whether entries hit or miss."""
-        if not incremental_enabled():
+        if not unit_incremental_enabled(self.unit):
             self.diags.extend(compute())
             return
         key = (check, exact_fp(self.unit, func), context)
@@ -156,7 +156,7 @@ class _Checker:
                 if call.callee_name
             )
 
-        if not incremental_enabled():
+        if not unit_incremental_enabled(self.unit):
             return compute()
         return _CALLEE_SEQ_MEMO.get_or_compute(
             ("callees", structural_fp(self.unit, func)), compute
@@ -574,7 +574,7 @@ class _Checker:
     def _param_written(self, callee: N.FunctionDef, position: int) -> bool:
         """Memoized :meth:`_param_is_written` — a pure bool of the callee's
         content, so the structural fingerprint suffices as key."""
-        if not incremental_enabled():
+        if not unit_incremental_enabled(self.unit):
             return self._param_is_written(callee, position)
         key = (structural_fp(self.unit, callee), position)
         return _PARAM_WRITTEN_MEMO.get_or_compute(

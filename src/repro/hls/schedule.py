@@ -32,9 +32,9 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..cfront import nodes as N
 from ..cfront import typesys as T
 from ..cfront.fingerprint import (
-    incremental_enabled,
     structural_fp,
     unit_fingerprint,
+    unit_incremental_enabled,
 )
 from ..cfront.visitor import find_all
 from .memo import AnalysisCache
@@ -161,7 +161,7 @@ class Scheduler:
             # Recursion: synthesizability checking rejects it before
             # scheduling, but stay safe if called out of order.
             return _FuncCost(cycles=math.inf, resources=ResourceUsage())
-        key = self._cost_key(name) if incremental_enabled() else None
+        key = self._cost_key(name) if unit_incremental_enabled(self.unit) else None
         if key is not None:
             value = _COST_MEMO.get_or_compute(
                 key, lambda: self._measure_cost(name)
@@ -676,7 +676,7 @@ def estimate(unit: N.TranslationUnit, config: SolutionConfig) -> ScheduleReport:
     (``top_name``, ``clock_period_ns`` — the device does not enter the
     model).  Hits return a freshly materialized report: callers mutate
     report.resources, so the memo stores only immutable snapshots."""
-    if not incremental_enabled():
+    if not unit_incremental_enabled(unit):
         return Scheduler(unit, config).schedule()
     key = (
         "estimate",

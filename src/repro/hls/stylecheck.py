@@ -24,7 +24,7 @@ from typing import List, Optional, Set, Tuple
 
 from ..cfront import nodes as N
 from ..cfront import typesys as T
-from ..cfront.fingerprint import exact_fp, incremental_enabled
+from ..cfront.fingerprint import exact_fp, unit_incremental_enabled
 from ..cfront.visitor import find_all
 from .clock import ACT_STYLE_CHECK, SimulatedClock
 from .memo import AnalysisCache
@@ -74,11 +74,12 @@ def check_style(
     if clock is not None:
         clock.charge(ACT_STYLE_CHECK, STYLE_CHECK_SECONDS)
     violations: List[StyleViolation] = []
-    globals_key = _global_array_names(unit) if incremental_enabled() else ()
+    memo = unit_incremental_enabled(unit)
+    globals_key = _global_array_names(unit) if memo else ()
     for func in unit.functions():
         if func.body is None:
             continue
-        if incremental_enabled():
+        if memo:
             key = (exact_fp(unit, func), globals_key)
             violations.extend(
                 _FUNCTION_STYLE_MEMO.get_or_compute(

@@ -1962,9 +1962,9 @@ def _reusable_keys(
     fingerprint-equal functions, drop violators until stable — mutually
     recursive fingerprint-equal functions legitimately survive.
     """
-    from ..cfront.fingerprint import exact_fp, incremental_enabled
+    from ..cfront.fingerprint import exact_fp, unit_incremental_enabled
 
-    if not incremental_enabled():
+    if not unit_incremental_enabled(unit):
         return set()
 
     def env_profile(u: N.TranslationUnit) -> List[Tuple[str, str]]:
@@ -2040,17 +2040,26 @@ class CompiledProgram:
         # Units are cloned before being edited; a clone must not inherit
         # the compilation of the pristine tree wholesale.  Leave a lineage
         # marker so the clone can reuse unchanged functions when it first
-        # executes (None — full recompile — when incremental is off).
-        from ..cfront.fingerprint import incremental_enabled
+        # executes.  None — full recompile — when incremental is off or
+        # the unit is small: the reuse check itself (exact fingerprints
+        # plus a dependency fixpoint) costs more than recompiling a
+        # couple of functions.
+        from ..cfront.fingerprint import unit_incremental_enabled
 
-        return _CompiledLineage(self) if incremental_enabled() else None
+        return _CompiledLineage(self) if unit_incremental_enabled(self.unit) else None
 
     def __init__(
         self,
         unit: N.TranslationUnit,
         parent: Optional["CompiledProgram"] = None,
     ) -> None:
+        from ..cfront.fingerprint import memo_worthwhile
+
         self.unit = unit
+        # Pre-populate the small-unit verdict cached on unit.__dict__:
+        # __deepcopy__ consults it while that very dict is being copied,
+        # so it must not be computed (= written) for the first time there.
+        memo_worthwhile(unit)
         self.functions: Dict[str, CompiledFunction] = {}
         self.methods: Dict[Tuple[str, str], CompiledFunction] = {}
         self.structs: Dict[str, T.StructType] = {}

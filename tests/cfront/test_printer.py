@@ -47,7 +47,28 @@ ROUNDTRIP_SOURCES = [
     };
     """,
     "void f(hls::stream<unsigned> &in, hls::stream<unsigned> &out) { out.write(in.read()); }",
+    # Figure 4 explicit-policy cast, the shape type_casting repair edits
+    # emit; the process executor ships candidates as rendered source, so
+    # this round trip must stay closed.
+    """
+    int f(int x) {
+        return (int)thls::to<fpga_float<8,71>, thls::convert_policy(0xF)>(x);
+    }
+    """,
 ]
+
+
+def test_policy_cast_parses_into_cast_node():
+    unit = parse(
+        "int f(int x) {"
+        " return (int)thls::to<fpga_float<8,71>, thls::convert_policy(0xF)>(x);"
+        " }"
+    )
+    cast = next(
+        n for n in unit.walk() if isinstance(n, N.Cast) and n.explicit_policy
+    )
+    assert cast.explicit_policy == "thls::convert_policy(0xF)"
+    assert cast.to_type.exp_bits == 8 and cast.to_type.mant_bits == 71
 
 
 @pytest.mark.parametrize("source", ROUNDTRIP_SOURCES)

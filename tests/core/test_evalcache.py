@@ -65,6 +65,48 @@ class TestEvalCache:
         assert len(cache) == 0
         assert cache.hits == 0 and cache.misses == 0
 
+    def test_eviction_past_default_capacity(self):
+        """Filling past DEFAULT_MAX_ENTRIES evicts exactly the oldest
+        entries, in insertion order, and never overshoots the bound."""
+        from repro.core.evalcache import DEFAULT_MAX_ENTRIES
+
+        cache = EvalCache()
+        overflow = 3
+        total = DEFAULT_MAX_ENTRIES + overflow
+        for i in range(total):
+            cache.put(f"k{i}", entry(float(i)))
+            assert len(cache) <= DEFAULT_MAX_ENTRIES
+        assert len(cache) == DEFAULT_MAX_ENTRIES
+        for i in range(overflow):
+            assert not cache.contains(f"k{i}")
+        assert cache.contains(f"k{overflow}")
+        assert cache.contains(f"k{total - 1}")
+
+    def test_reinserted_entry_replays_charges_bit_identically(self):
+        """An entry that was evicted and later recomputed must replay the
+        exact same charge journal — eviction can cost wall-clock, never
+        simulated time."""
+        charges = (("style_check", 0.125), ("hls_compile", 3.75))
+        original = CachedEvaluation(
+            style_violations=(),
+            compile_report=None,
+            diff_report=None,
+            charges=charges,
+        )
+        cache = EvalCache(max_entries=1)
+        cache.put("k", original)
+        cache.put("other", entry())  # evicts "k"
+        assert not cache.contains("k")
+        cache.put("k", original)  # the deterministic toolchain recomputed it
+
+        clock_a, clock_b = SimulatedClock.recording(), SimulatedClock.recording()
+        clock_a.replay(charges)
+        clock_b.replay(cache.get("k").charges)
+        assert clock_b.seconds == clock_a.seconds
+        assert clock_b.events == clock_a.events
+        assert dict(clock_b.by_activity) == dict(clock_a.by_activity)
+        assert dict(clock_b.counts) == dict(clock_a.counts)
+
 
 SRC_A = """
 int kernel(int a[4], int n) {

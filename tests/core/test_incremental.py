@@ -51,7 +51,7 @@ def _quick_config():
     )
 
 
-def _observables(subject, mode):
+def _observables(subject, mode, executor="thread", workers=1):
     """One full transpile under *mode*, reduced to comparable values.
 
     Every pass starts from identical global state: the uid counter is
@@ -62,8 +62,11 @@ def _observables(subject, mode):
     N._uid_counter = itertools.count(1)
     clear_analysis_caches()
     clock = SimulatedClock.recording()
+    config = _quick_config()
+    config.search.executor = executor
+    config.search.workers = workers
     with forced_mode(mode):
-        result = make_heterogen(_quick_config()).transpile(
+        result = make_heterogen(config).transpile(
             subject.source,
             kernel_name=subject.kernel,
             solution=subject.solution,
@@ -103,6 +106,21 @@ def _assert_identical(subject_id):
         )
 
 
+def _assert_process_identical(subject_id):
+    """Process-executor cross-check: shipping evaluation to a worker
+    pool (rendered-source jobs, canonical-uid payloads, journalled-charge
+    replay) must leave every observable bit-identical to the serial run
+    — including the uids embedded in history labels, because candidate
+    *proposal* stays in the parent."""
+    subject = get_subject(subject_id)
+    serial = _observables(subject, "on")
+    process = _observables(subject, "on", executor="process", workers=2)
+    for field in serial:
+        assert process[field] == serial[field], (
+            f"{subject_id}: process-executor run diverged on {field!r}"
+        )
+
+
 @pytest.mark.parametrize("subject_id", QUICK_SUBJECTS)
 def test_incremental_pipeline_bit_identical_quick(subject_id):
     _assert_identical(subject_id)
@@ -115,6 +133,20 @@ def test_incremental_pipeline_bit_identical_quick(subject_id):
 )
 def test_incremental_pipeline_bit_identical_full(subject_id):
     _assert_identical(subject_id)
+
+
+@pytest.mark.parametrize("subject_id", QUICK_SUBJECTS)
+def test_process_executor_bit_identical_quick(subject_id):
+    _assert_process_identical(subject_id)
+
+
+@pytest.mark.skipif(not FULL_SWEEP, reason="set REPRO_CROSSCHECK_FULL=1")
+@pytest.mark.parametrize(
+    "subject_id",
+    [s.id for s in all_subjects() if s.id not in QUICK_SUBJECTS],
+)
+def test_process_executor_bit_identical_full(subject_id):
+    _assert_process_identical(subject_id)
 
 
 # ---------------------------------------------------------------------------
@@ -265,10 +297,18 @@ def test_candidate_key_modes_agree_on_distinctions():
 # Interpreter closure reuse across clones
 # ---------------------------------------------------------------------------
 
+# Closure reuse — like every other fingerprint memo — is gated on
+# `unit_incremental_enabled`, so reuse tests need a unit above the
+# small-unit threshold.  One extra helper over KERNEL_SRC does it.
+REUSE_SRC = KERNEL_SRC.replace(
+    "int helper(int x) {",
+    "int shift(int x) {\n    return x + scale;\n}\n\nint helper(int x) {",
+)
+
 
 def test_interp_clone_reuses_unchanged_function_closures():
     with forced_mode("on"):
-        unit = parse(KERNEL_SRC, top_name="kernel")
+        unit = parse(REUSE_SRC, top_name="kernel")
         parent = compile_program(unit)
         child_unit = copy.deepcopy(unit)
         # Mutate only `kernel` in the clone.
@@ -286,7 +326,7 @@ def test_interp_clone_reuses_unchanged_function_closures():
 
 def test_interp_clone_reuse_does_not_leak_stale_globals():
     with forced_mode("on"):
-        unit = parse(KERNEL_SRC, top_name="kernel")
+        unit = parse(REUSE_SRC, top_name="kernel")
         compile_program(unit)
         child_unit = copy.deepcopy(unit)
         glob = next(
@@ -310,7 +350,20 @@ def test_interp_clone_reuse_does_not_leak_stale_globals():
 
 def test_interp_reuse_disabled_when_incremental_off():
     with forced_mode("off"):
-        unit = parse(KERNEL_SRC, top_name="kernel")
+        unit = parse(REUSE_SRC, top_name="kernel")
+        compile_program(unit)
+        child_unit = copy.deepcopy(unit)
+        assert child_unit.__dict__.get("_compiled_program") is None
+        child = compile_program(child_unit)
+        assert child.reused_functions == 0
+
+
+def test_interp_reuse_bypassed_for_small_units():
+    """Below the small-unit threshold the reuse check (fingerprints plus
+    a dependency fixpoint) costs more than recompiling, so a clone of a
+    small unit carries no lineage marker at all."""
+    with forced_mode("on"):
+        unit = parse(KERNEL_SRC, top_name="kernel")  # 2 functions: small
         compile_program(unit)
         child_unit = copy.deepcopy(unit)
         assert child_unit.__dict__.get("_compiled_program") is None
