@@ -58,6 +58,24 @@ def render(rows):
         f"({hits / attempts if attempts else 0.0:.0%}) answered without "
         f"re-running the toolchain"
     )
+    stage_totals = {}
+    stage_counts = {}
+    for _s, result in rows:
+        clock = result.search_result.clock
+        for activity, seconds in clock.by_activity.items():
+            stage_totals[activity] = stage_totals.get(activity, 0.0) + seconds
+            stage_counts[activity] = (
+                stage_counts.get(activity, 0) + clock.counts.get(activity, 0)
+            )
+    total = sum(stage_totals.values())
+    lines.append("")
+    lines.append("simulated time by stage (all subjects):")
+    for activity in sorted(stage_totals, key=lambda a: (-stage_totals[a], a)):
+        share = stage_totals[activity] / total if total else 0.0
+        lines.append(
+            f"  {activity:<15}: {stage_totals[activity] / 60.0:9.1f} min "
+            f"({share:5.1%}, {stage_counts[activity]} charges)"
+        )
     return "\n".join(lines)
 
 

@@ -33,6 +33,13 @@ from .core import (
 )
 from .fuzz import FuzzConfig
 from .hls import SolutionConfig
+from .obs.logs import attach_null_handler
+
+# Library logging etiquette: every repro module logs to a child of the
+# "repro" logger; the NullHandler keeps an unconfigured embedding
+# application free of "No handler found" noise.  The CLI attaches the
+# one real handler (see repro.obs.logs.configure_logging).
+attach_null_handler()
 
 __version__ = "1.0.0"
 

@@ -27,6 +27,8 @@ from .core.report import TranspileResult
 from .fuzz import FuzzConfig, fuzz_kernel, get_kernel_seed
 from .hls import SolutionConfig, compile_unit
 from .interp import BACKENDS, set_default_backend
+from .obs import TraceRecorder, configure_logging, install_recorder, trace_env_value
+from .obs.logs import LEVELS
 from .subjects import all_subjects, get_subject
 
 
@@ -261,6 +263,26 @@ def build_parser() -> argparse.ArgumentParser:
                        "'cross' runs both backends and asserts identical "
                        "behaviour)")
 
+    def obs_flags(p):
+        p.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write a Chrome trace_event JSON here "
+                       "(chrome://tracing / Perfetto), plus the JSONL "
+                       "event journal (<stem>.jsonl) and the run manifest "
+                       "(<stem>.manifest.json).  Default: $REPRO_TRACE "
+                       "when it holds a path.  Tracing never changes "
+                       "results: history and simulated clock are "
+                       "bit-identical with it on or off")
+        p.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write the metrics snapshot (cache/store "
+                       "tiers, edit families, HLS diagnostics, fuzzer "
+                       "coverage, worker utilization) as JSON")
+        p.add_argument("--log-level", choices=list(LEVELS), default=None,
+                       help="stderr diagnostic verbosity (default: "
+                       "warning); diagnostics never mix with the product "
+                       "output on stdout")
+        p.add_argument("-q", "--quiet", action="store_true",
+                       help="only errors on stderr")
+
     def parallel_flags(p):
         p.add_argument("--workers", type=int, default=1,
                        help="worker-pool width for speculative candidate "
@@ -299,12 +321,14 @@ def build_parser() -> argparse.ArgumentParser:
     parallel_flags(t)
     common(t)
     backend_flag(t)
+    obs_flags(t)
     t.set_defaults(func=cmd_transpile)
 
     c = sub.add_parser("check", help="run only the synthesizability check")
     c.add_argument("file")
     c.add_argument("--top", required=True, help="top function name")
     common(c, kernel=False)
+    obs_flags(c)
     c.set_defaults(func=cmd_check)
 
     f = sub.add_parser("fuzz", help="run only test generation")
@@ -314,6 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--host-args", default="")
     common(f)
     backend_flag(f)
+    obs_flags(f)
     f.set_defaults(func=cmd_fuzz)
 
     s = sub.add_parser("subjects", help="list or run the benchmark subjects")
@@ -325,25 +350,82 @@ def build_parser() -> argparse.ArgumentParser:
     parallel_flags(s)
     common(s, kernel=False)
     backend_flag(s)
+    obs_flags(s)
     s.set_defaults(func=cmd_subjects)
 
     st = sub.add_parser("study", help="regenerate the forum error study")
     st.add_argument("--posts", type=int, default=1000)
     common(st, kernel=False)
+    obs_flags(st)
     st.set_defaults(func=cmd_study)
 
     return parser
 
 
+def _resolve_trace_out(args: argparse.Namespace) -> Optional[str]:
+    """``--trace-out`` wins; otherwise a path-valued $REPRO_TRACE sets
+    the destination ("1"/"0"/"" only toggle in-process recording)."""
+    flag = getattr(args, "trace_out", None)
+    if flag:
+        return flag
+    env = trace_env_value()
+    if env and env not in ("0", "1"):
+        return env
+    return None
+
+
+def _export_observability(
+    recorder: TraceRecorder,
+    args: argparse.Namespace,
+    trace_out: Optional[str],
+    metrics_out: Optional[str],
+) -> None:
+    from .obs.export import (
+        trace_paths,
+        write_chrome_trace,
+        write_journal,
+        write_manifest,
+        write_metrics,
+    )
+
+    config = {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key != "func" and isinstance(value, (str, int, float, bool, type(None)))
+    }
+    subject = getattr(args, "run", None) or getattr(args, "file", None) or ""
+    if trace_out:
+        paths = trace_paths(trace_out)
+        write_chrome_trace(recorder, paths["trace"])
+        write_journal(recorder, paths["journal"])
+        write_manifest(paths["manifest"], config=config, subject=subject)
+    if metrics_out:
+        write_metrics(recorder, metrics_out)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(getattr(args, "log_level", None),
+                      getattr(args, "quiet", False))
     if getattr(args, "interp_backend", None):
         # Also switch the process default so helper paths that don't
         # thread a backend (e.g. pre-existing-test replay) agree with
         # the explicitly-threaded ones.
         set_default_backend(args.interp_backend)
-    return args.func(args)
+    trace_out = _resolve_trace_out(args)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        return args.func(args)
+    recorder = TraceRecorder()
+    previous = install_recorder(recorder)
+    try:
+        return args.func(args)
+    finally:
+        # Export even on failure: a trace of a crashed run is exactly
+        # when you want the journal.
+        _export_observability(recorder, args, trace_out, metrics_out)
+        install_recorder(previous)
 
 
 if __name__ == "__main__":  # pragma: no cover

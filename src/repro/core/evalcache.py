@@ -81,6 +81,7 @@ from ..hls.clock import ChargeEvent
 from ..hls.diagnostics import CompileReport
 from ..hls.platform import SolutionConfig
 from ..hls.stylecheck import StyleViolation
+from ..obs import get_recorder
 from .store import EvalStore
 
 #: Default capacity: one entry holds a couple of small report objects, so
@@ -98,6 +99,15 @@ class CachedEvaluation:
     compile_report: Optional[CompileReport]
     diff_report: Optional[DiffReport]
     charges: Tuple[ChargeEvent, ...]
+    trace: Optional[Tuple[Any, ...]] = None
+    """Observability side-channel: the span subtrace of the real
+    toolchain run (see :meth:`repro.obs.TraceRecorder.subtrace`), riding
+    the wire format back from worker threads/processes.  Ephemeral by
+    contract — it carries wall-clock values, so the consuming search
+    re-parents it into the live recorder and **strips it before the
+    payload reaches any cache tier** (:meth:`EvalCache.put` enforces
+    this): nothing cached or stored ever holds wall-clock data, which is
+    what keeps traced and untraced runs bit-identical."""
 
     @property
     def style_rejected(self) -> bool:
@@ -333,18 +343,31 @@ class EvalCache:
         keeps its own, so a store hit shows up as a memory miss plus a
         store hit (which is what happened).
         """
+        recorder = get_recorder()
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                if recorder.enabled:
+                    recorder.metrics.inc(
+                        "cache.lookups", tier="memory", outcome="hit"
+                    )
                 return entry, "memory"
             self.misses += 1
+        if recorder.enabled:
+            recorder.metrics.inc("cache.lookups", tier="memory", outcome="miss")
         if self.store is None:
             return None, None
         entry = self.store.get(key)
         if entry is None:
+            if recorder.enabled:
+                recorder.metrics.inc(
+                    "cache.lookups", tier="store", outcome="miss"
+                )
             return None, None
+        if recorder.enabled:
+            recorder.metrics.inc("cache.lookups", tier="store", outcome="hit")
         self._insert(key, entry)
         return entry, "store"
 
@@ -357,6 +380,10 @@ class EvalCache:
         return self.store is not None and self.store.contains(key)
 
     def put(self, key: str, value: CachedEvaluation) -> None:
+        if value.trace is not None:
+            # The trace side-channel carries wall-clock data; it must
+            # never survive into a cache tier (see CachedEvaluation).
+            value = replace(value, trace=None)
         self._insert(key, value)
         if self.store is not None:
             self.store.put(key, value)

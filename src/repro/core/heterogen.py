@@ -13,6 +13,7 @@
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Union
 
@@ -23,12 +24,21 @@ from ..fuzz import FuzzConfig, FuzzReport, fuzz_kernel, get_kernel_seed
 from ..hls.clock import SimulatedClock
 from ..hls.platform import SolutionConfig
 from ..interp import ExecLimits
+from ..obs import (
+    SPAN_BITWIDTH,
+    SPAN_FINAL_DIFFTEST,
+    SPAN_SEED_CAPTURE,
+    SPAN_TRANSPILE,
+    get_recorder,
+)
 from .bitwidth import generate_initial_version
 from .edits import Candidate, EditRegistry, RepairContext, build_registry
 from .evalcache import EvalCache
 from .report import TranspileResult
 from .search import RepairSearch, SearchConfig
 from .store import get_store
+
+_log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -108,17 +118,58 @@ class HeteroGen:
         unit = parse(source, top_name=kernel_name) if isinstance(source, str) else source
         solution = solution or SolutionConfig(top_name=kernel_name)
         clock = clock or SimulatedClock()
+        rec = get_recorder()
+        with rec.span(
+            SPAN_TRANSPILE,
+            clock=clock,
+            kernel=kernel_name,
+            subject=subject_name or kernel_name,
+        ):
+            return self._transpile(
+                unit, kernel_name, solution, host_name, host_args,
+                tests, subject_name, clock,
+            )
+
+    def _transpile(
+        self,
+        unit: N.TranslationUnit,
+        kernel_name: str,
+        solution: SolutionConfig,
+        host_name: str,
+        host_args: Optional[Sequence[Any]],
+        tests: Optional[List[List[Any]]],
+        subject_name: str,
+        clock: SimulatedClock,
+    ) -> TranspileResult:
+        rec = get_recorder()
 
         # 1. Test generation.
         backend = self.config.interp_backend
         seeds: List[List[Any]] = list(tests or [])
         if host_name and host_args is not None:
-            try:
-                seeds = get_kernel_seed(
-                    unit, host_name, kernel_name, host_args, backend=backend
-                ) + seeds
-            except Exception:
-                pass  # fall back to random seeding inside the fuzzer
+            with rec.span(SPAN_SEED_CAPTURE, clock=clock, host=host_name):
+                try:
+                    seeds = get_kernel_seed(
+                        unit, host_name, kernel_name, host_args, backend=backend
+                    ) + seeds
+                except Exception as exc:
+                    # Seed capture is best-effort: the fuzzer falls back
+                    # to random seeding.  But silence here used to hide
+                    # genuine host-model regressions, so the fallback is
+                    # now observable.
+                    _log.warning(
+                        "kernel seed capture failed for host %r, kernel "
+                        "%r: %s; falling back to random fuzzer seeding",
+                        host_name, kernel_name, exc,
+                    )
+                    rec.event(
+                        "seed_capture_failed",
+                        level="warning",
+                        host=host_name,
+                        kernel=kernel_name,
+                        error=str(exc),
+                    )
+                    rec.metrics.inc("fuzz.seed_capture_failures")
         fuzz_report: Optional[FuzzReport] = None
         suite: List[List[Any]]
         if self.config.fuzz.max_execs > 0:
@@ -145,10 +196,11 @@ class HeteroGen:
         # unprofiled tests (§4 profiles with all generated tests).
         profile_tests = suite[: max(self.config.final_diff_cap,
                                     self.config.search.diff_test_cap)]
-        initial_unit, _plan, profile = generate_initial_version(
-            unit, kernel_name, profile_tests, limits=self.config.limits,
-            backend=backend,
-        )
+        with rec.span(SPAN_BITWIDTH, clock=clock, tests=len(profile_tests)):
+            initial_unit, _plan, profile = generate_initial_version(
+                unit, kernel_name, profile_tests, limits=self.config.limits,
+                backend=backend,
+            )
 
         # 3-5. Iterative repair.
         context = RepairContext(kernel_name=kernel_name, profile=profile)
@@ -170,16 +222,21 @@ class HeteroGen:
         if result.best is not None and result.best.fitness.is_compatible:
             final_unit = result.best.candidate.unit
             final_config = result.best.candidate.config
-            final_diff = differential_test(
-                unit,
-                final_unit,
-                kernel_name,
-                final_config,
-                suite[: self.config.final_diff_cap],
-                limits=self.config.limits,
+            with rec.span(
+                SPAN_FINAL_DIFFTEST,
                 clock=clock,
-                backend=backend,
-            )
+                tests=len(suite[: self.config.final_diff_cap]),
+            ):
+                final_diff = differential_test(
+                    unit,
+                    final_unit,
+                    kernel_name,
+                    final_config,
+                    suite[: self.config.final_diff_cap],
+                    limits=self.config.limits,
+                    clock=clock,
+                    backend=backend,
+                )
         return TranspileResult(
             subject=subject_name or kernel_name,
             original=unit,

@@ -62,7 +62,7 @@ import itertools
 import multiprocessing
 import os
 from concurrent.futures import Future, ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..cfront import nodes as N
@@ -74,6 +74,7 @@ from ..hls.compiler import compile_unit
 from ..hls.platform import SolutionConfig
 from ..hls.stylecheck import check_style
 from ..interp import ExecLimits
+from ..obs import TraceRecorder, scoped_recorder
 from .evalcache import CachedEvaluation, canonicalize_evaluation
 
 EXECUTORS = ("thread", "process")
@@ -125,6 +126,11 @@ class EvalJob:
     incremental: str
     """Incremental mode the worker must force (the parent may be inside
     ``forced_mode``, which the child cannot see through the pool)."""
+    trace: bool = False
+    """Capture a worker-local span subtrace and return it on the
+    evaluation's ``trace`` side-channel (see :mod:`repro.obs.recorder`).
+    Deliberately NOT part of any cache key and never persisted: the
+    parent strips the subtrace before every cache tier."""
 
 
 @dataclass
@@ -164,7 +170,23 @@ def evaluate_job(job: EvalJob) -> CachedEvaluation:
     Mirrors :meth:`repro.core.search.RepairSearch._run_toolchain` stage
     for stage.  The returned payload is canonical-space: uids minted in
     this process never leak out.
+
+    When ``job.trace`` is set, stage spans are captured into a
+    job-local :class:`~repro.obs.TraceRecorder` (installed as the
+    thread-scoped recorder so the instrumented stage functions find it)
+    and returned as a picklable subtrace on ``CachedEvaluation.trace``;
+    the consuming parent re-parents those spans under its own
+    ``search.evaluate`` span and strips them before any cache tier.
     """
+    if not job.trace:
+        return _evaluate_pipeline(job)
+    tracer = TraceRecorder()
+    with scoped_recorder(tracer):
+        result = _evaluate_pipeline(job)
+    return replace(result, trace=tracer.subtrace())
+
+
+def _evaluate_pipeline(job: EvalJob) -> CachedEvaluation:
     with forced_mode(job.incremental):
         context = _worker_context(job)
         # Deterministic uids per job: re-parses of the same source get

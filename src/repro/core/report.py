@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, List, Optional, Tuple
 
 from ..cfront import nodes as N
 from ..cfront.printer import added_loc, count_loc, render
@@ -83,6 +83,20 @@ class TranspileResult:
         if best is None or best.compile_report is None:
             return []
         return [str(d) for d in best.compile_report.errors]
+
+    def stage_breakdown(self) -> List[Tuple[str, float, int]]:
+        """Per-stage simulated spend: ``(activity, seconds, charges)``,
+        heaviest first.  Derived purely from the simulated clock, so it
+        is bit-identical across serial/thread/process runs and with
+        tracing on or off."""
+        clock = self.search_result.clock
+        return sorted(
+            (
+                (activity, seconds, clock.counts.get(activity, 0))
+                for activity, seconds in clock.by_activity.items()
+            ),
+            key=lambda row: (-row[1], row[0]),
+        )
 
     def guiding_tests(self, cap: int = 20) -> List[List[Any]]:
         """Generated tests to hand to a developer finishing the port."""
@@ -171,6 +185,16 @@ class TranspileResult:
                 f"tests generated  : {self.fuzz_report.tests_generated} "
                 f"({self.fuzz_report.coverage_ratio:.0%} branch coverage)"
             )
+        breakdown = self.stage_breakdown()
+        if breakdown:
+            total = self.search_result.clock.seconds
+            lines.append("time by stage    :")
+            for activity, seconds, charges in breakdown:
+                share = seconds / total if total else 0.0
+                lines.append(
+                    f"  {activity:<15}: {seconds / 60.0:8.1f} min "
+                    f"({share:5.1%}, {charges} charges)"
+                )
         if not self.hls_compatible and self.remaining_errors:
             lines.append("remaining errors (manual edits needed):")
             lines.extend(f"  {error}" for error in self.remaining_errors[:6])

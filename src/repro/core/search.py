@@ -20,7 +20,7 @@ import math
 import random
 import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..cfront import nodes as N
@@ -32,6 +32,14 @@ from ..hls.compiler import compile_unit
 from ..hls.diagnostics import CompileReport, Diagnostic
 from ..hls.stylecheck import check_style
 from ..interp import ExecLimits
+from ..obs import (
+    SPAN_EVALUATE,
+    SPAN_ITERATION,
+    SPAN_SEARCH,
+    TraceRecorder,
+    get_recorder,
+    scoped_recorder,
+)
 from .classification import RepairLocalizer, classify
 from .dependence import ordered_applications, unordered_applications
 from .edits import Candidate, EditRegistry, RepairContext, build_registry
@@ -262,6 +270,25 @@ class RepairSearch:
         self._process_mode = self.config.executor == "process"
         self._original_source: Optional[str] = None
         self._job_template: Optional[EvalJob] = None
+        self._families: Optional[Dict[str, str]] = None
+
+    # -- observability helpers ---------------------------------------------------
+
+    def _edit_family(self, label: str) -> str:
+        """Metrics label: the error family of the edit template behind a
+        concretized application label like ``array_static(buf, 1024)``."""
+        if self._families is None:
+            families: Dict[str, str] = {}
+            for edit in self.registry.all_edits():
+                families[edit.name] = (
+                    edit.error_type.value if edit.error_type else "repair"
+                )
+            for edit in self.registry.perf_edits:
+                families.setdefault(edit.name, "performance")
+            for edit in self.registry.behavior_edits:
+                families.setdefault(edit.name, "behavior")
+            self._families = families
+        return self._families.get(label.split("(", 1)[0], "unknown")
 
     # -- public ------------------------------------------------------------------
 
@@ -288,39 +315,80 @@ class RepairSearch:
                 thread_name_prefix="repair-eval",
             )
 
+        rec = get_recorder()
         try:
-            while (
-                frontier
-                and self.stats.iterations < self.config.max_iterations
-                and self.clock.seconds < self.config.budget_seconds
+            with rec.span(
+                SPAN_SEARCH,
+                clock=self.clock,
+                kernel=self.kernel_name,
+                executor=self.config.executor,
+                workers=self.config.workers,
             ):
-                if speculative:
-                    self._speculate(frontier, executor)
-                _prio, _tick, candidate = heapq.heappop(frontier)
-                self.stats.iterations += 1
-                evaluation = self.evaluate(candidate)
-                if evaluation.style_rejected:
-                    self.history.append(f"style-reject {candidate.applied[-1:]}")
-                    continue
-                if evaluation.fitness.better_than(best.fitness if best else None):
-                    best = evaluation
-                    self.history.append(
-                        f"new best {evaluation.fitness} after {candidate.applied}"
-                    )
-                    if (
-                        success_seconds is None
-                        and evaluation.fitness.is_behavior_preserving
+                while (
+                    frontier
+                    and self.stats.iterations < self.config.max_iterations
+                    and self.clock.seconds < self.config.budget_seconds
+                ):
+                    if speculative:
+                        self._speculate(frontier, executor)
+                    _prio, _tick, candidate = heapq.heappop(frontier)
+                    self.stats.iterations += 1
+                    with rec.span(
+                        SPAN_ITERATION,
+                        clock=self.clock,
+                        iteration=self.stats.iterations,
                     ):
-                        success_seconds = min(
-                            self.clock.seconds, self.config.budget_seconds
-                        )
-                children = self._propose_children(evaluation)
-                for child in children:
-                    if child.applied in seen:
-                        continue
-                    seen.add(child.applied)
-                    priority = self._child_priority(evaluation, child)
-                    heapq.heappush(frontier, (priority, next(counter), child))
+                        evaluation = self.evaluate(candidate)
+                        if evaluation.style_rejected:
+                            self.history.append(
+                                f"style-reject {candidate.applied[-1:]}"
+                            )
+                            if rec.enabled and candidate.applied:
+                                label = candidate.applied[-1]
+                                rec.metrics.inc(
+                                    "edit.style_rejects",
+                                    edit=label.split("(", 1)[0],
+                                    family=self._edit_family(label),
+                                )
+                            continue
+                        if evaluation.fitness.better_than(
+                            best.fitness if best else None
+                        ):
+                            best = evaluation
+                            self.history.append(
+                                f"new best {evaluation.fitness} "
+                                f"after {candidate.applied}"
+                            )
+                            if rec.enabled and candidate.applied:
+                                label = candidate.applied[-1]
+                                rec.metrics.inc(
+                                    "edit.new_best",
+                                    edit=label.split("(", 1)[0],
+                                    family=self._edit_family(label),
+                                )
+                            if (
+                                success_seconds is None
+                                and evaluation.fitness.is_behavior_preserving
+                            ):
+                                success_seconds = min(
+                                    self.clock.seconds,
+                                    self.config.budget_seconds,
+                                )
+                                if rec.enabled:
+                                    rec.event(
+                                        "repair_success",
+                                        sim_seconds=success_seconds,
+                                        iteration=self.stats.iterations,
+                                    )
+                        children = self._propose_children(evaluation)
+                        for child in children:
+                            if child.applied in seen:
+                                continue
+                            seen.add(child.applied)
+                            priority = self._child_priority(evaluation, child)
+                            heapq.heappush(
+                                frontier, (priority, next(counter), child)
+                            )
         finally:
             for future in self._inflight.values():
                 future.cancel()
@@ -378,8 +446,55 @@ class RepairSearch:
         clock activity to a real run) without re-running the toolchain;
         a miss runs the pipeline on a recording clock and merges its
         charges here, on the main thread, in consumption order — which
-        keeps batched and serial execution bit-identical."""
+        keeps batched and serial execution bit-identical.
+
+        Observability mirrors that contract: a worker subtrace riding
+        the payload is grafted under this call's ``search.evaluate``
+        span at consumption order — then stripped, so wall-clock data
+        never reaches a cache tier."""
         self.stats.attempts += 1
+        rec = get_recorder()
+        last = candidate.applied[-1] if candidate.applied else ""
+        with rec.span(
+            SPAN_EVALUATE,
+            clock=self.clock,
+            edit=last.split("(", 1)[0] if last else "initial",
+            depth=len(candidate.applied),
+        ):
+            if rec.enabled and last:
+                rec.metrics.inc(
+                    "edit.attempts",
+                    edit=last.split("(", 1)[0],
+                    family=self._edit_family(last),
+                )
+            raw = self._lookup_or_execute(candidate, rec)
+            # Replay inside the span so its simulated duration covers the
+            # candidate's journalled toolchain charges.
+            self.clock.replay(raw.charges)
+        if raw.style_rejected:
+            return Evaluation(
+                candidate=candidate,
+                compile_report=None,
+                diff_report=None,
+                fitness=Fitness(10**6, 1.0, math.inf),
+                style_rejected=True,
+            )
+        assert raw.compile_report is not None
+        # Payloads live in the canonical uid space (they may have come
+        # from another process, a previous run, or a structurally-equal
+        # twin of this candidate); rebind them to this candidate's tree.
+        bound = rebind_evaluation(raw, candidate.unit)
+        return Evaluation(
+            candidate=candidate,
+            compile_report=bound.compile_report,
+            diff_report=bound.diff_report,
+            fitness=fitness_from_reports(bound.compile_report, bound.diff_report),
+        )
+
+    def _lookup_or_execute(
+        self, candidate: Candidate, rec: Any
+    ) -> CachedEvaluation:
+        """Cache tiers → in-flight speculation → real execution."""
         raw: Optional[CachedEvaluation] = None
         key: Optional[str] = None
         if self.cache is not None or self._inflight or self._process_mode:
@@ -410,28 +525,26 @@ class RepairSearch:
                 self.stats.style_rejections += 1
             if raw.compile_report is not None:
                 self.stats.hls_invocations += 1
+                if rec.enabled:
+                    rec.metrics.inc("hls.compiles")
+                    for diag in raw.compile_report.diagnostics:
+                        rec.metrics.inc(
+                            "hls.diagnostics",
+                            code=diag.code,
+                            severity=diag.severity,
+                        )
+            if raw.trace is not None:
+                # Graft the captured stage spans under the open
+                # ``search.evaluate`` span (consumption order), then
+                # strip them: wall-clock data must not reach any cache
+                # tier.
+                if rec.enabled:
+                    rec.attach_subtrace(raw.trace)
+                    rec.metrics.inc("worker.jobs", pid=raw.trace[1])
+                raw = replace(raw, trace=None)
             if self.cache is not None and key is not None:
                 self.cache.put(key, raw)
-        self.clock.replay(raw.charges)
-        if raw.style_rejected:
-            return Evaluation(
-                candidate=candidate,
-                compile_report=None,
-                diff_report=None,
-                fitness=Fitness(10**6, 1.0, math.inf),
-                style_rejected=True,
-            )
-        assert raw.compile_report is not None
-        # Payloads live in the canonical uid space (they may have come
-        # from another process, a previous run, or a structurally-equal
-        # twin of this candidate); rebind them to this candidate's tree.
-        bound = rebind_evaluation(raw, candidate.unit)
-        return Evaluation(
-            candidate=candidate,
-            compile_report=bound.compile_report,
-            diff_report=bound.diff_report,
-            fitness=fitness_from_reports(bound.compile_report, bound.diff_report),
-        )
+        return raw
 
     def _execute(self, candidate: Candidate) -> CachedEvaluation:
         """Run the toolchain pipeline where the executor says to run it."""
@@ -465,6 +578,7 @@ class RepairSearch:
             source=render(candidate.unit),
             config=candidate.config,
             incremental=incremental_mode(),
+            trace=get_recorder().enabled,
         )
 
     def _run_toolchain(self, candidate: Candidate) -> CachedEvaluation:
@@ -475,7 +589,21 @@ class RepairSearch:
         do, so every entry that reaches the cache or store is uniform.
         Pure in everything but the recorder: reads only immutable search
         state (original unit, precomputed CPU reference, test subset), so
-        worker threads may run it speculatively."""
+        worker threads may run it speculatively.
+
+        When tracing is enabled, stage spans are captured into a
+        run-local recorder and returned as a subtrace on the payload's
+        ``trace`` side-channel — identical to what a process worker
+        ships back — so the consuming ``evaluate`` call re-parents them
+        uniformly regardless of executor."""
+        if not get_recorder().enabled:
+            return self._toolchain_pipeline(candidate)
+        tracer = TraceRecorder()
+        with scoped_recorder(tracer):
+            result = self._toolchain_pipeline(candidate)
+        return replace(result, trace=tracer.subtrace())
+
+    def _toolchain_pipeline(self, candidate: Candidate) -> CachedEvaluation:
         recorder = SimulatedClock.recording()
         violations: Tuple = ()
         if self.config.use_style_checker:

@@ -48,6 +48,7 @@ connection; cross-process safety is the database's problem, not ours.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import sqlite3
@@ -55,13 +56,19 @@ import threading
 import time
 from typing import Optional, TYPE_CHECKING
 
+from ..obs import get_recorder
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .evalcache import CachedEvaluation
 
+_log = logging.getLogger(__name__)
+
 #: Bump when the CachedEvaluation payload layout (or the canonical uid
 #: encoding) changes shape: old payloads would unpickle into stale or
-#: unreadable objects.
-SCHEMA_VERSION = 1
+#: unreadable objects.  2: ``CachedEvaluation`` grew the (never-stored,
+#: but layout-relevant) ``trace`` field — schema-1 pickles would
+#: rehydrate without the attribute.
+SCHEMA_VERSION = 2
 
 #: Environment variable naming the store file.  Empty / "0" disables.
 STORE_ENV = "REPRO_STORE"
@@ -191,6 +198,16 @@ class EvalStore:
                     ).fetchone()[0]
                     self.invalidations += purged
                     self._conn.execute("DELETE FROM evaluations")
+                    _log.warning(
+                        "evaluation store %s: toolchain salt changed "
+                        "(%s -> %s); purged %d stale entries",
+                        self.path, row[0], self.salt, purged,
+                    )
+                    recorder = get_recorder()
+                    if recorder.enabled:
+                        recorder.metrics.inc(
+                            "store.invalidations", purged, reason="salt"
+                        )
                 self._conn.execute(
                     "INSERT OR REPLACE INTO meta (key, value)"
                     " VALUES ('salt', ?)",
@@ -229,22 +246,33 @@ class EvalStore:
             row = self._conn.execute(
                 "SELECT payload FROM evaluations WHERE key = ?", (key,)
             ).fetchone()
+        recorder = get_recorder()
         if row is None:
             self.misses += 1
             return None
         try:
             evaluation = decode_evaluation(row[0])
-        except Exception:
+        except Exception as exc:
             # Unreadable payload (schema drift, truncated write): treat
             # as a miss and drop the row so it is recomputed cleanly.
             self.invalidations += 1
             self.misses += 1
+            _log.warning(
+                "evaluation store %s: dropping unreadable payload for "
+                "key %s… (%s)", self.path, key[:12], exc,
+            )
+            if recorder.enabled:
+                recorder.metrics.inc(
+                    "store.invalidations", reason="unreadable"
+                )
             with self._lock, self._conn:
                 self._conn.execute(
                     "DELETE FROM evaluations WHERE key = ?", (key,)
                 )
             return None
         self.hits += 1
+        if recorder.enabled:
+            recorder.metrics.inc("store.gets", outcome="hit")
         return evaluation
 
     def contains(self, key: str) -> bool:
@@ -264,6 +292,9 @@ class EvalStore:
                 " VALUES (?, ?)",
                 (key, blob),
             )
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.metrics.inc("store.puts")
 
     def clear(self) -> None:
         with self._lock, self._conn:

@@ -20,6 +20,7 @@ from ..hls.clock import ACT_CPU_RUN, SimulatedClock
 from ..hls.platform import SolutionConfig
 from ..hls.simulator import SimulationReport, simulate
 from ..interp import ExecLimits, make_engine
+from ..obs import SPAN_CPU_REFERENCE, SPAN_DIFFTEST, get_recorder
 
 #: CPU latency model: abstract interpreter steps to nanoseconds.  An
 #: abstract step is roughly one scalar operation; 1.5 ns/step models a
@@ -111,25 +112,28 @@ def run_cpu_reference(
     which only happens for hostile fuzz inputs) and the average CPU
     latency in nanoseconds.
     """
-    interp = make_engine(unit, backend=backend, limits=limits or ExecLimits())
-    observables: List[Optional[Tuple[Any, Tuple[Any, ...]]]] = []
-    max_steps = 0
-    runs = 0
-    for test in tests:
-        try:
-            result = interp.run(kernel_name, test)
-            observables.append(result.observable())
-            max_steps = max(max_steps, result.steps)
-            runs += 1
-        except InterpError:
-            observables.append(None)
-    # The reported CPU latency is that of the *heaviest* passing test: the
-    # scheduler's FPGA estimate models the full-size workload (static
-    # tripcounts), so the CPU side must too — an average over trivial fuzz
-    # inputs would not be comparable.
-    cpu_ns = max_steps * CPU_NS_PER_STEP if runs else float("inf")
-    if clock is not None:
-        clock.charge(ACT_CPU_RUN, 0.01 * len(tests))
+    with get_recorder().span(
+        SPAN_CPU_REFERENCE, clock=clock, kernel=kernel_name, tests=len(tests)
+    ):
+        interp = make_engine(unit, backend=backend, limits=limits or ExecLimits())
+        observables: List[Optional[Tuple[Any, Tuple[Any, ...]]]] = []
+        max_steps = 0
+        runs = 0
+        for test in tests:
+            try:
+                result = interp.run(kernel_name, test)
+                observables.append(result.observable())
+                max_steps = max(max_steps, result.steps)
+                runs += 1
+            except InterpError:
+                observables.append(None)
+        # The reported CPU latency is that of the *heaviest* passing test:
+        # the scheduler's FPGA estimate models the full-size workload
+        # (static tripcounts), so the CPU side must too — an average over
+        # trivial fuzz inputs would not be comparable.
+        cpu_ns = max_steps * CPU_NS_PER_STEP if runs else float("inf")
+        if clock is not None:
+            clock.charge(ACT_CPU_RUN, 0.01 * len(tests))
     return observables, cpu_ns
 
 
@@ -157,29 +161,34 @@ def differential_test(
             original, kernel_name, tests, limits=limits, clock=clock,
             backend=backend,
         )
-    sim: SimulationReport = simulate(
-        candidate, config, tests, clock=clock, limits=limits,
-        max_faults=max_faults, backend=backend,
-    )
-    matching = 0
-    untested = 0
-    mismatching: List[int] = []
-    for i, (ref, outcome) in enumerate(zip(reference, sim.outcomes)):
-        if ref is None:
-            # The reference faulted on this input; any candidate behaviour
-            # is acceptable (the paper's oracle is defined on well-formed
-            # CPU behaviour).
-            matching += 1
-            continue
-        if outcome.skipped:
-            # The fault budget aborted the session before this test ran:
-            # no observation was made either way.
-            untested += 1
-            continue
-        if outcome.ok and outputs_equal(_obs_py(ref), _obs_py(outcome.observable)):
-            matching += 1
-        else:
-            mismatching.append(i)
+    with get_recorder().span(
+        SPAN_DIFFTEST, clock=clock, kernel=kernel_name, tests=len(tests)
+    ):
+        sim: SimulationReport = simulate(
+            candidate, config, tests, clock=clock, limits=limits,
+            max_faults=max_faults, backend=backend,
+        )
+        matching = 0
+        untested = 0
+        mismatching: List[int] = []
+        for i, (ref, outcome) in enumerate(zip(reference, sim.outcomes)):
+            if ref is None:
+                # The reference faulted on this input; any candidate
+                # behaviour is acceptable (the paper's oracle is defined
+                # on well-formed CPU behaviour).
+                matching += 1
+                continue
+            if outcome.skipped:
+                # The fault budget aborted the session before this test
+                # ran: no observation was made either way.
+                untested += 1
+                continue
+            if outcome.ok and outputs_equal(
+                _obs_py(ref), _obs_py(outcome.observable)
+            ):
+                matching += 1
+            else:
+                mismatching.append(i)
     return DiffReport(
         total=len(tests),
         matching=matching,

@@ -26,6 +26,7 @@ from ..errors import FuzzError, InterpError
 from ..cfront import nodes as N
 from ..interp import CoverageRecorder, ExecLimits, make_engine
 from ..hls.clock import ACT_FUZZING, SimulatedClock
+from ..obs import SPAN_FUZZ, get_recorder
 from .corpus import Corpus
 from .mutation import Mutator, random_seed_args
 
@@ -117,6 +118,7 @@ def fuzz_kernel(
     execs = 0
     tests_generated = 0
     since_new = 0
+    rec = get_recorder()
 
     def execute(args: List[Any]) -> int:
         """Run one input; how many branches it newly uncovered."""
@@ -130,44 +132,61 @@ def fuzz_kernel(
         coverage.merge(result.coverage)
         return len(coverage.hits) - before
 
-    # Seed the queue (line 4-6): captured kernel states when the host
-    # provided them, random type-valid vectors only as a fallback —
-    # Algorithm 1 never pads captured seeds with extra random ones.
-    initial: List[List[Any]] = list(seeds or [])
-    if not initial:
-        for _ in range(config.initial_random_seeds):
-            initial.append(random_seed_args(param_types, rng, config.array_len))
-    for args in initial:
-        tests_generated += 1
-        corpus.add(args, new_branches=execute(args))
-
-    generation = 0
-    while execs < config.max_execs and since_new < config.plateau_execs:
-        entry = corpus.next_input()
-        if entry is None:
-            break
-        generation += 1
-        mutants = mutator.mutate(entry.args, config.mutations_per_input)
-        for mutant in mutants:
-            if execs >= config.max_execs:
-                break
+    with rec.span(SPAN_FUZZ, clock=clock, kernel=kernel_name,
+                  max_execs=config.max_execs):
+        # Seed the queue (line 4-6): captured kernel states when the host
+        # provided them, random type-valid vectors only as a fallback —
+        # Algorithm 1 never pads captured seeds with extra random ones.
+        initial: List[List[Any]] = list(seeds or [])
+        if not initial:
+            for _ in range(config.initial_random_seeds):
+                initial.append(
+                    random_seed_args(param_types, rng, config.array_len)
+                )
+        for args in initial:
             tests_generated += 1
-            delta = execute(mutant)
-            if delta > 0:
-                corpus.add(mutant, new_branches=delta, generation=generation)
-                since_new = 0
-            else:
-                since_new += 1
+            delta = execute(args)
+            corpus.add(args, new_branches=delta)
+            if rec.enabled and delta > 0:
+                rec.metrics.observe("fuzz.new_branches", delta)
 
-    fuzz_seconds = execs * FUZZ_SECONDS_PER_EXEC
-    if clock is not None:
-        clock.charge(ACT_FUZZING, fuzz_seconds)
-    assert kernel.body is not None
+        generation = 0
+        while execs < config.max_execs and since_new < config.plateau_execs:
+            entry = corpus.next_input()
+            if entry is None:
+                break
+            generation += 1
+            mutants = mutator.mutate(entry.args, config.mutations_per_input)
+            for mutant in mutants:
+                if execs >= config.max_execs:
+                    break
+                tests_generated += 1
+                delta = execute(mutant)
+                if delta > 0:
+                    corpus.add(mutant, new_branches=delta,
+                               generation=generation)
+                    since_new = 0
+                    if rec.enabled:
+                        rec.metrics.observe("fuzz.new_branches", delta)
+                else:
+                    since_new += 1
+
+        fuzz_seconds = execs * FUZZ_SECONDS_PER_EXEC
+        if clock is not None:
+            clock.charge(ACT_FUZZING, fuzz_seconds)
+        assert kernel.body is not None
+        ratio = coverage.ratio(kernel.body)
+        if rec.enabled:
+            rec.metrics.inc("fuzz.execs", execs)
+            rec.metrics.inc("fuzz.tests_generated", tests_generated)
+            rec.metrics.set_gauge(
+                "fuzz.coverage_ratio", ratio, kernel=kernel_name
+            )
     return FuzzReport(
         tests_generated=tests_generated,
         corpus=corpus,
         coverage=coverage,
-        coverage_ratio=coverage.ratio(kernel.body),
+        coverage_ratio=ratio,
         execs=execs,
         fuzz_seconds=fuzz_seconds,
     )

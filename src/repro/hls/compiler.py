@@ -39,6 +39,7 @@ from ..cfront.fingerprint import (
 )
 from ..cfront.printer import count_loc
 from ..cfront.visitor import find_all
+from ..obs import SPAN_HLS_COMPILE, get_recorder
 from . import diagnostics as D
 from .clock import ACT_HLS_COMPILE, SimulatedClock
 from .memo import AnalysisCache
@@ -101,11 +102,18 @@ def compile_unit(
     global _invocation_tally
     with _invocation_lock:
         _invocation_tally += 1
-    checker = _Checker(unit, config)
-    report = checker.run()
-    report.compile_seconds = compile_seconds_for(unit)
-    if clock is not None:
-        clock.charge(ACT_HLS_COMPILE, report.compile_seconds)
+    rec = get_recorder()
+    with rec.span(SPAN_HLS_COMPILE, clock=clock, top=config.top_name):
+        checker = _Checker(unit, config)
+        report = checker.run()
+        report.compile_seconds = compile_seconds_for(unit)
+        if clock is not None:
+            clock.charge(ACT_HLS_COMPILE, report.compile_seconds)
+        if rec.enabled:
+            rec.metrics.inc("hls.compile.invocations")
+            rec.metrics.observe(
+                "hls.compile.sim_seconds", report.compile_seconds
+            )
     return report
 
 

@@ -37,6 +37,7 @@ from ..cfront.fingerprint import (
     unit_incremental_enabled,
 )
 from ..cfront.visitor import find_all
+from ..obs import SPAN_SCHEDULE, get_recorder
 from .memo import AnalysisCache
 from .platform import OFFLOAD_OVERHEAD_NS, ResourceUsage, SolutionConfig
 from .pragmas import function_pragmas, loop_pragmas
@@ -676,15 +677,16 @@ def estimate(unit: N.TranslationUnit, config: SolutionConfig) -> ScheduleReport:
     (``top_name``, ``clock_period_ns`` — the device does not enter the
     model).  Hits return a freshly materialized report: callers mutate
     report.resources, so the memo stores only immutable snapshots."""
-    if not unit_incremental_enabled(unit):
-        return Scheduler(unit, config).schedule()
-    key = (
-        "estimate",
-        unit_fingerprint(unit),
-        config.top_name,
-        repr(config.clock_period_ns),
-    )
-    snap = _ESTIMATE_MEMO.get_or_compute(
-        key, lambda: _report_snapshot(Scheduler(unit, config).schedule())
-    )
-    return _report_from_snapshot(snap)
+    with get_recorder().span(SPAN_SCHEDULE, top=config.top_name):
+        if not unit_incremental_enabled(unit):
+            return Scheduler(unit, config).schedule()
+        key = (
+            "estimate",
+            unit_fingerprint(unit),
+            config.top_name,
+            repr(config.clock_period_ns),
+        )
+        snap = _ESTIMATE_MEMO.get_or_compute(
+            key, lambda: _report_snapshot(Scheduler(unit, config).schedule())
+        )
+        return _report_from_snapshot(snap)

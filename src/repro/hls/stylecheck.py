@@ -26,6 +26,7 @@ from ..cfront import nodes as N
 from ..cfront import typesys as T
 from ..cfront.fingerprint import exact_fp, unit_incremental_enabled
 from ..cfront.visitor import find_all
+from ..obs import SPAN_STYLE_CHECK, get_recorder
 from .clock import ACT_STYLE_CHECK, SimulatedClock
 from .memo import AnalysisCache
 from .pragmas import FUNCTION_SCOPE, KNOWN_DIRECTIVES, LOOP_SCOPE, parse_pragma
@@ -71,34 +72,41 @@ def check_style(
     """Run all style rules; an empty list means the candidate may proceed
     to full compilation.  When *clock* is given, the (cheap) simulated
     cost of the check is charged to it."""
-    if clock is not None:
-        clock.charge(ACT_STYLE_CHECK, STYLE_CHECK_SECONDS)
-    violations: List[StyleViolation] = []
-    memo = unit_incremental_enabled(unit)
-    globals_key = _global_array_names(unit) if memo else ()
-    for func in unit.functions():
-        if func.body is None:
-            continue
-        if memo:
-            key = (exact_fp(unit, func), globals_key)
-            violations.extend(
-                _FUNCTION_STYLE_MEMO.get_or_compute(
-                    key, lambda f=func: tuple(_check_function(unit, f))
-                )
-            )
-        else:
-            violations.extend(_check_function(unit, func))
-    # Top-level pragmas outside any function are always misplaced.
-    for decl in unit.decls:
-        if isinstance(decl, N.Pragma):
-            parsed = parse_pragma(decl)
-            if parsed is not None:
-                violations.append(
-                    StyleViolation(
-                        f"pragma 'HLS {parsed.directive}' outside any function",
-                        decl.uid,
+    rec = get_recorder()
+    with rec.span(SPAN_STYLE_CHECK, clock=clock):
+        if clock is not None:
+            clock.charge(ACT_STYLE_CHECK, STYLE_CHECK_SECONDS)
+        violations: List[StyleViolation] = []
+        memo = unit_incremental_enabled(unit)
+        globals_key = _global_array_names(unit) if memo else ()
+        for func in unit.functions():
+            if func.body is None:
+                continue
+            if memo:
+                key = (exact_fp(unit, func), globals_key)
+                violations.extend(
+                    _FUNCTION_STYLE_MEMO.get_or_compute(
+                        key, lambda f=func: tuple(_check_function(unit, f))
                     )
                 )
+            else:
+                violations.extend(_check_function(unit, func))
+        # Top-level pragmas outside any function are always misplaced.
+        for decl in unit.decls:
+            if isinstance(decl, N.Pragma):
+                parsed = parse_pragma(decl)
+                if parsed is not None:
+                    violations.append(
+                        StyleViolation(
+                            f"pragma 'HLS {parsed.directive}' outside any "
+                            "function",
+                            decl.uid,
+                        )
+                    )
+        if rec.enabled:
+            rec.metrics.inc("style.checks")
+            if violations:
+                rec.metrics.inc("style.rejections")
     return violations
 
 

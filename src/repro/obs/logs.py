@@ -1,0 +1,57 @@
+"""Stdlib ``logging`` wiring for the ``repro`` package.
+
+Library rule: every module gets its own logger via
+``logging.getLogger(__name__)`` and never configures handlers — the
+package root logger carries a ``NullHandler`` (attached in
+``repro/__init__``) so an embedding application that configures nothing
+sees no "No handler found" noise and no surprise output.
+
+The CLI is the single place a real handler is attached:
+:func:`configure_logging` installs one stderr handler on the ``repro``
+root, honouring ``--log-level`` / ``-q``.  Diagnostics therefore never
+mix with the product output on stdout (tables, JSON, rendered source).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: The package root logger name every repro module logger descends from.
+ROOT_LOGGER = "repro"
+
+LEVELS = ("debug", "info", "warning", "error")
+
+_DEFAULT_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+_cli_handler: Optional[logging.Handler] = None
+
+
+def attach_null_handler() -> None:
+    """Idempotently attach the library ``NullHandler`` to the root."""
+    root = logging.getLogger(ROOT_LOGGER)
+    if not any(isinstance(h, logging.NullHandler) for h in root.handlers):
+        root.addHandler(logging.NullHandler())
+
+
+def configure_logging(level: Optional[str] = None,
+                      quiet: bool = False) -> logging.Logger:
+    """Install (or retune) the CLI stderr handler on the ``repro`` root.
+
+    ``level`` is one of :data:`LEVELS` (default ``warning``); ``quiet``
+    forces ``error``.  Idempotent: repeated calls reconfigure the one
+    handler instead of stacking duplicates."""
+    global _cli_handler
+    name = "error" if quiet else (level or "warning")
+    if name not in LEVELS:
+        raise ValueError(f"unknown log level {name!r}; expected one of {LEVELS}")
+    numeric = getattr(logging, name.upper())
+    root = logging.getLogger(ROOT_LOGGER)
+    if _cli_handler is None:
+        _cli_handler = logging.StreamHandler(sys.stderr)
+        _cli_handler.setFormatter(logging.Formatter(_DEFAULT_FORMAT))
+        root.addHandler(_cli_handler)
+    root.setLevel(numeric)
+    _cli_handler.setLevel(numeric)
+    return root

@@ -1,0 +1,162 @@
+"""JSON schema for the event journal, plus a dependency-free validator.
+
+:data:`JOURNAL_SCHEMA` is a standard JSON-Schema document (draft-07
+vocabulary) describing one journal line; external tooling can use it
+directly.  :func:`validate_record` / :func:`validate_journal` implement
+the same rules in plain Python, because the reproduction deliberately
+carries no third-party dependencies — CI validates every emitted journal
+through these before trusting a trace.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+JOURNAL_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": "repro.obs event-journal line",
+    "oneOf": [
+        {
+            "type": "object",
+            "properties": {
+                "type": {"const": "header"},
+                "version": {"type": "integer", "minimum": 1},
+                "records": {"type": "integer", "minimum": 0},
+                "dropped": {"type": "integer", "minimum": 0},
+            },
+            "required": ["type", "version", "records", "dropped"],
+        },
+        {
+            "type": "object",
+            "properties": {
+                "type": {"const": "span"},
+                "id": {"type": "integer", "minimum": 1},
+                "parent": {"type": "integer", "minimum": 0},
+                "name": {"type": "string", "minLength": 1},
+                "cat": {"type": "string", "minLength": 1},
+                "ts_us": {"type": "number", "minimum": 0},
+                "dur_us": {"type": "number", "minimum": 0},
+                "sim_ts_s": {"type": ["number", "null"], "minimum": 0},
+                "sim_dur_s": {"type": ["number", "null"], "minimum": 0},
+                "tid": {"type": "integer"},
+                "args": {"type": "object"},
+            },
+            "required": ["type", "id", "parent", "name", "cat",
+                         "ts_us", "dur_us", "tid", "args"],
+        },
+        {
+            "type": "object",
+            "properties": {
+                "type": {"const": "event"},
+                "id": {"type": "integer", "minimum": 1},
+                "parent": {"type": "integer", "minimum": 0},
+                "name": {"type": "string", "minLength": 1},
+                "ts_us": {"type": "number", "minimum": 0},
+                "tid": {"type": "integer"},
+                "level": {"enum": ["debug", "info", "warning", "error"]},
+                "args": {"type": "object"},
+            },
+            "required": ["type", "id", "parent", "name",
+                         "ts_us", "tid", "level", "args"],
+        },
+    ],
+}
+
+
+def _check(condition: bool, errors: List[str], message: str) -> None:
+    if not condition:
+        errors.append(message)
+
+
+def validate_record(obj: Any) -> List[str]:
+    """Validation errors for one journal line (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(obj, dict):
+        return ["journal line is not an object"]
+    kind = obj.get("type")
+    if kind == "header":
+        _check(isinstance(obj.get("version"), int) and obj["version"] >= 1,
+               errors, "header.version must be a positive integer")
+        for key in ("records", "dropped"):
+            _check(isinstance(obj.get(key), int) and obj[key] >= 0,
+                   errors, f"header.{key} must be a non-negative integer")
+        return errors
+    if kind == "span":
+        _check(isinstance(obj.get("id"), int) and obj["id"] >= 1,
+               errors, "span.id must be a positive integer")
+        _check(isinstance(obj.get("parent"), int) and obj["parent"] >= 0,
+               errors, "span.parent must be a non-negative integer")
+        for key in ("name", "cat"):
+            _check(isinstance(obj.get(key), str) and obj[key],
+                   errors, f"span.{key} must be a non-empty string")
+        for key in ("ts_us", "dur_us"):
+            _check(isinstance(obj.get(key), (int, float))
+                   and not isinstance(obj.get(key), bool)
+                   and obj[key] >= 0,
+                   errors, f"span.{key} must be a non-negative number")
+        for key in ("sim_ts_s", "sim_dur_s"):
+            value = obj.get(key)
+            _check(value is None
+                   or (isinstance(value, (int, float))
+                       and not isinstance(value, bool) and value >= 0),
+                   errors, f"span.{key} must be null or a non-negative number")
+        _check(isinstance(obj.get("tid"), int),
+               errors, "span.tid must be an integer")
+        _check(isinstance(obj.get("args"), dict),
+               errors, "span.args must be an object")
+        return errors
+    if kind == "event":
+        _check(isinstance(obj.get("id"), int) and obj["id"] >= 1,
+               errors, "event.id must be a positive integer")
+        _check(isinstance(obj.get("parent"), int) and obj["parent"] >= 0,
+               errors, "event.parent must be a non-negative integer")
+        _check(isinstance(obj.get("name"), str) and obj["name"],
+               errors, "event.name must be a non-empty string")
+        _check(isinstance(obj.get("ts_us"), (int, float))
+               and not isinstance(obj.get("ts_us"), bool)
+               and obj["ts_us"] >= 0,
+               errors, "event.ts_us must be a non-negative number")
+        _check(isinstance(obj.get("tid"), int),
+               errors, "event.tid must be an integer")
+        _check(obj.get("level") in ("debug", "info", "warning", "error"),
+               errors, "event.level must be one of debug/info/warning/error")
+        _check(isinstance(obj.get("args"), dict),
+               errors, "event.args must be an object")
+        return errors
+    return [f"unknown journal record type {kind!r}"]
+
+
+def validate_journal(path: str) -> List[str]:
+    """All validation errors in a journal file (empty list = valid).
+
+    Checks every line against the record schema, requires the header to
+    come first, and verifies the span forest is well-formed (unique ids,
+    resolvable parents, no cycles, non-negative durations) via
+    :func:`~repro.obs.export.build_span_tree`."""
+    from .export import build_span_tree
+
+    errors: List[str] = []
+    records: List[Any] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"line {lineno}: not JSON ({exc})")
+                continue
+            for problem in validate_record(obj):
+                errors.append(f"line {lineno}: {problem}")
+            records.append(obj)
+    if not records:
+        return errors + ["journal is empty"]
+    if records[0].get("type") != "header":
+        errors.append("first journal line must be the header")
+    try:
+        build_span_tree(records)
+    except ValueError as exc:
+        errors.append(f"span tree: {exc}")
+    return errors

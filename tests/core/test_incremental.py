@@ -13,6 +13,7 @@ job sets it).
 
 from __future__ import annotations
 
+import contextlib
 import copy
 import itertools
 import os
@@ -33,6 +34,7 @@ from repro.hls.platform import SolutionConfig
 from repro.hls.schedule import estimate
 from repro.hls.stylecheck import check_style
 from repro.interp.compile import CompiledProgram, compile_program
+from repro.obs import SPAN_TRANSPILE, TraceRecorder, scoped_recorder
 from repro.subjects import all_subjects, get_subject
 
 FULL_SWEEP = os.environ.get("REPRO_CROSSCHECK_FULL", "") == "1"
@@ -51,13 +53,15 @@ def _quick_config():
     )
 
 
-def _observables(subject, mode, executor="thread", workers=1):
+def _observables(subject, mode, executor="thread", workers=1, recorder=None):
     """One full transpile under *mode*, reduced to comparable values.
 
     Every pass starts from identical global state: the uid counter is
     reset so both passes parse into identical trees (uids appear in
     diagnostics), and the analysis memos are cleared so the incremental
-    pass cannot coast on entries from an earlier test.
+    pass cannot coast on entries from an earlier test.  Passing a
+    *recorder* runs the whole pipeline traced — which by contract must
+    not change a single observable.
     """
     N._uid_counter = itertools.count(1)
     clear_analysis_caches()
@@ -65,7 +69,11 @@ def _observables(subject, mode, executor="thread", workers=1):
     config = _quick_config()
     config.search.executor = executor
     config.search.workers = workers
-    with forced_mode(mode):
+    tracing = (
+        scoped_recorder(recorder) if recorder is not None
+        else contextlib.nullcontext()
+    )
+    with forced_mode(mode), tracing:
         result = make_heterogen(config).transpile(
             subject.source,
             kernel_name=subject.kernel,
@@ -147,6 +155,52 @@ def test_process_executor_bit_identical_quick(subject_id):
 )
 def test_process_executor_bit_identical_full(subject_id):
     _assert_process_identical(subject_id)
+
+
+def _assert_tracing_identical(subject_id):
+    """The observability contract: a fully-traced run — serial and
+    process-parallel — is bit-identical to the untraced serial run on
+    every observable, including the simulated-clock charge journal.
+    Spans only *read* the clock; wall-clock timestamps never feed back
+    into candidate keys or charges."""
+    subject = get_subject(subject_id)
+    baseline = _observables(subject, "on")
+    serial_rec = TraceRecorder()
+    serial = _observables(subject, "on", recorder=serial_rec)
+    process_rec = TraceRecorder()
+    process = _observables(
+        subject, "on", executor="process", workers=2, recorder=process_rec
+    )
+    for field in baseline:
+        assert serial[field] == baseline[field], (
+            f"{subject_id}: traced serial run diverged on {field!r}"
+        )
+        assert process[field] == baseline[field], (
+            f"{subject_id}: traced process run diverged on {field!r}"
+        )
+    # The traces themselves must be substantive, not vacuously empty.
+    for rec in (serial_rec, process_rec):
+        names = {s.name for s in rec.spans()}
+        assert SPAN_TRANSPILE in names
+        assert "search.evaluate" in names
+    worker_spans = [
+        s for s in process_rec.spans() if "worker_pid" in s.args
+    ]
+    assert worker_spans, "process run recorded no re-parented worker spans"
+
+
+@pytest.mark.parametrize("subject_id", QUICK_SUBJECTS)
+def test_tracing_bit_identical_quick(subject_id):
+    _assert_tracing_identical(subject_id)
+
+
+@pytest.mark.skipif(not FULL_SWEEP, reason="set REPRO_CROSSCHECK_FULL=1")
+@pytest.mark.parametrize(
+    "subject_id",
+    [s.id for s in all_subjects() if s.id not in QUICK_SUBJECTS],
+)
+def test_tracing_bit_identical_full(subject_id):
+    _assert_tracing_identical(subject_id)
 
 
 # ---------------------------------------------------------------------------

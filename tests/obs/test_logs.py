@@ -1,0 +1,83 @@
+"""Logging wiring: NullHandler etiquette and the single CLI handler."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.obs import logs
+from repro.obs.logs import (
+    LEVELS,
+    ROOT_LOGGER,
+    attach_null_handler,
+    configure_logging,
+)
+
+
+@pytest.fixture()
+def clean_root():
+    """Detach whatever handlers/levels earlier tests left and restore
+    the module-global CLI-handler slot afterwards."""
+    root = logging.getLogger(ROOT_LOGGER)
+    saved_handlers = list(root.handlers)
+    saved_level = root.level
+    saved_cli = logs._cli_handler
+    root.handlers = []
+    logs._cli_handler = None
+    yield root
+    root.handlers = saved_handlers
+    root.setLevel(saved_level)
+    logs._cli_handler = saved_cli
+
+
+def test_attach_null_handler_is_idempotent(clean_root):
+    attach_null_handler()
+    attach_null_handler()
+    nulls = [h for h in clean_root.handlers
+             if isinstance(h, logging.NullHandler)]
+    assert len(nulls) == 1
+
+
+def test_configure_logging_defaults_to_warning(clean_root):
+    root = configure_logging()
+    assert root.level == logging.WARNING
+    real = [h for h in clean_root.handlers
+            if not isinstance(h, logging.NullHandler)]
+    assert len(real) == 1
+    assert real[0].level == logging.WARNING
+
+
+def test_configure_logging_is_idempotent(clean_root):
+    configure_logging("debug")
+    configure_logging("info")
+    real = [h for h in clean_root.handlers
+            if not isinstance(h, logging.NullHandler)]
+    assert len(real) == 1, "repeated calls must retune, not stack handlers"
+    assert clean_root.level == logging.INFO
+
+
+def test_quiet_wins_over_level(clean_root):
+    configure_logging("debug", quiet=True)
+    assert clean_root.level == logging.ERROR
+
+
+def test_unknown_level_rejected(clean_root):
+    with pytest.raises(ValueError, match="unknown log level"):
+        configure_logging("loud")
+
+
+def test_levels_cover_the_cli_choices():
+    assert LEVELS == ("debug", "info", "warning", "error")
+    for name in LEVELS:
+        assert hasattr(logging, name.upper())
+
+
+def test_module_loggers_descend_from_repro_root(clean_root, caplog):
+    """A warning logged by any repro module propagates to the "repro"
+    root (where the CLI handler sits), and nowhere by default."""
+    log = logging.getLogger("repro.core.heterogen")
+    attach_null_handler()
+    with caplog.at_level(logging.WARNING, logger=ROOT_LOGGER):
+        log.warning("kernel seed capture failed for host %r", "main")
+    assert "kernel seed capture failed" in caplog.text

@@ -1,0 +1,257 @@
+"""Recorder behaviour: span parenting, clocks, subtraces, scoping."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+from repro.hls.clock import ACT_HLS_COMPILE, SimulatedClock
+from repro.obs import (
+    NULL_RECORDER,
+    NullRecorder,
+    TraceRecorder,
+    get_recorder,
+    install_recorder,
+    reset_recorder,
+    scoped_recorder,
+)
+from repro.obs.recorder import SUBTRACE_TAG, EventRecord, SpanRecord
+
+
+# ---------------------------------------------------------------------------
+# Null recorder (the default, overhead-critical path)
+# ---------------------------------------------------------------------------
+
+
+def test_null_recorder_is_inert():
+    rec = NullRecorder()
+    assert rec.enabled is False
+    with rec.span("anything", clock=object()) as span:
+        rec.event("boom", level="error", detail="x")
+        rec.metrics.inc("whatever", tier="memory")
+        rec.metrics.observe("whatever", 1.0)
+        rec.metrics.set_gauge("whatever", 1.0)
+    assert span is rec.span("other")  # one shared no-op span instance
+    assert rec.subtrace() is None
+    assert rec.metrics.snapshot() == {
+        "counters": {}, "gauges": {}, "histograms": {}
+    }
+
+
+def test_default_recorder_is_the_null_singleton(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    reset_recorder()
+    try:
+        assert get_recorder() is NULL_RECORDER
+    finally:
+        reset_recorder()
+
+
+def test_env_value_activates_a_trace_recorder(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    reset_recorder()
+    try:
+        assert isinstance(get_recorder(), TraceRecorder)
+    finally:
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        reset_recorder()
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+
+def test_span_nesting_records_parent_links():
+    rec = TraceRecorder()
+    with rec.span("outer"):
+        with rec.span("inner"):
+            rec.event("note", hint="deep")
+    spans = {s.name: s for s in rec.spans()}
+    assert spans["outer"].parent == 0
+    assert spans["inner"].parent == spans["outer"].sid
+    (event,) = rec.events()
+    assert event.parent == spans["inner"].sid
+    assert event.args == {"hint": "deep"}
+    # Children close (and append) before parents; exports sort by start.
+    assert [s.name for s in rec.spans()] == ["inner", "outer"]
+
+
+def test_span_samples_simulated_clock():
+    rec = TraceRecorder()
+    clock = SimulatedClock.recording()
+    clock.charge(ACT_HLS_COMPILE, 5.0)
+    with rec.span("compile", clock=clock):
+        clock.charge(ACT_HLS_COMPILE, 37.5)
+    (span,) = rec.spans()
+    assert span.sim_ts == 5.0
+    assert span.sim_dur == 37.5
+    assert span.dur_us >= 0.0
+
+
+def test_span_without_clock_has_null_sim_fields():
+    rec = TraceRecorder()
+    with rec.span("plain"):
+        pass
+    (span,) = rec.spans()
+    assert span.sim_ts is None and span.sim_dur is None
+
+
+def test_sibling_spans_share_a_parent():
+    rec = TraceRecorder()
+    with rec.span("root"):
+        with rec.span("a"):
+            pass
+        with rec.span("b"):
+            pass
+    spans = {s.name: s for s in rec.spans()}
+    assert spans["a"].parent == spans["root"].sid
+    assert spans["b"].parent == spans["root"].sid
+
+
+def test_record_cap_drops_and_counts():
+    rec = TraceRecorder(max_records=2)
+    for i in range(5):
+        rec.event(f"e{i}")
+    assert len(rec.records()) == 2
+    assert rec.dropped == 3
+    rec.clear()
+    assert rec.records() == [] and rec.dropped == 0
+
+
+def test_threads_parent_independently():
+    rec = TraceRecorder()
+    with rec.span("main-root"):
+        done = threading.Event()
+
+        def worker():
+            with rec.span("thread-span"):
+                pass
+            done.set()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert done.wait(1)
+    spans = {s.name: s for s in rec.spans()}
+    # The other thread has its own stack: no cross-thread parenting.
+    assert spans["thread-span"].parent == 0
+    assert spans["thread-span"].tid != spans["main-root"].tid
+
+
+# ---------------------------------------------------------------------------
+# Subtraces (the worker wire format)
+# ---------------------------------------------------------------------------
+
+
+def _make_subtrace():
+    tracer = TraceRecorder()
+    clock = SimulatedClock.recording()
+    with tracer.span("hls_compile", clock=clock):
+        clock.charge(ACT_HLS_COMPILE, 12.0)
+        tracer.event("diag", code="SYNCHK 200-11")
+    with tracer.span("difftest"):
+        pass
+    return tracer.subtrace()
+
+
+def test_subtrace_is_picklable_and_tagged():
+    sub = _make_subtrace()
+    assert sub[0] == SUBTRACE_TAG
+    assert isinstance(sub[1], int)  # producing pid
+    restored = pickle.loads(pickle.dumps(sub))
+    assert restored[0] == SUBTRACE_TAG
+    assert len(restored) == len(sub)
+
+
+def test_attach_subtrace_grafts_under_current_span():
+    sub = _make_subtrace()
+    rec = TraceRecorder()
+    with rec.span("search.evaluate"):
+        rec.attach_subtrace(sub)
+    spans = {s.name: s for s in rec.spans()}
+    evaluate = spans["search.evaluate"]
+    for name in ("hls_compile", "difftest"):
+        assert spans[name].parent == evaluate.sid
+        assert spans[name].args["worker_pid"] == sub[1]
+        assert spans[name].tid == sub[1]
+    # Simulated measurements survive the graft untouched.
+    assert spans["hls_compile"].sim_dur == 12.0
+    (event,) = rec.events()
+    assert event.name == "diag"
+    assert event.parent == spans["hls_compile"].sid
+
+
+def test_attach_subtrace_remaps_ids_fresh():
+    sub = _make_subtrace()
+    rec = TraceRecorder()
+    with rec.span("consume-twice"):
+        rec.attach_subtrace(sub)
+        rec.attach_subtrace(sub)  # cache hit replays the same subtrace
+    sids = [s.sid for s in rec.spans()]
+    assert len(sids) == len(set(sids)), "grafted ids must never collide"
+
+
+def test_attach_subtrace_merges_worker_metrics():
+    tracer = TraceRecorder()
+    tracer.metrics.inc("hls.compile.invocations")
+    tracer.metrics.observe("hls.compile.sim_seconds", 42.0)
+    tracer.metrics.set_gauge("g", 0.5)
+    sub = tracer.subtrace()
+    rec = TraceRecorder()
+    rec.metrics.inc("hls.compile.invocations")
+    rec.attach_subtrace(sub)
+    rec.attach_subtrace(sub)
+    assert rec.metrics.counter_value("hls.compile.invocations") == 3.0
+    snap = rec.metrics.snapshot()
+    assert snap["histograms"]["hls.compile.sim_seconds"]["count"] == 2
+    assert snap["histograms"]["hls.compile.sim_seconds"]["sum"] == 84.0
+    assert snap["gauges"] == {"g": 0.5}
+
+
+def test_attach_subtrace_ignores_unknown_tag():
+    rec = TraceRecorder()
+    rec.attach_subtrace(("some-other-format/v9", 1234))
+    rec.attach_subtrace(None)
+    rec.attach_subtrace(())
+    assert rec.records() == []
+
+
+# ---------------------------------------------------------------------------
+# Recorder scoping
+# ---------------------------------------------------------------------------
+
+
+def test_scoped_recorder_overrides_and_restores():
+    outer = TraceRecorder()
+    inner = TraceRecorder()
+    previous = install_recorder(outer)
+    try:
+        assert get_recorder() is outer
+        with scoped_recorder(inner):
+            assert get_recorder() is inner
+            with scoped_recorder(None):
+                # A nested None override un-hides the global again.
+                assert get_recorder() is outer
+            assert get_recorder() is inner
+        assert get_recorder() is outer
+    finally:
+        install_recorder(previous)
+
+
+def test_scoped_recorder_is_thread_local():
+    outer = TraceRecorder()
+    inner = TraceRecorder()
+    previous = install_recorder(outer)
+    seen = {}
+    try:
+        with scoped_recorder(inner):
+            def probe():
+                seen["recorder"] = get_recorder()
+
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+    finally:
+        install_recorder(previous)
+    assert seen["recorder"] is outer, "override must not leak across threads"
