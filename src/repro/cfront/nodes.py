@@ -78,6 +78,7 @@ def clone(node: Node) -> Node:
         copied.__dict__.pop("_walk_uids", None)
         copied.__dict__.pop("_walk_index", None)
         copied.__dict__.pop("_memo_worthwhile", None)
+        copied.__dict__.pop("_profile_keys", None)
     return copied
 
 

@@ -74,15 +74,34 @@ def result_to_dict(result: TranspileResult) -> dict:
     }
 
 
+def _workers_count(text: str) -> int:
+    """argparse type for ``--workers``: a whole number of workers ≥ 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--workers expects an integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"--workers must be >= 1 (got {value}); use 1 for serial "
+            "evaluation"
+        )
+    return value
+
+
 def _apply_parallel_flags(search: SearchConfig, args: argparse.Namespace) -> None:
-    """Overlay the executor/store CLI flags on a search config whose
-    defaults already honour REPRO_EXECUTOR / REPRO_WORKERS / REPRO_STORE."""
+    """Overlay the executor/store/synthesis CLI flags on a search config
+    whose defaults already honour REPRO_EXECUTOR / REPRO_WORKERS /
+    REPRO_STORE / REPRO_SYNTH."""
     if getattr(args, "executor", None):
         search.executor = args.executor
     if getattr(args, "no_store", False):
         search.store_path = None
     elif getattr(args, "store", None):
         search.store_path = args.store
+    if getattr(args, "synth", None) is not None:
+        search.use_synthesis = args.synth
 
 
 def cmd_transpile(args: argparse.Namespace) -> int:
@@ -284,7 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="only errors on stderr")
 
     def parallel_flags(p):
-        p.add_argument("--workers", type=int, default=1,
+        p.add_argument("--workers", type=_workers_count, default=1,
                        help="worker-pool width for speculative candidate "
                        "evaluation (1 = serial).  Speculation never changes "
                        "reported results — history, fitness and simulated "
@@ -307,6 +326,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-cache", action="store_true",
                        help="disable the candidate-evaluation memo cache "
                        "(also disables the persistent store)")
+        p.add_argument("--synth", dest="synth", action="store_true",
+                       default=None,
+                       help="synthesis-first repair: derive edit "
+                       "parameters (stack capacities, array extents, "
+                       "bitwidths, pragma factors) from profiled "
+                       "evidence instead of enumerating ladders.  "
+                       "Default: $REPRO_SYNTH or disabled")
+        p.add_argument("--no-synth", dest="synth", action="store_false",
+                       help="force enumerated proposals even if "
+                       "$REPRO_SYNTH is set (bit-identical to the "
+                       "pre-synthesis search)")
 
     t = sub.add_parser("transpile", help="transpile a C kernel to HLS-C")
     t.add_argument("file", help="C source file, or - for stdin")

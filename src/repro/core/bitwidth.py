@@ -59,6 +59,7 @@ def profile_kernel(
         except InterpError:
             continue
         merged.merge(result.profile)
+    merged.bind(unit)
     return merged
 
 
@@ -73,7 +74,7 @@ def plan_bitwidths(
         resolved = T.strip_typedefs(decl.type)
         if not isinstance(resolved, T.IntType):
             continue
-        rng = profile.range_for(decl.uid)
+        rng = profile.range_for_node(unit, decl)
         if rng is None or rng.samples == 0 or not rng.is_integer:
             continue
         signed = rng.needs_sign

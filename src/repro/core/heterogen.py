@@ -154,13 +154,20 @@ class HeteroGen:
                     ) + seeds
                 except Exception as exc:
                     # Seed capture is best-effort: the fuzzer falls back
-                    # to random seeding.  But silence here used to hide
-                    # genuine host-model regressions, so the fallback is
-                    # now observable.
+                    # to random seeding.  But a host that crashed *after*
+                    # invoking the kernel still produced valid seeds —
+                    # salvage the captured prefix instead of discarding
+                    # it, and report exactly how much survived.
+                    salvaged = [
+                        list(args)
+                        for args in getattr(exc, "partial_seeds", ())
+                    ]
+                    seeds = salvaged + seeds
                     _log.warning(
                         "kernel seed capture failed for host %r, kernel "
-                        "%r: %s; falling back to random fuzzer seeding",
-                        host_name, kernel_name, exc,
+                        "%r: %s; salvaged %d partial seed(s), falling "
+                        "back to random fuzzer seeding for the rest",
+                        host_name, kernel_name, exc, len(salvaged),
                     )
                     rec.event(
                         "seed_capture_failed",
@@ -168,8 +175,13 @@ class HeteroGen:
                         host=host_name,
                         kernel=kernel_name,
                         error=str(exc),
+                        seeds_salvaged=len(salvaged),
                     )
                     rec.metrics.inc("fuzz.seed_capture_failures")
+                    if salvaged:
+                        rec.metrics.inc(
+                            "fuzz.seeds_salvaged", value=float(len(salvaged))
+                        )
         fuzz_report: Optional[FuzzReport] = None
         suite: List[List[Any]]
         if self.config.fuzz.max_execs > 0:

@@ -36,6 +36,7 @@ from ..obs import (
     SPAN_EVALUATE,
     SPAN_ITERATION,
     SPAN_SEARCH,
+    SPAN_SYNTH,
     TraceRecorder,
     get_recorder,
     scoped_recorder,
@@ -60,6 +61,7 @@ from .parallel import (
     submit_job,
 )
 from .store import default_store_path, get_store
+from .synth import Evidence, synthesis_default
 
 #: Fault budget per fitness evaluation: deeply broken candidates fault on
 #: every test; cut them off early — the signal is already conclusive.
@@ -117,6 +119,34 @@ class SearchConfig:
     evaluation-cache context token: backends are bit-identical in every
     simulated measurement, so entries written under one backend are valid
     under any other."""
+    use_synthesis: bool = field(default_factory=synthesis_default)
+    """Evidence-driven parameter synthesis (env ``REPRO_SYNTH`` sets the
+    default, off otherwise): parameterized edit families derive stack
+    capacities, array extents, bitwidths and partition/II factors from
+    the value profile and difftest counterexamples instead of
+    enumerating ladders (see :mod:`repro.core.synth`).  Changes only
+    *which* candidates are proposed — each candidate's evaluation, and
+    hence the cache/store keying, is untouched; with the flag off the
+    search is bit-identical to the pre-synthesis implementation.  Only
+    active together with ``use_dependence`` (the WithoutDependence
+    ablation measures blind enumeration by design)."""
+
+    def __post_init__(self) -> None:
+        if (
+            not isinstance(self.workers, int)
+            or isinstance(self.workers, bool)
+            or self.workers < 1
+        ):
+            raise ValueError(
+                f"SearchConfig.workers must be an integer >= 1, got "
+                f"{self.workers!r} (0 would deadlock the process "
+                f"executor; negatives are meaningless)"
+            )
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of {EXECUTORS}"
+            )
 
 
 @dataclass
@@ -296,7 +326,21 @@ class RepairSearch:
         counter = itertools.count()
         frontier: List[Tuple[Tuple, int, Candidate]] = []
         heapq.heappush(frontier, ((math.inf, 0, 0.0), next(counter), initial))
-        seen: Set[Tuple[str, ...]] = {initial.applied}
+        # Synthesis mode dedupes frontier entries by candidate *content*
+        # (the evaluation cache's structural digest): derived
+        # applications are parameter-exact, so two chains applying the
+        # same edits in different orders build the same program, and
+        # with k commuting pragma insertions the chain-based key admits
+        # up to k! duplicate evaluations of it.  The enumerated path
+        # keeps the ordered applied-chain key for bit-identical
+        # behaviour with the pre-synthesis search.
+        if self.config.use_synthesis:
+            dedup_key = lambda cand: cached_candidate_key(
+                cand, self._cache_context
+            )
+        else:
+            dedup_key = lambda cand: cand.applied
+        seen: Set[Any] = {dedup_key(initial)}
         best: Optional[Evaluation] = None
         success_seconds: Optional[float] = None
         executor: Optional[ThreadPoolExecutor] = None
@@ -379,12 +423,23 @@ class RepairSearch:
                                         "repair_success",
                                         sim_seconds=success_seconds,
                                         iteration=self.stats.iterations,
+                                        attempts=self.stats.attempts,
+                                    )
+                                    # Synthesis's headline measurement:
+                                    # candidate evaluations spent per
+                                    # repaired subject.
+                                    rec.metrics.observe(
+                                        "search.candidates_per_repair",
+                                        float(self.stats.attempts),
+                                        kernel=self.kernel_name,
+                                        synthesis=self.config.use_synthesis,
                                     )
                         children = self._propose_children(evaluation)
                         for child in children:
-                            if child.applied in seen:
+                            key = dedup_key(child)
+                            if key in seen:
                                 continue
-                            seen.add(child.applied)
+                            seen.add(key)
                             priority = self._child_priority(evaluation, child)
                             heapq.heappush(
                                 frontier, (priority, next(counter), child)
@@ -650,15 +705,19 @@ class RepairSearch:
         candidate = evaluation.candidate
         report = evaluation.compile_report
         assert report is not None
-        applications = []
-        if report.errors:
-            applications = self._repair_proposals(candidate, report.errors)
+        evidence = self._evidence_for(evaluation)
+        if evidence is not None:
+            # Synthesis-first proposal: derivations consume the evidence
+            # inside a dedicated span so journal consumers can see how
+            # often parameters were computed rather than enumerated.
+            with get_recorder().span(
+                SPAN_SYNTH,
+                clock=self.clock,
+                counterexamples=len(evidence.counterexamples),
+            ):
+                applications = self._applications_for(evaluation, evidence)
         else:
-            assert evaluation.diff_report is not None
-            if not evaluation.diff_report.behavior_preserved:
-                applications = self._behavior_proposals(candidate, report.errors)
-            elif self.config.perf_exploration:
-                applications = self._perf_proposals(candidate)
+            applications = self._applications_for(evaluation, None)
         # Applying an edit deep-copies the program; only materialize as
         # many children as the round may actually enqueue.
         children: List[Candidate] = []
@@ -670,7 +729,42 @@ class RepairSearch:
                 children.append(child)
         return children
 
-    def _repair_proposals(self, candidate: Candidate, errors: Sequence[Diagnostic]):
+    def _applications_for(
+        self, evaluation: Evaluation, evidence: Optional[Evidence]
+    ) -> List:
+        candidate = evaluation.candidate
+        report = evaluation.compile_report
+        assert report is not None
+        if report.errors:
+            return self._repair_proposals(candidate, report.errors, evidence)
+        assert evaluation.diff_report is not None
+        if not evaluation.diff_report.behavior_preserved:
+            return self._behavior_proposals(candidate, report.errors, evidence)
+        if self.config.perf_exploration:
+            return self._perf_proposals(candidate, evidence)
+        return []
+
+    def _evidence_for(self, evaluation: Evaluation) -> Optional[Evidence]:
+        """Evidence bundle for synthesis-first proposal, or None when
+        synthesis is off (None keeps every downstream code path
+        bit-identical to the pre-synthesis search)."""
+        if not (self.config.use_synthesis and self.config.use_dependence):
+            return None
+        counterexamples: Tuple = ()
+        if evaluation.diff_report is not None:
+            counterexamples = tuple(evaluation.diff_report.counterexamples)
+        return Evidence(
+            kernel_name=self.kernel_name,
+            profile=self.context.profile,
+            counterexamples=counterexamples,
+        )
+
+    def _repair_proposals(
+        self,
+        candidate: Candidate,
+        errors: Sequence[Diagnostic],
+        evidence: Optional[Evidence] = None,
+    ):
         if not self.config.use_dependence:
             # WithoutDependence: every template, blind, shuffled.
             applications = []
@@ -687,23 +781,37 @@ class RepairSearch:
         # Localization is consulted so unfocused families still contribute
         # when they share the reported symbol.
         edits = self.registry.edits_for(family)
-        applications = ordered_applications(edits, candidate, errors, self.context)
+        applications = ordered_applications(
+            edits, candidate, errors, self.context, evidence=evidence
+        )
         if not applications:
             # The focused family is exhausted; widen to all families.
             applications = ordered_applications(
-                self.registry.all_edits(), candidate, errors, self.context
+                self.registry.all_edits(), candidate, errors, self.context,
+                evidence=evidence,
             )
         return applications
 
-    def _behavior_proposals(self, candidate: Candidate, errors):
+    def _behavior_proposals(
+        self,
+        candidate: Candidate,
+        errors,
+        evidence: Optional[Evidence] = None,
+    ):
         edits = self.registry.behavior_edits
         if self.config.use_dependence:
-            return ordered_applications(edits, candidate, errors, self.context)
+            return ordered_applications(
+                edits, candidate, errors, self.context, evidence=evidence
+            )
         return unordered_applications(edits, candidate, errors, self.context, self.rng)
 
-    def _perf_proposals(self, candidate: Candidate):
+    def _perf_proposals(
+        self, candidate: Candidate, evidence: Optional[Evidence] = None
+    ):
         edits = self.registry.perf_edits
-        applications = ordered_applications(edits, candidate, (), self.context)
+        applications = ordered_applications(
+            edits, candidate, (), self.context, evidence=evidence
+        )
         if not self.config.use_dependence:
             self.rng.shuffle(applications)
         return applications

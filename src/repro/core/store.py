@@ -67,8 +67,10 @@ _log = logging.getLogger(__name__)
 #: encoding) changes shape: old payloads would unpickle into stale or
 #: unreadable objects.  2: ``CachedEvaluation`` grew the (never-stored,
 #: but layout-relevant) ``trace`` field — schema-1 pickles would
-#: rehydrate without the attribute.
-SCHEMA_VERSION = 2
+#: rehydrate without the attribute.  3: ``DiffReport`` grew the
+#: ``counterexamples`` evidence payload — schema-2 pickles would
+#: rehydrate reports without it and starve the repair synthesizer.
+SCHEMA_VERSION = 3
 
 #: Environment variable naming the store file.  Empty / "0" disables.
 STORE_ENV = "REPRO_STORE"
@@ -241,36 +243,44 @@ class EvalStore:
     # -- data path ---------------------------------------------------------
 
     def get(self, key: str) -> Optional["CachedEvaluation"]:
-        """Fetch and decode an entry, counting the lookup."""
+        """Fetch and decode an entry, counting the lookup.
+
+        The lock is held across the whole fetch–decode–drop sequence:
+        releasing it between the SELECT and the unreadable-payload
+        DELETE would let a concurrent ``put`` replace the row with a
+        fresh payload that the stale DELETE then silently discards, and
+        would let two threads double-count the same miss.
+        """
+        recorder = get_recorder()
         with self._lock:
             row = self._conn.execute(
                 "SELECT payload FROM evaluations WHERE key = ?", (key,)
             ).fetchone()
-        recorder = get_recorder()
-        if row is None:
-            self.misses += 1
-            return None
-        try:
-            evaluation = decode_evaluation(row[0])
-        except Exception as exc:
-            # Unreadable payload (schema drift, truncated write): treat
-            # as a miss and drop the row so it is recomputed cleanly.
-            self.invalidations += 1
-            self.misses += 1
-            _log.warning(
-                "evaluation store %s: dropping unreadable payload for "
-                "key %s… (%s)", self.path, key[:12], exc,
-            )
-            if recorder.enabled:
-                recorder.metrics.inc(
-                    "store.invalidations", reason="unreadable"
+            if row is None:
+                self.misses += 1
+                return None
+            try:
+                evaluation = decode_evaluation(row[0])
+            except Exception as exc:
+                # Unreadable payload (schema drift, truncated write):
+                # treat as a miss and drop the row so it is recomputed
+                # cleanly.
+                self.invalidations += 1
+                self.misses += 1
+                _log.warning(
+                    "evaluation store %s: dropping unreadable payload "
+                    "for key %s… (%s)", self.path, key[:12], exc,
                 )
-            with self._lock, self._conn:
-                self._conn.execute(
-                    "DELETE FROM evaluations WHERE key = ?", (key,)
-                )
-            return None
-        self.hits += 1
+                if recorder.enabled:
+                    recorder.metrics.inc(
+                        "store.invalidations", reason="unreadable"
+                    )
+                with self._conn:
+                    self._conn.execute(
+                        "DELETE FROM evaluations WHERE key = ?", (key,)
+                    )
+                return None
+            self.hits += 1
         if recorder.enabled:
             recorder.metrics.inc("store.gets", outcome="hit")
         return evaluation

@@ -2,6 +2,8 @@
 
 from .harness import (
     CPU_NS_PER_STEP,
+    MAX_COUNTEREXAMPLES,
+    Counterexample,
     DiffReport,
     differential_test,
     outputs_equal,
@@ -10,6 +12,8 @@ from .harness import (
 
 __all__ = [
     "CPU_NS_PER_STEP",
+    "MAX_COUNTEREXAMPLES",
+    "Counterexample",
     "DiffReport",
     "differential_test",
     "outputs_equal",

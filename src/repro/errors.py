@@ -57,7 +57,18 @@ class HlsToolError(ReproError):
 
 
 class FuzzError(ReproError):
-    """Test generation failed (e.g. the kernel seed could not be captured)."""
+    """Test generation failed (e.g. the kernel seed could not be captured).
+
+    ``partial_seeds`` holds whatever kernel invocations were captured
+    before the failure: a host that crashes after calling the kernel
+    three times still produced three perfectly valid seeds, and the
+    caller can salvage them instead of falling back to purely random
+    fuzzer seeding.
+    """
+
+    def __init__(self, message: str, partial_seeds=()):
+        super().__init__(message)
+        self.partial_seeds = [list(args) for args in partial_seeds]
 
 
 class RepairError(ReproError):

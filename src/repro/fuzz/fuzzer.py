@@ -82,7 +82,10 @@ def get_kernel_seed(
     try:
         interp.run(host_name, list(host_args))
     except InterpError as exc:
-        raise FuzzError(f"host program failed while capturing seeds: {exc}") from exc
+        raise FuzzError(
+            f"host program failed while capturing seeds: {exc}",
+            partial_seeds=interp.captured,
+        ) from exc
     if not interp.captured:
         raise FuzzError(
             f"host function {host_name!r} never invoked kernel {kernel_name!r}"

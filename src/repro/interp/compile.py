@@ -102,8 +102,8 @@ class Runtime:
 
     __slots__ = (
         "steps", "max_steps", "heap_cells", "max_heap", "depth", "max_depth",
-        "coverage", "cov_add", "profile", "observe", "gframe", "statics",
-        "captured", "capture_name", "retval", "structs",
+        "coverage", "cov_add", "profile", "observe", "active", "gframe",
+        "statics", "captured", "capture_name", "retval", "structs",
     )
 
     def __init__(
@@ -122,6 +122,7 @@ class Runtime:
         self.cov_add = self.coverage.hits.add
         self.profile = ValueProfile()
         self.observe = self.profile.observe
+        self.active: Dict[str, int] = {}
         self.gframe: List[MemBlock] = []
         self.statics: Dict[int, MemBlock] = {}
         self.captured: List[List[Any]] = []
@@ -559,6 +560,9 @@ def _call(rt: Runtime, cf: CompiledFunction, args: List[Any],
     rt.steps += 5
     if rt.steps > rt.max_steps:
         _over_steps(rt)
+    active = rt.active.get(cf.name, 0) + 1
+    rt.active[cf.name] = active
+    rt.profile.observe_call(cf.name, active)
     frame: List[Any] = [_UNSET] * cf.n_slots
     nargs = len(args)
     i = 0
@@ -577,8 +581,10 @@ def _call(rt: Runtime, cf: CompiledFunction, args: List[Any],
         # A stray break/continue escaping a callee re-enters the caller's
         # loop machinery, exactly like the tree-walker's exceptions do.
         rt.depth -= 1
+        rt.active[cf.name] = active - 1
         raise
     rt.depth -= 1
+    rt.active[cf.name] = active - 1
     if sig is _RET:
         value = rt.retval
         rt.retval = None
@@ -2198,9 +2204,18 @@ class CompiledEngine:
             runtime_args: List[Any] = []
             params = cf.params
             for param, arg in zip(params, args):
-                runtime_args.append(
-                    python_to_c(arg, param.type, program.structs)
-                )
+                try:
+                    runtime_args.append(
+                        python_to_c(arg, param.type, program.structs)
+                    )
+                except (TypeError, ValueError) as exc:
+                    # A test tuple shaped for a different signature (the
+                    # search retargeting the top function, say) is a
+                    # faulty candidate, not a harness crash.
+                    raise InterpError(
+                        f"{func_name}: cannot marshal argument "
+                        f"{param.name!r}: {exc}"
+                    ) from exc
             if len(args) != len(params):
                 raise InterpError(
                     f"{func_name} expects {len(params)} args, got {len(args)}"
@@ -2247,12 +2262,13 @@ def _identical(left: Any, right: Any) -> bool:
     return type(left) is type(right) and left == right
 
 
-def _profile_key(profile: ValueProfile) -> Dict[int, Tuple]:
-    return {
+def _profile_key(profile: ValueProfile) -> Tuple[Dict[int, Tuple], Dict[str, int]]:
+    ranges = {
         uid: (r.name, repr(r.min_value), repr(r.max_value),
               r.is_integer, r.samples)
         for uid, r in profile.ranges.items()
     }
+    return ranges, dict(profile.call_depths)
 
 
 class CrossCheckEngine:

@@ -148,3 +148,45 @@ def test_untraced_transpile_records_nothing():
             KERNEL_SRC, kernel_name="kernel"
         )
     assert result.search_result.best is not None
+
+
+def test_seed_capture_failure_salvages_partial_seeds(caplog):
+    """Host crashes *after* invoking the kernel: the captured prefix is
+    salvaged into the suite and the event reports exactly how much."""
+    source = KERNEL_SRC + """
+int host(int n) {
+    int data[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    int r = kernel(data, n);
+    int oob[2];
+    return r + oob[9];
+}
+"""
+    recorder = TraceRecorder()
+    with scoped_recorder(recorder), \
+            caplog.at_level(logging.WARNING, logger="repro.core.heterogen"):
+        result = HeteroGen(_quick_config()).transpile(
+            source, kernel_name="kernel", host_name="host", host_args=[4],
+        )
+    assert result.search_result.best is not None
+    assert "salvaged 1 partial seed" in caplog.text
+    (event,) = [e for e in recorder.events()
+                if e.name == "seed_capture_failed"]
+    assert event.args["seeds_salvaged"] == 1
+    assert recorder.metrics.counter_value("fuzz.seed_capture_failures") == 1.0
+    assert recorder.metrics.counter_value("fuzz.seeds_salvaged") == 1.0
+
+
+def test_seed_capture_failure_without_calls_reports_zero_salvaged(caplog):
+    recorder = TraceRecorder()
+    with scoped_recorder(recorder), \
+            caplog.at_level(logging.WARNING, logger="repro.core.heterogen"):
+        HeteroGen(_quick_config()).transpile(
+            KERNEL_SRC,
+            kernel_name="kernel",
+            host_name="no_such_host",
+            host_args=[3],
+        )
+    (event,) = [e for e in recorder.events()
+                if e.name == "seed_capture_failed"]
+    assert event.args["seeds_salvaged"] == 0
+    assert recorder.metrics.counter_value("fuzz.seeds_salvaged") == 0.0

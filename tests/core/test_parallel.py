@@ -138,3 +138,19 @@ class TestSubjectFanout:
             assert summary["attempts"] > 0
             assert isinstance(summary["history"], list)
             assert summary["final_source"]
+
+
+class TestSearchConfigValidation:
+    def test_workers_must_be_a_positive_integer(self):
+        for bad in (0, -1, 1.5, True, "2", None):
+            with pytest.raises(ValueError):
+                SearchConfig(workers=bad)
+
+    def test_unknown_executor_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            SearchConfig(executor="fiber")
+
+    def test_valid_configurations_accepted(self):
+        assert SearchConfig(workers=1).workers == 1
+        cfg = SearchConfig(workers=4, executor="process")
+        assert cfg.workers == 4 and cfg.executor == "process"

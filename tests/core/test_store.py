@@ -239,3 +239,135 @@ class TestCacheStoreTier:
         assert cache.contains("durable")
         assert not cache.contains("nowhere")
         assert cache.hits == 0 and cache.misses == 0
+
+
+class TestConcurrentAccess:
+    """The get() lock must span the whole fetch–decode–drop sequence:
+    an unreadable-payload DELETE racing a fresh put() used to discard
+    the new payload silently."""
+
+    def _corrupt(self, store, key):
+        with store._lock, store._conn:
+            store._conn.execute(
+                "INSERT OR REPLACE INTO evaluations (key, payload)"
+                " VALUES (?, ?)",
+                (key, b"not a pickle"),
+            )
+
+    def test_unreadable_payload_dropped_and_counted_once(self, tmp_path):
+        with EvalStore(str(tmp_path / "s.sqlite")) as store:
+            store.put("k", entry())
+            self._corrupt(store, "k")
+            assert store.get("k") is None
+            assert store.invalidations == 1
+            assert store.misses == 1 and store.hits == 0
+            assert not store.contains("k")
+
+    def test_concurrent_get_put_keeps_fresh_payloads(self, tmp_path):
+        import threading
+
+        store = EvalStore(str(tmp_path / "s.sqlite"))
+        fresh = entry(2.0)
+        stop = threading.Event()
+        failures = []
+        gets = [0]
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    got = store.get("k")
+                    gets[0] += 1
+                    # Every successful read decodes to the real payload;
+                    # garbage never leaks out as an entry.
+                    assert got is None or got.charges == fresh.charges
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        def writer():
+            try:
+                while not stop.is_set():
+                    self._corrupt(store, "k")
+                    store.put("k", fresh)
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        threads.append(threading.Thread(target=writer))
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        store.close()
+        assert not failures
+        # Lookup accounting stayed consistent under contention.
+        assert store.hits + store.misses == gets[0]
+
+    def test_put_after_stale_read_survives(self, tmp_path):
+        """Serialized form of the race: corrupt, read (drops the row),
+        then put — the fresh entry must be durable."""
+        with EvalStore(str(tmp_path / "s.sqlite")) as store:
+            self._corrupt(store, "k")
+            assert store.get("k") is None
+            store.put("k", entry(3.0))
+            got = store.get("k")
+            assert got is not None and got.charges == (("hls_compile", 3.0),)
+
+
+class TestCounterexampleWireFormat:
+    """Difftest counterexamples are repair-synthesis evidence; they must
+    survive the full cache wire format — canonicalize, pickle to the
+    store, decode, rebind against a re-parsed unit."""
+
+    def _evaluation(self):
+        from repro.difftest import Counterexample, DiffReport
+
+        report = DiffReport(
+            total=3,
+            matching=1,
+            mismatching_tests=[1, 2],
+            counterexamples=[
+                Counterexample(
+                    test_index=1, args=[[1, 2, 3, 4], 4],
+                    expected=7, actual=9,
+                ),
+                Counterexample(
+                    test_index=2, args=[[9, 9, 9, 9], 4],
+                    expected=1, actual=None, fault="stack overflow",
+                ),
+            ],
+        )
+        return CachedEvaluation(
+            style_violations=(),
+            compile_report=None,
+            diff_report=report,
+            charges=(("difftest", 1.5),),
+        )
+
+    def test_round_trip_through_canonical_space_and_pickle(self):
+        from repro.cfront.printer import render
+
+        unit = parse(SRC, top_name="kernel")
+        evaluation = self._evaluation()
+        canonical = canonicalize_evaluation(evaluation, unit)
+        decoded = decode_evaluation(encode_evaluation(canonical))
+        rebound = rebind_evaluation(decoded, parse(render(unit), top_name="kernel"))
+        assert rebound.diff_report.counterexamples \
+            == evaluation.diff_report.counterexamples
+        assert rebound.diff_report.mismatching_tests == [1, 2]
+
+    def test_round_trip_through_store(self, tmp_path):
+        unit = parse(SRC, top_name="kernel")
+        evaluation = canonicalize_evaluation(self._evaluation(), unit)
+        with EvalStore(str(tmp_path / "s.sqlite")) as store:
+            store.put("k", evaluation)
+            got = store.get("k")
+        assert got is not None
+        ces = got.diff_report.counterexamples
+        assert [c.test_index for c in ces] == [1, 2]
+        assert ces[0].args == [[1, 2, 3, 4], 4]
+        assert ces[0].actual == 9
+        assert ces[1].actual is None and ces[1].fault == "stack overflow"

@@ -1,0 +1,254 @@
+"""Evidence-driven parameter synthesis: derivation rules, the bounds
+they guarantee, and the search-level effect on a real subject.
+
+The derivation rules are pure functions of the evidence bundle, so most
+of this file is property-shaped: a synthesized parameter must cover
+everything the profile observed, and must never exceed the value the
+enumerated ladder it replaces would have accepted.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.baselines import default_config, run_variant
+from repro.cfront import nodes as N
+from repro.cfront import typesys as T
+from repro.cfront.parser import parse
+from repro.cfront.visitor import find_all
+from repro.core.edits.dynamic_data import DEFAULT_ARRAY_SIZE, INITIAL_STACK_SIZE
+from repro.core.synth import (
+    SAFETY_MARGIN,
+    Evidence,
+    current_capacity,
+    derive_array_extent,
+    derive_bitwidth,
+    derive_partition_factor,
+    derive_pipeline_ii,
+    derive_stack_capacity,
+    estimated_trips,
+    max_observed_by_name,
+    reachable_functions,
+    synthesis_default,
+    unroll_profitable,
+)
+from repro.interp.coverage import ValueProfile, VarRange
+from repro.subjects import get_subject
+
+# A tiny unit providing real AST nodes (an Ident size expression, a
+# counted loop, a call chain) for the derivations that inspect syntax.
+SYNTH_SRC = """
+int helper(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) { acc += i; }
+    return acc;
+}
+int kernel(int n) { return helper(n); }
+int bystander(int n) {
+    int out = 0;
+    for (int j = 0; j < 16; j++) { out += n; }
+    return out;
+}
+"""
+
+UNIT = parse(SYNTH_SRC)
+
+
+def evidence_with(name: str = "", value: float = 0.0, depth: int = 0,
+                  func: str = "rec") -> Evidence:
+    profile = ValueProfile()
+    if name:
+        profile.observe(1, name, value)
+    if depth:
+        profile.observe_call(func, depth)
+    return Evidence(kernel_name="kernel", profile=profile)
+
+
+class TestStackCapacity:
+    def test_silent_without_profile(self):
+        assert derive_stack_capacity(Evidence(), "rec") is None
+
+    def test_silent_when_never_profiled(self):
+        assert derive_stack_capacity(evidence_with(), "rec") is None
+
+    def test_margin_over_observed_depth(self):
+        ev = evidence_with(depth=7)
+        assert derive_stack_capacity(ev, "rec") == 7 + SAFETY_MARGIN
+
+    @given(st.integers(1, 500))
+    def test_bounds(self, depth):
+        """Covers every observed activation; never exceeds the doubling
+        ladder's stopping point (the first power-of-two capacity the
+        enumerated ``resize`` sequence would have accepted)."""
+        cap = derive_stack_capacity(evidence_with(depth=depth), "rec")
+        assert cap is not None and cap >= depth
+        ladder = INITIAL_STACK_SIZE
+        while ladder < cap:
+            ladder *= 2
+        assert cap <= ladder
+
+
+class TestArrayExtent:
+    IDENT = next(
+        node for node in UNIT.walk()
+        if isinstance(node, N.Ident) and node.name == "n"
+    )
+
+    def test_silent_for_non_ident_size(self):
+        ev = evidence_with("n", 10)
+        assert derive_array_extent(ev, None) is None
+
+    def test_silent_without_observation(self):
+        assert derive_array_extent(evidence_with(), self.IDENT) is None
+
+    @given(st.integers(1, DEFAULT_ARRAY_SIZE))
+    def test_bounds(self, observed):
+        """At least the maximum observed use, at most the 1024-entry
+        type-based over-estimate the fallback guess would have used."""
+        ev = evidence_with("n", observed)
+        extent = derive_array_extent(ev, self.IDENT)
+        assert extent is not None and extent >= observed
+        assert extent <= DEFAULT_ARRAY_SIZE
+        assert extent & (extent - 1) == 0  # power of two
+
+
+class TestBitwidth:
+    def test_silent_when_current_width_suffices(self):
+        rng = VarRange("x")
+        rng.observe(100.0)  # needs 7 bits unsigned
+        assert derive_bitwidth(rng, 8) is None
+
+    def test_silent_for_floats_and_unobserved(self):
+        rng = VarRange("x")
+        assert derive_bitwidth(rng, 8) is None
+        rng.observe(1.5)
+        assert derive_bitwidth(rng, 8) is None
+
+    @given(st.integers(0, 2**30), st.booleans(),
+           st.sampled_from([2, 4, 8, 16, 32]))
+    def test_bounds(self, magnitude, signed, current):
+        rng = VarRange("x")
+        rng.observe(float(-magnitude if signed else magnitude))
+        derived = derive_bitwidth(rng, current)
+        needed = T.bits_needed(rng.max_abs, rng.needs_sign)
+        if needed <= current:
+            assert derived is None
+        else:
+            assert derived == min(32, needed + SAFETY_MARGIN)
+            assert derived >= min(32, needed)
+
+
+class TestPragmaDerivations:
+    def test_partition_factor_largest_divisor(self):
+        assert derive_partition_factor(16, (2, 3, 4)) == 4
+        assert derive_partition_factor(12, (2, 3, 4, 8)) == 4
+        assert derive_partition_factor(7, (2, 4)) is None
+
+    def test_pipeline_ii_is_one(self):
+        assert derive_pipeline_ii() == 1
+
+    def test_unroll_profitability(self):
+        helper = UNIT.function("helper")
+        assert helper is not None and helper.body is not None
+        # `acc += i` indexes nothing: pure compute, always profitable.
+        pure = UNIT.function("bystander")
+        assert unroll_profitable(pure.body, {})
+        indexed = parse(
+            "int f(int a[8]) { int s = 0;"
+            " for (int i = 0; i < 8; i++) { s += a[i]; } return s; }"
+        ).function("f")
+        assert not unroll_profitable(indexed.body, {})
+        assert unroll_profitable(indexed.body, {"a": 2})
+
+
+class TestLoopEvidence:
+    def test_reachable_closure_excludes_bystanders(self):
+        assert reachable_functions(UNIT, "kernel") == {"kernel", "helper"}
+
+    def test_undefined_root_keeps_everything(self):
+        assert reachable_functions(UNIT, "missing") is None
+
+    def test_trips_from_profiled_bound(self):
+        loops = find_all(UNIT, N.For)
+        counted = next(
+            l for l in loops
+            if any(isinstance(n, N.Ident) and n.name == "n"
+                   for n in l.cond.walk())
+        )
+        ev = evidence_with("n", 12)
+        assert estimated_trips(ev.profile, counted) == 12
+
+    def test_trips_from_literal_bound(self):
+        loops = find_all(UNIT, N.For)
+        literal = next(
+            l for l in loops
+            if any(isinstance(n, N.IntLit) and n.value == 16
+                   for n in l.cond.walk())
+        )
+        assert estimated_trips(None, literal) == 16
+
+    def test_trips_silent_without_evidence(self):
+        loops = find_all(UNIT, N.For)
+        counted = next(
+            l for l in loops
+            if any(isinstance(n, N.Ident) and n.name == "n"
+                   for n in l.cond.walk())
+        )
+        assert estimated_trips(evidence_with().profile, counted) is None
+
+
+class TestHelpers:
+    def test_max_observed_unions_shadowing_decls(self):
+        profile = ValueProfile()
+        profile.observe(1, "n", 5)
+        profile.observe(2, "n", 9)
+        assert max_observed_by_name(profile, "n") == 9.0
+        assert max_observed_by_name(profile, "m") is None
+
+    def test_current_capacity_reads_cap_convention(self):
+        unit = parse("static int rec_stk_cap = 4;\nint f() { return 0; }")
+        assert current_capacity(unit, "rec_stk") == 4
+        assert current_capacity(unit, "other") is None
+
+
+class TestSynthesisDefault:
+    def test_env_values(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SYNTH", raising=False)
+        assert synthesis_default() is False
+        for off in ("0", "false", "off", "no", ""):
+            monkeypatch.setenv("REPRO_SYNTH", off)
+            assert synthesis_default() is False
+        for on in ("1", "true", "on", "yes"):
+            monkeypatch.setenv("REPRO_SYNTH", on)
+            assert synthesis_default() is True
+
+
+class TestSearchEffect:
+    """Synthesis on the paper's P3 (the §6.2 stack-resize subject):
+    still repairs, with a fraction of the candidate evaluations —
+    the full ten-subject sweep (and the bit-identity claim for
+    synthesis off) lives in ``benchmarks/bench_synth.py``."""
+
+    def test_p3_repairs_with_fewer_candidates(self):
+        subject = get_subject("P3")
+
+        enum_cfg = default_config()
+        enum_cfg.search.use_synthesis = False
+        enumerated = run_variant(subject, "HeteroGen", enum_cfg)
+
+        synth_cfg = default_config()
+        synth_cfg.search.use_synthesis = True
+        synthesized = run_variant(subject, "HeteroGen", synth_cfg)
+
+        assert enumerated.search_result.success
+        assert synthesized.search_result.success
+        # Enumeration needs ~73 attempts here, synthesis ~18; the bound
+        # leaves slack for edit-family tweaks without hiding regressions.
+        assert synthesized.search_result.stats.attempts <= 30
+        assert (synthesized.search_result.stats.attempts * 3
+                <= enumerated.search_result.stats.attempts)
+        # The derived repair is an exact capacity, not a doubling.
+        assert any(
+            a.startswith("resize(") and "cap=" in a
+            for a in synthesized.search_result.best.candidate.applied
+        )

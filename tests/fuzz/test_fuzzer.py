@@ -188,3 +188,33 @@ class TestCorpus:
             corpus.add([i])
         assert len(corpus.suite(cap=3)) == 3
         assert len(corpus.suite()) == 10
+
+
+class TestSeedSalvage:
+    """A host that crashes *after* invoking the kernel still produced
+    valid seeds; the FuzzError carries them for the caller to salvage."""
+
+    def test_crash_after_calls_salvages_captured_prefix(self):
+        unit = parse(
+            "int k(int y) { return y; }\n"
+            "int host(int x) {\n"
+            "    int s = k(x) + k(x + 1);\n"
+            "    int a[2];\n"
+            "    return a[9] + s;\n"
+            "}"
+        )
+        with pytest.raises(FuzzError) as info:
+            get_kernel_seed(unit, "host", "k", [1])
+        assert info.value.partial_seeds == [[1], [2]]
+
+    def test_crash_before_any_call_salvages_nothing(self):
+        unit = parse(
+            "int k(int y) { return y; }\n"
+            "int host(int x) { int a[2]; int v = a[9]; return k(x); }"
+        )
+        with pytest.raises(FuzzError) as info:
+            get_kernel_seed(unit, "host", "k", [1])
+        assert info.value.partial_seeds == []
+
+    def test_partial_seeds_default_empty(self):
+        assert FuzzError("boom").partial_seeds == []

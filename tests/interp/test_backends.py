@@ -348,3 +348,30 @@ def test_clone_recompiles(sum_array_source):
         run_program(unit, "sum_array", args, backend="compiled").value
         == run_program(copy_unit, "sum_array", args, backend="compiled").value
     )
+
+
+# ---------------------------------------------------------------------------
+# Argument marshalling faults
+# ---------------------------------------------------------------------------
+
+
+class TestArgumentMarshalling:
+    """An argument that cannot be marshalled into the parameter's C type
+    (e.g. a test tuple shaped for a different signature after a
+    ``set_top`` edit) must surface as an InterpError — a faulty
+    candidate, never a raw TypeError crashing the harness."""
+
+    @BOTH
+    def test_list_for_scalar_is_interp_error(self, backend):
+        with pytest.raises(InterpError, match="cannot marshal"):
+            run_c("int k(int y) { return y; }", "k", [[1, 2, 3]], backend)
+
+    @BOTH
+    def test_string_for_scalar_is_interp_error(self, backend):
+        with pytest.raises(InterpError, match="cannot marshal"):
+            run_c("int k(int y) { return y; }", "k", ["nope"], backend)
+
+    @BOTH
+    def test_message_names_function_and_parameter(self, backend):
+        with pytest.raises(InterpError, match=r"k: .*'y'"):
+            run_c("int k(int y) { return y; }", "k", [[1]], backend)

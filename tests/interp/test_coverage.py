@@ -136,3 +136,86 @@ class TestValueProfile:
         profile = ValueProfile()
         profile.observe(1, "p", object())
         assert profile.range_for(1) is None
+
+
+class TestProfileStructuralKeys:
+    """Profile lookups must survive both unit copies the pipeline makes:
+    ``clone()`` (preserves uids — the fast path) and a render→re-parse
+    round trip (fresh uids — the structural-fingerprint fallback the
+    process executor's wire format forces)."""
+
+    SRC = """
+    int helper(int n) {
+        int acc = 0;
+        for (int i = 0; i < n; i++) { acc += i; }
+        return acc;
+    }
+    int kernel(int n) { return helper(n); }
+    """
+
+    def _profiled(self):
+        unit = parse(self.SRC)
+        result = run_program(unit, "kernel", [9])
+        return unit, result.profile
+
+    @staticmethod
+    def _decl(unit, name):
+        return next(
+            node for node in unit.walk()
+            if isinstance(node, N.VarDecl) and node.name == name
+        )
+
+    def test_clone_resolves_via_uid_fast_path(self):
+        unit, profile = self._profiled()
+        copy = N.clone(unit)
+        rng = profile.range_for_node(copy, self._decl(copy, "acc"))
+        assert rng is not None and rng.samples > 0
+
+    def test_reparse_resolves_via_structural_key(self):
+        from repro.cfront.printer import render
+
+        unit, profile = self._profiled()
+        profile.bind(unit)
+        reparsed = parse(render(unit))
+        original = profile.range_for_node(unit, self._decl(unit, "acc"))
+        recovered = profile.range_for_node(reparsed, self._decl(reparsed, "acc"))
+        assert recovered is original
+        # Every profiled declaration resolves, not just one.
+        for name in ("acc", "i"):
+            assert profile.range_for_node(
+                reparsed, self._decl(reparsed, name)
+            ) is not None
+
+    def test_reparse_without_bind_misses(self):
+        from repro.cfront.printer import render
+
+        unit, profile = self._profiled()
+        reparsed = parse(render(unit))
+        assert profile.range_for_node(
+            reparsed, self._decl(reparsed, "acc")
+        ) is None
+
+    def test_same_digest_decls_stay_distinct(self):
+        """Two structurally identical ``int i`` locals in different
+        functions must keep separate ranges after a re-parse (the
+        occurrence index disambiguates equal digests)."""
+        from repro.cfront.printer import render
+
+        src = """
+        int lo(int n) { int v = 0; v = 1; return v + n; }
+        int hi(int n) { int v = 0; v = 90; return v + n; }
+        int kernel(int n) { return lo(n) + hi(n); }
+        """
+        unit = parse(src)
+        profile = run_program(unit, "kernel", [3]).profile
+        profile.bind(unit)
+        reparsed = parse(render(unit))
+        decls = [
+            node for node in reparsed.walk()
+            if isinstance(node, N.VarDecl) and node.name == "v"
+        ]
+        assert len(decls) == 2
+        maxima = sorted(
+            profile.range_for_node(reparsed, d).max_value for d in decls
+        )
+        assert maxima == [1.0, 90.0]
