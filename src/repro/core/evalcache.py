@@ -91,6 +91,29 @@ DEFAULT_MAX_ENTRIES = 8192
 
 
 @dataclass(frozen=True)
+class WireStats:
+    """Per-job overhead breakdown a process worker ships back on the
+    evaluation payload (see :mod:`repro.core.parallel`).
+
+    Wall-clock only — never simulated charges — and ephemeral by the
+    same contract as ``CachedEvaluation.trace``: the consuming search
+    folds it into the parent-side wire counters and strips it before
+    the payload reaches any cache tier.
+    """
+
+    splice_seconds: float
+    """Reassembling full source from delta decl blocks (0 for full jobs)."""
+    parse_seconds: float
+    """Parsing the candidate source (0 on a parsed-unit cache hit)."""
+    unit_cache_hit: bool
+    """The worker served the parse from its fingerprint-keyed unit cache."""
+    reused_functions: int
+    """Interpreter closures adopted from the worker's compiled ancestor."""
+    delta: bool
+    """The job arrived in the delta wire format (vs full source)."""
+
+
+@dataclass(frozen=True)
 class CachedEvaluation:
     """The toolchain's verdict on one (source, config) point, plus the
     simulated charges the real run cost."""
@@ -108,6 +131,10 @@ class CachedEvaluation:
     payload reaches any cache tier** (:meth:`EvalCache.put` enforces
     this): nothing cached or stored ever holds wall-clock data, which is
     what keeps traced and untraced runs bit-identical."""
+    wire: Optional[WireStats] = None
+    """Process-worker overhead breakdown (see :class:`WireStats`).
+    Ephemeral like ``trace``: wall-clock data, stripped before every
+    cache tier, never part of any key."""
 
     @property
     def style_rejected(self) -> bool:
@@ -379,11 +406,22 @@ class EvalCache:
                 return True
         return self.store is not None and self.store.contains(key)
 
+    def contains_many(self, keys: Sequence[str]) -> set:
+        """Batched :meth:`contains`: which of *keys* are present in any
+        tier.  One store round trip instead of one per key — the
+        speculative fan-out probes a whole frontier window at once."""
+        with self._lock:
+            found = {key for key in keys if key in self._entries}
+        missing = [key for key in keys if key not in found]
+        if missing and self.store is not None:
+            found |= self.store.contains_many(missing)
+        return found
+
     def put(self, key: str, value: CachedEvaluation) -> None:
-        if value.trace is not None:
-            # The trace side-channel carries wall-clock data; it must
-            # never survive into a cache tier (see CachedEvaluation).
-            value = replace(value, trace=None)
+        if value.trace is not None or value.wire is not None:
+            # The trace/wire side-channels carry wall-clock data; they
+            # must never survive into a cache tier (see CachedEvaluation).
+            value = replace(value, trace=None, wire=None)
         self._insert(key, value)
         if self.store is not None:
             self.store.put(key, value)

@@ -55,10 +55,18 @@ from .evalcache import (
 from .fitness import Fitness, fitness_from_reports
 from .parallel import (
     EXECUTORS,
+    DeltaJob,
+    DeltaMiss,
     EvalJob,
     default_executor,
     default_workers,
+    delta_wire_enabled,
+    note_delta_miss,
+    plan_decl_entries,
+    record_worker_wire,
+    register_baseline,
     submit_job,
+    submit_job_batch,
 )
 from .store import default_store_path, get_store
 from .synth import Evidence, synthesis_default
@@ -107,8 +115,17 @@ class SearchConfig:
     executor: str = field(default_factory=default_executor)
     """``"thread"`` or ``"process"`` (env ``REPRO_EXECUTOR`` sets the
     default).  ``process`` ships candidates to a persistent worker-
-    process pool as rendered-source jobs (see :mod:`repro.core.parallel`)
-    — same determinism contract as above, without the GIL."""
+    process pool as compact jobs — by default in the delta wire format
+    (``REPRO_DELTA_WIRE``; only the edit's dirty declarations cross the
+    wire, see :mod:`repro.core.parallel`) — same determinism contract
+    as above, without the GIL."""
+    eval_batch: int = 2
+    """Process-executor dispatch batching: up to this many speculative
+    frontier jobs share one pool submission, amortizing pickle/IPC
+    per candidate.  ``1`` disables batching.  Pure wall-clock knob —
+    the main loop still consumes results strictly in priority order
+    and replays charges at consumption time, so every reported
+    measurement is unchanged.  Ignored by the thread executor."""
     store_path: Optional[str] = field(default_factory=default_store_path)
     """Path of the persistent evaluation store (env ``REPRO_STORE`` sets
     the default; None/empty disables).  Ignored when ``use_cache`` is
@@ -146,6 +163,15 @@ class SearchConfig:
             raise ValueError(
                 f"unknown executor {self.executor!r}; "
                 f"expected one of {EXECUTORS}"
+            )
+        if (
+            not isinstance(self.eval_batch, int)
+            or isinstance(self.eval_batch, bool)
+            or self.eval_batch < 1
+        ):
+            raise ValueError(
+                f"SearchConfig.eval_batch must be an integer >= 1, got "
+                f"{self.eval_batch!r}"
             )
 
 
@@ -291,6 +317,11 @@ class RepairSearch:
             subset,
             extra=f"max_faults={EVAL_MAX_FAULTS}|limits={limits!r}",
         )
+        # What the worker pool keys contexts by: the full token is a
+        # 64-hex content hash, but tens of bytes ride every job, so the
+        # wire carries a 64-bit prefix (collision odds across the
+        # handful of live contexts: ~1e-17).
+        self._wire_context = self._cache_context[:16]
         self._inflight: Dict[str, "Future[CachedEvaluation]"] = {}
         if self.config.executor not in EXECUTORS:
             raise ValueError(
@@ -300,6 +331,7 @@ class RepairSearch:
         self._process_mode = self.config.executor == "process"
         self._original_source: Optional[str] = None
         self._job_template: Optional[EvalJob] = None
+        self._baseline_registered = False
         self._families: Optional[Dict[str, str]] = None
 
     # -- observability helpers ---------------------------------------------------
@@ -475,22 +507,52 @@ class RepairSearch:
         but never what the search observes: results, history and
         simulated-clock activity are bit-identical to serial mode.
         Speculative results for candidates that never get popped are
-        simply dropped (their charges never reach the main clock)."""
-        for _prio, _tick, candidate in heapq.nsmallest(
-            self.config.workers, frontier
-        ):
-            if len(self._inflight) >= self.config.workers * 2:
+        simply dropped (their charges never reach the main clock).
+
+        On the process executor the window widens to
+        ``workers * eval_batch`` and pending submissions go out as
+        chunked batches (:func:`~repro.core.parallel.submit_job_batch`)
+        so pickle/IPC round trips are amortized over several
+        candidates; cache presence is probed for the whole window in
+        one batched query either way."""
+        batch = 1
+        window = self.config.workers
+        if executor is None and self.config.eval_batch > 1:
+            batch = self.config.eval_batch
+            window = self.config.workers * batch
+        pending: List[Tuple[str, Candidate]] = []
+        taken: Set[str] = set()
+        for _prio, _tick, candidate in heapq.nsmallest(window, frontier):
+            if len(self._inflight) + len(pending) >= window * 2:
                 break
             key = cached_candidate_key(candidate, self._cache_context)
-            if key in self._inflight:
+            if key in self._inflight or key in taken:
                 continue
-            if self.cache is not None and self.cache.contains(key):
-                continue
-            if executor is not None:
-                future = executor.submit(self._run_toolchain, candidate)
-            else:
-                future = submit_job(self._make_job(candidate), self.config.workers)
-            self._inflight[key] = future
+            taken.add(key)
+            pending.append((key, candidate))
+        if not pending:
+            return
+        if self.cache is not None:
+            cached = self.cache.contains_many([key for key, _ in pending])
+            pending = [
+                (key, candidate)
+                for key, candidate in pending
+                if key not in cached
+            ]
+        if executor is not None:
+            for key, candidate in pending:
+                self._inflight[key] = executor.submit(
+                    self._run_toolchain, candidate
+                )
+            return
+        for start in range(0, len(pending), batch):
+            chunk = pending[start:start + batch]
+            futures = submit_job_batch(
+                [self._make_job(candidate) for _, candidate in chunk],
+                self.config.workers,
+            )
+            for (key, _), future in zip(chunk, futures):
+                self._inflight[key] = future
 
     # -- evaluation --------------------------------------------------------------
 
@@ -573,6 +635,16 @@ class RepairSearch:
         else:
             future = self._inflight.pop(key, None) if key is not None else None
             raw = future.result() if future is not None else self._execute(candidate)
+            while isinstance(raw, DeltaMiss):
+                # The worker lacked referenced decl blocks (spawn pool,
+                # cache eviction): note the gap so planning re-ships
+                # them, then fall back to a full-source job.  Wall-clock
+                # only — the full job's result is what is consumed.
+                note_delta_miss(raw.missing)
+                raw = submit_job(
+                    self._make_job(candidate, full_source=True),
+                    self.config.workers,
+                ).result()
             self.stats.cache_misses += 1
             if self.config.use_style_checker:
                 self.stats.style_checks += 1
@@ -588,6 +660,12 @@ class RepairSearch:
                             code=diag.code,
                             severity=diag.severity,
                         )
+            if raw.wire is not None:
+                # Fold the worker's overhead breakdown into the parent-
+                # side wire counters, then strip it: wall-clock data
+                # must not reach any cache tier.
+                record_worker_wire(raw.wire)
+                raw = replace(raw, wire=None)
             if raw.trace is not None:
                 # Graft the captured stage spans under the open
                 # ``search.evaluate`` span (consumption order), then
@@ -607,10 +685,19 @@ class RepairSearch:
             return submit_job(self._make_job(candidate), self.config.workers).result()
         return self._run_toolchain(candidate)
 
-    def _make_job(self, candidate: Candidate) -> EvalJob:
+    def _make_job(
+        self, candidate: Candidate, full_source: bool = False
+    ) -> Any:
         """Package a candidate as a picklable worker job (wire format of
-        :mod:`repro.core.parallel`): rendered source plus plain data,
-        never live AST or engine objects."""
+        :mod:`repro.core.parallel`): plain data, never live AST or
+        engine objects.  By default the candidate travels as a slim
+        :class:`DeltaJob` envelope — packed per-decl fingerprints with
+        dictionary-compressed blocks only for declarations not already
+        known to the workers, inflated worker-side against the
+        context-resident job template; ``full_source=True`` (the
+        :class:`DeltaMiss` fallback) and the ``REPRO_DELTA_WIRE=0`` /
+        ``REPRO_INCREMENTAL=0`` escape hatches ship a whole-source
+        :class:`EvalJob` instead."""
         import dataclasses
 
         if self._job_template is None:
@@ -618,7 +705,7 @@ class RepairSearch:
             self._job_template = EvalJob(
                 source="",
                 config=candidate.config,
-                context_id=self._cache_context,
+                context_id=self._wire_context,
                 original_source=self._original_source,
                 kernel_name=self.kernel_name,
                 tests=tuple(tuple(test) for test in self._diff_tests),
@@ -628,6 +715,30 @@ class RepairSearch:
                 interp_backend=self.config.interp_backend,
                 incremental=incremental_mode(),
             )
+        delta = not full_source and self._delta_wire()
+        if delta and not self._baseline_registered:
+            # Baseline broadcast: workers re-derive the decl blocks,
+            # original source, diff tests and job template from the
+            # context registries (filled before the pool forks), so
+            # delta jobs never re-ship any of them.
+            register_baseline(
+                self._wire_context,
+                self.original,
+                tests=self._job_template.tests,
+                original_source=self._original_source,
+                template=self._job_template,
+            )
+            self._baseline_registered = True
+        if delta:
+            return DeltaJob(
+                c=self._wire_context,
+                g=candidate.config,
+                d=plan_decl_entries(
+                    candidate.unit, self._wire_context, self.config.workers
+                ),
+                i=incremental_mode(),
+                t=get_recorder().enabled,
+            )
         return dataclasses.replace(
             self._job_template,
             source=render(candidate.unit),
@@ -635,6 +746,9 @@ class RepairSearch:
             incremental=incremental_mode(),
             trace=get_recorder().enabled,
         )
+
+    def _delta_wire(self) -> bool:
+        return delta_wire_enabled() and incremental_mode() != "off"
 
     def _run_toolchain(self, candidate: Candidate) -> CachedEvaluation:
         """Execute the real pipeline against a recording clock.

@@ -54,7 +54,8 @@ import pickle
 import sqlite3
 import threading
 import time
-from typing import Optional, TYPE_CHECKING
+from collections import OrderedDict
+from typing import Iterable, Optional, Set, TYPE_CHECKING
 
 from ..obs import get_recorder
 
@@ -70,12 +71,22 @@ _log = logging.getLogger(__name__)
 #: rehydrate without the attribute.  3: ``DiffReport`` grew the
 #: ``counterexamples`` evidence payload — schema-2 pickles would
 #: rehydrate reports without it and starve the repair synthesizer.
-SCHEMA_VERSION = 3
+#: 4: ``CachedEvaluation`` grew the (never-stored, layout-relevant)
+#: ``wire`` side-channel — schema-3 pickles would rehydrate without
+#: the attribute.
+SCHEMA_VERSION = 4
 
 #: Environment variable naming the store file.  Empty / "0" disables.
 STORE_ENV = "REPRO_STORE"
 
 _SQLITE_BUSY_TIMEOUT_MS = 30_000
+
+#: Decoded-payload memo capacity.  A warm 100%-hit run re-reads the
+#: same keys the speculative fan-out already probed and the search then
+#: consumes; memoizing the decoded object skips the SELECT *and* the
+#: unpickle on the second touch, which is what keeps a fully-warm run
+#: strictly cheaper than the cold run that wrote the entries.
+_MAX_DECODED = 1024
 
 
 def toolchain_salt() -> str:
@@ -148,6 +159,10 @@ class EvalStore:
         self.invalidations = 0
         """Entries purged because their toolchain salt or payload schema
         no longer matches the running toolchain."""
+        self.decode_memo_hits = 0
+        """Gets answered from the decoded-payload memo (no SELECT, no
+        unpickle)."""
+        self._decoded: "OrderedDict[str, CachedEvaluation]" = OrderedDict()
         self._lock = threading.Lock()
         directory = os.path.dirname(os.path.abspath(path))
         os.makedirs(directory, exist_ok=True)
@@ -238,6 +253,7 @@ class EvalStore:
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
+            "decode_memo_hits": self.decode_memo_hits,
         }
 
     # -- data path ---------------------------------------------------------
@@ -253,6 +269,14 @@ class EvalStore:
         """
         recorder = get_recorder()
         with self._lock:
+            memo = self._decoded.get(key)
+            if memo is not None:
+                self._decoded.move_to_end(key)
+                self.decode_memo_hits += 1
+                self.hits += 1
+                if recorder.enabled:
+                    recorder.metrics.inc("store.gets", outcome="hit")
+                return memo
             row = self._conn.execute(
                 "SELECT payload FROM evaluations WHERE key = ?", (key,)
             ).fetchone()
@@ -281,18 +305,53 @@ class EvalStore:
                     )
                 return None
             self.hits += 1
+            self._memo_decoded(key, evaluation)
         if recorder.enabled:
             recorder.metrics.inc("store.gets", outcome="hit")
         return evaluation
+
+    def _memo_decoded(self, key: str, evaluation: "CachedEvaluation") -> None:
+        """Remember a decoded payload (caller holds the lock).  Payloads
+        are immutable once stored, so sharing the object is safe — the
+        same contract the in-memory cache tier already relies on."""
+        self._decoded[key] = evaluation
+        self._decoded.move_to_end(key)
+        while len(self._decoded) > _MAX_DECODED:
+            self._decoded.popitem(last=False)
 
     def contains(self, key: str) -> bool:
         """Presence probe without hit/miss accounting (speculation uses
         this to skip submitting jobs whose verdict is already durable)."""
         with self._lock:
+            if key in self._decoded:
+                return True
             row = self._conn.execute(
                 "SELECT 1 FROM evaluations WHERE key = ?", (key,)
             ).fetchone()
         return row is not None
+
+    def contains_many(self, keys: Iterable[str]) -> Set[str]:
+        """Batched :meth:`contains`: one SELECT for a whole probe window
+        instead of one round trip per key."""
+        pending = list(keys)
+        found: Set[str] = set()
+        if not pending:
+            return found
+        with self._lock:
+            for key in pending:
+                if key in self._decoded:
+                    found.add(key)
+            pending = [key for key in pending if key not in found]
+            # SQLite caps bound parameters (999 traditionally); chunk.
+            for start in range(0, len(pending), 500):
+                chunk = pending[start:start + 500]
+                marks = ",".join("?" * len(chunk))
+                rows = self._conn.execute(
+                    f"SELECT key FROM evaluations WHERE key IN ({marks})",
+                    chunk,
+                ).fetchall()
+                found.update(row[0] for row in rows)
+        return found
 
     def put(self, key: str, evaluation: "CachedEvaluation") -> None:
         blob = encode_evaluation(evaluation)
@@ -302,6 +361,9 @@ class EvalStore:
                 " VALUES (?, ?)",
                 (key, blob),
             )
+            # Deliberately not memoized here: the memo only caches what
+            # was actually decoded from disk, so external writes (or
+            # corruption) to a row are always observed by the next get.
         recorder = get_recorder()
         if recorder.enabled:
             recorder.metrics.inc("store.puts")
@@ -309,12 +371,21 @@ class EvalStore:
     def clear(self) -> None:
         with self._lock, self._conn:
             self._conn.execute("DELETE FROM evaluations")
+            self._decoded.clear()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.decode_memo_hits = 0
 
     def close(self) -> None:
         with self._lock:
+            try:
+                # Fold the WAL back into the main file so the *next*
+                # open (a warm run) starts clean instead of paying WAL
+                # recovery/checkpoint of a large log on first read.
+                self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            except sqlite3.Error:  # pragma: no cover - best effort
+                pass
             self._conn.close()
 
     def __enter__(self) -> "EvalStore":

@@ -2167,6 +2167,42 @@ def compile_program(unit: N.TranslationUnit) -> CompiledProgram:
     return program
 
 
+def seed_compile_lineage(unit: N.TranslationUnit, ancestor: Any) -> bool:
+    """Give a freshly parsed unit a compiled ancestor to reuse from.
+
+    The clone path gets lineage for free via ``__deepcopy__``; a unit
+    that arrived by *re-parsing* rendered source (a process-pool worker)
+    has no such ancestry even though the previous job's program may
+    share most functions.  Seeding plants the same :class:`_CompiledLineage`
+    marker a deepcopy would have left, so the first
+    :func:`compile_program` on the unit runs the usual exact-fingerprint
+    + dependency-fixpoint reuse check (:func:`_reusable_keys`) against
+    *ancestor* — reuse is only ever taken where it is provably
+    bit-identical, so seeding can only save wall-clock, never change a
+    result.  No-op (returns False) when incremental mode is off, the
+    unit is too small for the check to pay off, the unit already has a
+    program or lineage, or *ancestor* is not a compiled program.
+    """
+    from ..cfront.fingerprint import unit_incremental_enabled
+
+    if not isinstance(ancestor, CompiledProgram):
+        return False
+    if not unit_incremental_enabled(unit):
+        return False
+    if "_compiled_program" in unit.__dict__:
+        return False
+    unit.__dict__["_compiled_program"] = _CompiledLineage(ancestor)
+    return True
+
+
+def compiled_program_of(unit: N.TranslationUnit) -> Optional[CompiledProgram]:
+    """The program :func:`compile_program` memoized on *unit*, if any
+    (a lineage marker does not count — it is an ancestor, not a
+    compilation of this unit)."""
+    program = unit.__dict__.get("_compiled_program")
+    return program if isinstance(program, CompiledProgram) else None
+
+
 # --------------------------------------------------------------------------
 # Engines
 # --------------------------------------------------------------------------

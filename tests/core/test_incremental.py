@@ -116,16 +116,31 @@ def _assert_identical(subject_id):
 
 def _assert_process_identical(subject_id):
     """Process-executor cross-check: shipping evaluation to a worker
-    pool (rendered-source jobs, canonical-uid payloads, journalled-charge
+    pool (delta-wire jobs, canonical-uid payloads, journalled-charge
     replay) must leave every observable bit-identical to the serial run
     — including the uids embedded in history labels, because candidate
-    *proposal* stays in the parent."""
+    *proposal* stays in the parent.  Checked with the delta wire format
+    on (the default) and off (``REPRO_DELTA_WIRE=0`` whole-source jobs):
+    the protocol may only change what crosses the wire, never a result."""
     subject = get_subject(subject_id)
     serial = _observables(subject, "on")
     process = _observables(subject, "on", executor="process", workers=2)
     for field in serial:
         assert process[field] == serial[field], (
             f"{subject_id}: process-executor run diverged on {field!r}"
+        )
+    previous = os.environ.get("REPRO_DELTA_WIRE")
+    os.environ["REPRO_DELTA_WIRE"] = "0"
+    try:
+        full_wire = _observables(subject, "on", executor="process", workers=2)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_DELTA_WIRE", None)
+        else:
+            os.environ["REPRO_DELTA_WIRE"] = previous
+    for field in serial:
+        assert full_wire[field] == serial[field], (
+            f"{subject_id}: delta-off process run diverged on {field!r}"
         )
 
 

@@ -134,6 +134,72 @@ class TestEvalStore:
         assert store.hits == 0 and store.misses == 0
 
 
+class TestDecodeMemo:
+    def test_repeat_gets_decode_once(self, tmp_path):
+        """A 100%-hit warm run must not re-unpickle every payload: the
+        second get of a key is served from the decode memo."""
+        store = EvalStore(str(tmp_path / "s.sqlite"))
+        store.put("k", entry(2.5))
+        first = store.get("k")
+        second = store.get("k")
+        assert first == second
+        assert store.decode_memo_hits == 1
+        assert store.hits == 2
+        assert store.stats()["decode_memo_hits"] == 1
+
+    def test_put_does_not_populate_memo(self, tmp_path):
+        """Only payloads actually decoded from disk are memoized —
+        external corruption after a put must still be observed."""
+        store = EvalStore(str(tmp_path / "s.sqlite"))
+        store.put("k", entry())
+        with store._lock, store._conn:
+            store._conn.execute(
+                "UPDATE evaluations SET payload = ? WHERE key = ?",
+                (b"garbage", "k"),
+            )
+        assert store.get("k") is None
+        assert store.invalidations == 1
+
+    def test_memo_is_bounded(self, tmp_path, monkeypatch):
+        from repro.core import store as store_mod
+
+        monkeypatch.setattr(store_mod, "_MAX_DECODED", 2)
+        store = EvalStore(str(tmp_path / "s.sqlite"))
+        for index in range(4):
+            store.put(f"k{index}", entry())
+            assert store.get(f"k{index}") is not None
+        assert len(store._decoded) <= 2
+
+    def test_clear_drops_memo(self, tmp_path):
+        store = EvalStore(str(tmp_path / "s.sqlite"))
+        store.put("k", entry())
+        store.get("k")
+        store.clear()
+        assert store.get("k") is None
+        assert store.decode_memo_hits == 0
+
+    def test_contains_many_batches_across_tiers(self, tmp_path):
+        store = EvalStore(str(tmp_path / "s.sqlite"))
+        store.put("disk-only", entry())
+        store.put("memoized", entry())
+        store.get("memoized")  # now in the decode memo
+        present = store.contains_many(
+            ["disk-only", "memoized", "absent", "also-absent"]
+        )
+        assert present == {"disk-only", "memoized"}
+        assert store.contains_many([]) == set()
+
+    def test_contains_many_chunks_large_key_sets(self, tmp_path):
+        """More keys than one SQLite IN(...) statement's parameter chunk
+        (500) still resolve correctly."""
+        store = EvalStore(str(tmp_path / "s.sqlite"))
+        keys = [f"k{index}" for index in range(1203)]
+        for key in keys[::3]:
+            store.put(key, entry())
+        present = store.contains_many(keys)
+        assert present == set(keys[::3])
+
+
 class TestRegistry:
     def test_get_store_shares_one_connection_per_path(self, tmp_path):
         try:
