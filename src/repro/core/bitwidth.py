@@ -13,12 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..errors import InterpError
 from ..cfront import nodes as N
 from ..cfront import typesys as T
 from ..cfront.nodes import clone
 from ..cfront.visitor import find_all
-from ..interp import ExecLimits, ValueProfile, make_engine
+from ..interp import ExecLimits, ValueProfile, engine_run_many, make_engine
 
 #: Do not narrow below this width: tiny registers save nothing and the
 #: type-based over-estimation (§6.5) keeps headroom for unseen inputs.
@@ -53,12 +52,11 @@ def profile_kernel(
         want_out_args=False,
     )
     merged = ValueProfile()
-    for args in tests:
-        try:
-            result = interp.run(kernel_name, args)
-        except InterpError:
-            continue
-        merged.merge(result.profile)
+    # One batched call over the whole suite; faulting inputs contribute
+    # nothing, exactly as the sequential loop skipped them.
+    for record in engine_run_many(interp, kernel_name, tests):
+        if record.result is not None:
+            merged.merge(record.result.profile)
     merged.bind(unit)
     return merged
 

@@ -170,9 +170,14 @@ _MAX_WORKER_CONTEXTS = 8
 #: practice — the bound exists for long-lived (server-style) processes.
 _MAX_DECL_BLOCKS = 4096
 #: Worker-side parsed-unit LRU capacity.  Each entry pins a full AST
-#: plus its compiled program, so this stays small; the speculation
-#: window re-submitting the same frontier content is what it serves.
-_MAX_PARSED_UNITS = 16
+#: plus its compiled program, so this stays small.  What it serves:
+#: :class:`DeltaMiss` resends re-parsing content their delta twin
+#: shipped, and later searches over the same subject (reruns, warm
+#: sweeps) re-submitting content a previous search already parsed —
+#: entries are keyed by content, so they survive context turnover and
+#: the bound must cover a couple of search generations, not one
+#: speculation window.
+_MAX_PARSED_UNITS = 32
 #: Wire fingerprints are structural fingerprints truncated to this many
 #: hex characters and packed into raw bytes (96 bits).  The block cache
 #: holds at most :data:`_MAX_DECL_BLOCKS` entries, so the collision
@@ -651,23 +656,33 @@ def _candidate_unit(
     """Parse the candidate, served from the worker's parsed-unit LRU
     when the content was seen before.
 
-    Cache key: the job's packed decl-fingerprint bytes (delta jobs) or
-    a source digest (full jobs) — both content-addressed, scoped by
-    context.  A
-    hit is observationally exact: identical source parses (under the
-    uid-counter reset) to a value-identical tree, and units are never
-    mutated after evaluation starts.  Bypassed when incremental mode is
-    off so the escape hatch restores pre-incremental behaviour to the
-    letter.  Returns ``(unit, parse_seconds, was_cache_hit)``."""
+    Cache key: the kernel name plus a digest of the (spliced) source —
+    pure content addressing, deliberately *not* scoped by wire format
+    or context token.  The first cut keyed delta jobs by their packed
+    decl-fingerprint bytes and full jobs by a source digest, both
+    scoped by context — two disjoint namespaces for the same content.
+    That defeated exactly the repeats the cache exists for: a
+    :class:`DeltaMiss` resend re-parses content its delta twin already
+    referenced, and a later search over the same subject (a rerun, a
+    warm sweep) re-parses everything because its fresh context token
+    changes every key.  Parent-side eval-cache/inflight dedup already
+    guarantees each distinct content is submitted at most once *per
+    search*, so those cross-format and cross-context repeats are the
+    only hits structurally available — which is why the wire sweep
+    measured a ~0 hit rate before the keys were unified.
+
+    A hit is observationally exact: identical source parses (under the
+    uid-counter reset) to a value-identical tree regardless of which
+    context asked, and units are never mutated after evaluation
+    starts.  Bypassed when incremental mode is off so the escape hatch
+    restores pre-incremental behaviour to the letter.  Returns
+    ``(unit, parse_seconds, was_cache_hit)``."""
     key: Optional[Tuple[str, Any]] = None
     if job.incremental != "off":
-        if job.decls is not None:
-            key = (job.context_id, job.decls[0])
-        else:
-            key = (
-                job.context_id,
-                hashlib.sha256(source.encode()).hexdigest(),
-            )
+        key = (
+            job.kernel_name,
+            hashlib.sha256(source.encode()).hexdigest(),
+        )
         unit = _PARSED_UNITS.get(key)
         if unit is not None:
             _PARSED_UNITS.move_to_end(key)

@@ -14,12 +14,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence, Tuple
 
-from ..errors import InterpError
 from ..cfront import nodes as N
 from ..hls.clock import ACT_CPU_RUN, SimulatedClock
 from ..hls.platform import SolutionConfig
 from ..hls.simulator import SimulationReport, simulate
-from ..interp import ExecLimits, make_engine
+from ..interp import ExecLimits, engine_run_many, make_engine
 from ..obs import SPAN_CPU_REFERENCE, SPAN_DIFFTEST, get_recorder
 
 #: CPU latency model: abstract interpreter steps to nanoseconds.  An
@@ -148,13 +147,14 @@ def run_cpu_reference(
         observables: List[Optional[Tuple[Any, Tuple[Any, ...]]]] = []
         max_steps = 0
         runs = 0
-        for test in tests:
-            try:
-                result = interp.run(kernel_name, test)
-                observables.append(result.observable())
-                max_steps = max(max_steps, result.steps)
+        # All tests in one batched call (pooled runtime under the batch
+        # backend; a per-input loop with identical semantics elsewhere).
+        for record in engine_run_many(interp, kernel_name, tests):
+            if record.result is not None:
+                observables.append(record.result.observable())
+                max_steps = max(max_steps, record.result.steps)
                 runs += 1
-            except InterpError:
+            else:
                 observables.append(None)
         # The reported CPU latency is that of the *heaviest* passing test:
         # the scheduler's FPGA estimate models the full-size workload

@@ -24,7 +24,12 @@ from typing import Any, List, Optional, Sequence
 
 from ..errors import FuzzError, InterpError
 from ..cfront import nodes as N
-from ..interp import CoverageRecorder, ExecLimits, make_engine
+from ..interp import (
+    CoverageRecorder,
+    ExecLimits,
+    engine_run_many,
+    make_engine,
+)
 from ..hls.clock import ACT_FUZZING, SimulatedClock
 from ..obs import SPAN_FUZZ, get_recorder
 from .corpus import Corpus
@@ -123,17 +128,25 @@ def fuzz_kernel(
     since_new = 0
     rec = get_recorder()
 
-    def execute(args: List[Any]) -> int:
-        """Run one input; how many branches it newly uncovered."""
+    def execute_batch(arg_sets: List[List[Any]]) -> List[int]:
+        """Run a batch of inputs; per-input newly uncovered branch counts.
+
+        One ``run_many`` call under the batch backend (pooled runtime,
+        one specialized pass), a plain loop elsewhere.  Each input's
+        coverage is recorded independently and merged in input order, so
+        the per-input deltas are identical to one-at-a-time execution.
+        """
         nonlocal execs
-        execs += 1
-        before = len(coverage.hits)
-        try:
-            result = interp.run(kernel_name, args)
-        except InterpError:
-            return 0  # crashing inputs exercise nothing repeatable
-        coverage.merge(result.coverage)
-        return len(coverage.hits) - before
+        deltas: List[int] = []
+        for record in engine_run_many(interp, kernel_name, arg_sets):
+            execs += 1
+            before = len(coverage.hits)
+            if record.result is None:
+                deltas.append(0)  # crashing inputs exercise nothing repeatable
+                continue
+            coverage.merge(record.result.coverage)
+            deltas.append(len(coverage.hits) - before)
+        return deltas
 
     with rec.span(SPAN_FUZZ, clock=clock, kernel=kernel_name,
                   max_execs=config.max_execs):
@@ -146,9 +159,8 @@ def fuzz_kernel(
                 initial.append(
                     random_seed_args(param_types, rng, config.array_len)
                 )
-        for args in initial:
+        for args, delta in zip(initial, execute_batch(initial)):
             tests_generated += 1
-            delta = execute(args)
             corpus.add(args, new_branches=delta)
             if rec.enabled and delta > 0:
                 rec.metrics.observe("fuzz.new_branches", delta)
@@ -160,11 +172,12 @@ def fuzz_kernel(
                 break
             generation += 1
             mutants = mutator.mutate(entry.args, config.mutations_per_input)
-            for mutant in mutants:
-                if execs >= config.max_execs:
-                    break
+            # The whole generation goes through one batched call,
+            # truncated to the remaining execution budget (matching the
+            # per-mutant budget check of the sequential loop).
+            mutants = mutants[:config.max_execs - execs]
+            for mutant, delta in zip(mutants, execute_batch(mutants)):
                 tests_generated += 1
-                delta = execute(mutant)
                 if delta > 0:
                     corpus.add(mutant, new_branches=delta,
                                generation=generation)
@@ -212,10 +225,7 @@ def coverage_of_suite(
         want_out_args=False,
     )
     coverage = CoverageRecorder()
-    for args in tests:
-        try:
-            result = interp.run(kernel_name, args)
-        except InterpError:
-            continue
-        coverage.merge(result.coverage)
+    for record in engine_run_many(interp, kernel_name, tests):
+        if record.result is not None:
+            coverage.merge(record.result.coverage)
     return coverage.ratio(kernel.body)

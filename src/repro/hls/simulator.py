@@ -13,9 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
-from ..errors import InterpError
 from ..cfront import nodes as N
-from ..interp import ExecLimits, make_engine
+from ..interp import ExecLimits, engine_run_many, make_engine
 from .clock import ACT_SIMULATION, SimulatedClock
 from .platform import SolutionConfig
 from .schedule import ScheduleReport, estimate
@@ -87,26 +86,26 @@ def simulate(
         unit, backend=backend, limits=limits or ExecLimits(), hls_mode=True
     )
     kernel = config.top_name
-    faults = 0
-    for index, test in enumerate(tests):
-        if max_faults is not None and faults >= max_faults:
-            report.outcomes.extend(
-                TestOutcome(
-                    ok=False,
-                    fault="skipped: fault budget exhausted",
-                    skipped=True,
-                )
-                for _ in tests[index:]
-            )
-            break
-        try:
-            result = interp.run(kernel, test)
+    # One batched call covers all inputs: the batch backend pools its
+    # runtime across the suite, every other backend is looped with the
+    # same record contract (per-input fault isolation, max_faults abort
+    # ordering with the remainder marked skipped).
+    for record in engine_run_many(interp, kernel, tests,
+                                  max_faults=max_faults):
+        if record.skipped:
+            report.outcomes.append(TestOutcome(
+                ok=False,
+                fault="skipped: fault budget exhausted",
+                skipped=True,
+            ))
+        elif record.error is not None:
             report.outcomes.append(
-                TestOutcome(ok=True, observable=result.observable())
+                TestOutcome(ok=False, fault=str(record.error))
             )
-        except InterpError as exc:
-            faults += 1
-            report.outcomes.append(TestOutcome(ok=False, fault=str(exc)))
+        else:
+            report.outcomes.append(
+                TestOutcome(ok=True, observable=record.result.observable())
+            )
     report.schedule = estimate(unit, config)
     report.sim_seconds = SIMULATION_SECONDS_PER_TEST * len(tests)
     if clock is not None:

@@ -4,7 +4,11 @@ Replaces native compilation + AFL instrumentation in the original paper's
 toolchain (see DESIGN.md).  Two execution backends share one semantics:
 the tree-walking :class:`Interpreter` and the closure-compiled
 :class:`CompiledEngine` (see ``repro.interp.compile``), with
-:class:`CrossCheckEngine` asserting they stay bit-identical.
+:class:`CrossCheckEngine` asserting they stay bit-identical.  The
+:class:`BatchEngine` (see ``repro.interp.batch``) lowers the closure
+form once more to flat generated Python and adds ``run_many`` — whole
+input sets through one pooled pass — with
+:class:`BatchCrossCheckEngine` asserting batch-vs-compiled identity.
 """
 
 from .coverage import CoverageRecorder, ValueProfile, branch_points
@@ -19,6 +23,13 @@ from .compile import (
     make_engine,
     set_default_backend,
 )
+from .batch import (
+    BatchCrossCheckEngine,
+    BatchEngine,
+    BatchRecord,
+    batch_program,
+    engine_run_many,
+)
 from .memory import (
     MemBlock,
     Pointer,
@@ -31,6 +42,9 @@ from .memory import (
 __all__ = [
     "BACKENDS",
     "BackendMismatch",
+    "BatchCrossCheckEngine",
+    "BatchEngine",
+    "BatchRecord",
     "CompiledEngine",
     "CoverageRecorder",
     "CrossCheckEngine",
@@ -42,8 +56,10 @@ __all__ = [
     "StreamValue",
     "StructValue",
     "ValueProfile",
+    "batch_program",
     "branch_points",
     "c_to_python",
+    "engine_run_many",
     "compile_program",
     "default_backend",
     "make_engine",

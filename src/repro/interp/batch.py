@@ -1,0 +1,1436 @@
+"""Batched execution backend: whole input sets through one specialized pass.
+
+The closure backend (:mod:`.compile`) already resolves names and operators
+at compile time, but still pays one Python *call* per AST node per step.
+This module lowers each function once more — into a single flat Python
+function generated as source and ``exec``-compiled — so that the hot path
+of a kernel is ordinary Python bytecode: local-variable step accounting,
+inline arithmetic with the exact charge/fault schedule of the tree-walker,
+and direct frame indexing.  On top of that sits :class:`BatchEngine` with
+``run_many(func_name, arg_sets)``: the unit is compiled once, one
+:class:`~.compile.Runtime` is pooled across the whole batch (coverage and
+profile recorders are handed off per input, arenas reset instead of
+reallocate, the global frame is snapshot/replayed when provably safe), and
+each input is fault-isolated so a faulting sibling never poisons the rest.
+
+Charge semantics are bit-identical per input to ``tree``/``compiled``:
+
+* every inline charge site replicates the closure compiler's cost and its
+  *order* relative to faults (divide-by-zero after the charge, pointer
+  checks before the memory charge, …);
+* step counting runs in a local variable and is reconciled with
+  ``rt.steps`` around every call that leaves generated code (``_call``,
+  builtins, fallback closures, block makers) and in a ``finally`` guard,
+  so budget overruns raise at exactly the same step as the closures do;
+* ``break``/``continue`` become ``_Break``/``_Continue`` exceptions raised
+  at the charge site and caught by the innermost generated loop — the same
+  nearest-loop (and cross-frame, via ``_call``) semantics the signal
+  constants give the closure backend;
+* any node the generator does not handle falls back to the closure
+  compiled for that exact node (the generator subclasses
+  :class:`~.compile._FunctionCompiler`, so scope state is shared), and any
+  generation failure falls back to the whole closure-compiled function.
+
+The :class:`BatchCrossCheckEngine` (backend ``batch-cross``) runs the
+compiled and batch backends on every input and asserts bit-identical
+results, mirroring the ``cross`` backend one level up the tower.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import (
+    HlsSimulationFault,
+    InterpError,
+    InterpLimitExceeded,
+    MemoryFault,
+)
+from ..cfront import nodes as N
+from ..cfront import typesys as T
+from .builtins import BUILTINS
+from .coverage import CoverageRecorder, ValueProfile
+from .interpreter import ExecLimits, ExecResult, _Break, _Continue
+from .memory import (
+    LValue,
+    MemBlock,
+    Pointer,
+    StreamValue,
+    StructValue,
+    c_to_python,
+    coerce,
+    default_value,
+    python_to_c,
+)
+from .compile import (
+    _ARITH_APPLY,
+    _BRK,
+    _CNT,
+    _RET,
+    _Binding,
+    _FunctionCompiler,
+    _NO_FRAME,
+    _UNSET,
+    _apply_binop,
+    _call,
+    _charge_heap,
+    _coerce_value,
+    _make_coercer,
+    _over_steps,
+    _pointer_binop,
+    _snapshot_arg,
+    _try_fold,
+    CompiledEngine,
+    CompiledFunction,
+    CrossCheckEngine,
+    Runtime,
+    compile_program,
+)
+
+import math
+
+__all__ = [
+    "BatchEngine",
+    "BatchCrossCheckEngine",
+    "BatchRecord",
+    "BatchProgram",
+    "batch_program",
+    "engine_run_many",
+]
+
+
+def _over_b(rt: Runtime, steps: int) -> None:
+    """Reconcile a local step counter, then raise the budget fault."""
+    rt.steps = steps
+    _over_steps(rt)
+
+
+class _GiveUp(Exception):
+    """Internal: this node (or function) is not generatable — fall back."""
+
+
+class _ConstPool:
+    """Shared exec namespace: pooled objects plus the runtime helpers."""
+
+    def __init__(self) -> None:
+        self.ns: Dict[str, Any] = {
+            "_call": _call,
+            "_over_b": _over_b,
+            "_over_steps": _over_steps,
+            "_charge_heap": _charge_heap,
+            "_apply_binop": _apply_binop,
+            "_pointer_binop": _pointer_binop,
+            "_coerce_value": _coerce_value,
+            "_snapshot_arg": _snapshot_arg,
+            "coerce": coerce,
+            "default_value": default_value,
+            "Pointer": Pointer,
+            "MemBlock": MemBlock,
+            "LValue": LValue,
+            "StreamValue": StreamValue,
+            "StructValue": StructValue,
+            "MemoryFault": MemoryFault,
+            "InterpError": InterpError,
+            "math": math,
+            "_Break": _Break,
+            "_Continue": _Continue,
+            "_RET": _RET,
+            "_UNSET": _UNSET,
+        }
+        self._n = 0
+
+    def add(self, obj: Any) -> str:
+        name = f"_g{self._n}"
+        self._n += 1
+        self.ns[name] = obj
+        return name
+
+
+def _blk(lines: List[str]) -> List[str]:
+    """Indent a block one level (pass body for an ``if``/``try`` header)."""
+    return ["    " + line for line in lines] if lines else ["    pass"]
+
+
+#: Node types allowed in a global initializer for the snapshot/replay
+#: fast path of ``run_many``.  Anything that can touch coverage, the
+#: value profile, statics, or captured args (calls, assignments,
+#: short-circuit / ternary branches) disqualifies the unit: those effects
+#: would recur per input under full re-init but not under replay.
+_POOLABLE_INIT_NODES = (
+    N.IntLit, N.FloatLit, N.CharLit, N.StringLit, N.Ident, N.UnOp,
+    N.BinOp, N.Index, N.SizeofType, N.SizeofExpr, N.Cast, N.InitList,
+)
+
+
+def _poolable_init_expr(expr: Optional[N.Expr]) -> bool:
+    if expr is None:
+        return True
+    if not isinstance(expr, _POOLABLE_INIT_NODES):
+        return False
+    if isinstance(expr, N.BinOp) and expr.op in ("&&", "||"):
+        return False
+    return all(
+        _poolable_init_expr(child)
+        for child in expr.children()
+        if isinstance(child, N.Expr)
+    )
+
+
+def _poolable_globals(unit: N.TranslationUnit) -> bool:
+    """May ``run_many`` restore the global frame by value between inputs?
+
+    True only when re-running every global initializer is observably
+    equivalent to replaying its step/heap charges and restoring the cell
+    values — i.e. no initializer can branch (coverage), call (statics,
+    capture, profile, arbitrary effects), or assign (profile).
+    """
+    for decl in unit.decls:
+        if isinstance(decl, N.VarDecl):
+            if not _poolable_init_expr(decl.init):
+                return False
+            if decl.vla_size is not None:
+                return False
+    return True
+
+
+# --------------------------------------------------------------------------
+# Source generation
+# --------------------------------------------------------------------------
+
+
+class _BatchCompiler(_FunctionCompiler):
+    """Generates one flat Python function per C function.
+
+    Subclasses the closure compiler so scope/slot bookkeeping, accessors,
+    param binders, and block makers are the real ones; ``compile_expr``
+    and friends are *not* overridden, so any node the generator declines
+    is closure-compiled with correct scope state and spliced in as a
+    pooled callable.
+    """
+
+    def __init__(self, program: "BatchProgram", pool: _ConstPool) -> None:
+        super().__init__(program)  # type: ignore[arg-type]
+        self.pool = pool
+        self._ntmp = 0
+
+    # -- small helpers -----------------------------------------------------
+
+    def _tmp(self) -> str:
+        name = f"t{self._ntmp}"
+        self._ntmp += 1
+        return name
+
+    def _chg(self, cost: int) -> List[str]:
+        return [
+            f"steps += {cost}",
+            "if steps > max_steps: _over_b(rt, steps)",
+        ]
+
+    def _chg_numeric(self, left: str, right: str) -> List[str]:
+        """The float/int cost split every arithmetic applier uses."""
+        return [
+            f"steps += 4 if (type({left}) is float or type({right}) is float) else 1",
+            "if steps > max_steps: _over_b(rt, steps)",
+        ]
+
+    def _atom_const(self, value: Any) -> str:
+        if type(value) is int:
+            return repr(value)
+        return self.pool.add(value)
+
+    def _truth_of(self, atom: str) -> str:
+        if not atom.isidentifier():
+            # A folded literal (e.g. `1`, `-3`) — never a Pointer, and
+            # `1.block` would not even parse.
+            return f"bool({atom})"
+        return (
+            f"(({atom}.block is not None) "
+            f"if type({atom}) is Pointer else bool({atom}))"
+        )
+
+    # -- expressions -------------------------------------------------------
+
+    def gen_expr(self, expr: N.Expr) -> Tuple[List[str], str]:
+        """Lower *expr* to statement lines plus a pure result atom.
+
+        The atom is a temp name or literal: reading it is side-effect
+        free and repeatable.  On any generation failure the whole
+        subtree is served by its closure, bracketed by a steps sync.
+        """
+        try:
+            return self._gen_expr(expr)
+        except Exception:
+            return self._fallback_expr(expr)
+
+    def _fallback_expr(self, expr: N.Expr) -> Tuple[List[str], str]:
+        closure = _FunctionCompiler.compile_expr(self, expr)
+        name = self.pool.add(closure)
+        t = self._tmp()
+        return [
+            "rt.steps = steps",
+            f"{t} = {name}(rt, frame)",
+            "steps = rt.steps",
+        ], t
+
+    def _gen_expr(self, expr: N.Expr) -> Tuple[List[str], str]:
+        if isinstance(expr, (N.IntLit, N.FloatLit, N.CharLit, N.StringLit)):
+            return [], self._atom_const(expr.value)
+        if isinstance(expr, N.Ident):
+            return self._gen_ident(expr)
+        if isinstance(expr, N.BinOp):
+            return self._gen_binop(expr)
+        if isinstance(expr, N.UnOp):
+            return self._gen_unop(expr)
+        if isinstance(expr, N.IncDec):
+            return self._gen_incdec(expr, want_result=True)
+        if isinstance(expr, N.Assign):
+            return self._gen_assign(expr, want_result=True)
+        if isinstance(expr, N.Cond):
+            return self._gen_cond(expr)
+        if isinstance(expr, N.Call):
+            return self._gen_call(expr)
+        if isinstance(expr, N.Index):
+            return self._gen_index_rvalue(expr)
+        if isinstance(expr, N.Member):
+            return self._gen_member_rvalue(expr)
+        if isinstance(expr, N.Cast):
+            return self._gen_cast(expr)
+        if isinstance(expr, N.SizeofType):
+            return [], self._atom_const(expr.of_type.sizeof())
+        if isinstance(expr, N.SizeofExpr):
+            lines, a = self.gen_expr(expr.expr)
+            t = self._tmp()
+            lines = lines + [
+                f"{t} = 8 if isinstance({a}, (Pointer, float)) else 4",
+            ]
+            return lines, t
+        raise _GiveUp()  # InitList, unknown nodes
+
+    def _gen_ident(self, expr: N.Ident) -> Tuple[List[str], str]:
+        acc, binding = self._make_accessor(expr.name, expr.line)
+        t = self._tmp()
+        if binding is not None and binding.kind == "local" \
+                and not binding.maybe_unset:
+            slot = binding.slot
+            if binding.is_array:
+                return self._chg(2) + [f"{t} = Pointer(frame[{slot}], 0)"], t
+            return self._chg(2) + [f"{t} = frame[{slot}].cells[0]"], t
+        if binding is not None and binding.kind == "global":
+            gslot = binding.slot
+            if binding.is_array:
+                return self._chg(2) + [
+                    f"{t} = Pointer(rt.gframe[{gslot}], 0)"
+                ], t
+            return self._chg(2) + [f"{t} = rt.gframe[{gslot}].cells[0]"], t
+        name = self.pool.add(acc)
+        lines = [f"{t} = {name}(rt, frame)"] + self._chg(2) + [
+            f"{t} = Pointer({t}, 0) if {t}.is_array else {t}.cells[0]",
+        ]
+        return lines, t
+
+    def _gen_binop(self, expr: N.BinOp) -> Tuple[List[str], str]:
+        op = expr.op
+        if op in ("&&", "||"):
+            lls, la = self.gen_expr(expr.left)
+            rls, ra = self.gen_expr(expr.right)
+            kt = self.pool.add((expr.uid, True))
+            kf = self.pool.add((expr.uid, False))
+            tb = self._tmp()
+            t = self._tmp()
+            taken = [
+                f"{tb} = {self._truth_of(la)}",
+                f"cov_add({kt} if {tb} else {kf})",
+            ]
+            short = f"if not {tb}:" if op == "&&" else f"if {tb}:"
+            short_value = "0" if op == "&&" else "1"
+            return lls + taken + [
+                short,
+                f"    {t} = {short_value}",
+                "else:",
+            ] + _blk(rls + [
+                f"{t} = 1 if {self._truth_of(ra)} else 0",
+            ]), t
+        if op == ",":
+            lls, _la = self.gen_expr(expr.left)
+            rls, ra = self.gen_expr(expr.right)
+            return lls + rls, ra
+        folded = _try_fold(expr)
+        if folded is not None:
+            value, cost = folded
+            return self._chg(cost), self._atom_const(value)
+        lls, la = self.gen_expr(expr.left)
+        rls, ra = self.gen_expr(expr.right)
+        t = self._tmp()
+        if op not in _ARITH_APPLY:
+            return lls + rls + [
+                "rt.steps = steps",
+                f"{t} = _apply_binop(rt, {op!r}, {la}, {ra})",
+                "steps = rt.steps",
+            ], t
+        body = self._gen_arith(op, la, ra, t)
+        return lls + rls + [
+            f"if type({la}) is Pointer or type({ra}) is Pointer:",
+            "    rt.steps = steps",
+            f"    {t} = _pointer_binop(rt, {op!r}, {la}, {ra})",
+            "    steps = rt.steps",
+            "else:",
+        ] + _blk(body), t
+
+    def _gen_arith(self, op: str, la: str, ra: str, t: str) -> List[str]:
+        """The non-pointer arm: inline mirror of the _ap_* appliers."""
+        if op in ("+", "-", "*"):
+            return self._chg_numeric(la, ra) + [f"{t} = {la} {op} {ra}"]
+        if op in ("/", "%"):
+            fault = "division by zero" if op == "/" else "modulo by zero"
+            lines = self._chg(8) + [
+                f"if {ra} == 0: raise MemoryFault({fault!r})",
+                f"if type({la}) is float or type({ra}) is float:",
+            ]
+            if op == "/":
+                lines += [
+                    f"    {t} = {la} / {ra}",
+                    "else:",
+                    f"    {t} = abs({la}) // abs({ra})",
+                    f"    if ({la} < 0) != ({ra} < 0): {t} = -{t}",
+                ]
+            else:
+                lines += [
+                    f"    {t} = math.fmod({la}, {ra})",
+                    "else:",
+                    f"    {t} = abs({la}) % abs({ra})",
+                    f"    if {la} < 0: {t} = -{t}",
+                ]
+            return lines
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            return self._chg_numeric(la, ra) + [
+                f"{t} = int({la} {op} {ra})",
+            ]
+        if op in ("<<", ">>", "&", "|", "^"):
+            return self._chg_numeric(la, ra) + [
+                f"{t} = int({la}) {op} int({ra})",
+            ]
+        raise _GiveUp()
+
+    def _gen_unop(self, expr: N.UnOp) -> Tuple[List[str], str]:
+        op = expr.op
+        if op == "&":
+            lv = self.gen_lvalue(expr.operand)
+            if lv is None:
+                raise _GiveUp()
+            lines, b, off = lv
+            t = self._tmp()
+            # Generated lvalues are always (block, offset) slots — the
+            # struct-field arm of c_addr is unreachable here.
+            return lines + [f"{t} = Pointer({b}, {off})"], t
+        if op == "*":
+            lines, a = self.gen_expr(expr.operand)
+            if not a.isidentifier():
+                a = f"({a})"  # a folded literal must still parse as `.attr`
+            t = self._tmp()
+            return lines + [
+                f"if type({a}) is not Pointer: "
+                "raise MemoryFault('dereference of a non-pointer value')",
+                f"{t} = {a}.block",
+                f"if {t} is None: "
+                "raise MemoryFault('dereference of a null pointer')",
+            ] + self._chg(2) + [
+                f"{t} = {t}.load({a}.offset)",
+            ], t
+        folded = _try_fold(expr)
+        if folded is not None:
+            value, cost = folded
+            return self._chg(cost), self._atom_const(value)
+        lines, a = self.gen_expr(expr.operand)
+        if op == "+":
+            return lines + self._chg(1), a
+        t = self._tmp()
+        if op == "-":
+            return lines + self._chg(1) + [f"{t} = -{a}"], t
+        if op == "!":
+            return lines + self._chg(1) + [
+                f"{t} = int(not {self._truth_of(a)})",
+            ], t
+        if op == "~":
+            return lines + self._chg(1) + [f"{t} = ~int({a})"], t
+        message = f"unknown unary operator {op!r}"
+        return lines + self._chg(1) + [
+            f"raise InterpError({message!r})",
+        ], "None"
+
+    # -- lvalues -----------------------------------------------------------
+
+    def gen_lvalue(
+        self, expr: N.Expr
+    ) -> Optional[Tuple[List[str], str, str]]:
+        """Lower an lvalue to ``(lines, block_atom, offset_atom)``.
+
+        Mirrors ``compile_lvalue``'s checks (including the bounds check an
+        Index lvalue performs at *creation* time, before any store).
+        Member lvalues (struct fields) return None: the caller falls back
+        to the closure for the whole enclosing expression.
+        """
+        if isinstance(expr, N.Ident):
+            acc, binding = self._make_accessor(expr.name, expr.line)
+            b = self._tmp()
+            if binding is not None and binding.kind == "local" \
+                    and not binding.maybe_unset:
+                return [f"{b} = frame[{binding.slot}]"], b, "0"
+            if binding is not None and binding.kind == "global":
+                return [f"{b} = rt.gframe[{binding.slot}]"], b, "0"
+            name = self.pool.add(acc)
+            return [f"{b} = {name}(rt, frame)"], b, "0"
+        if isinstance(expr, N.Index):
+            bls, ba = self.gen_expr(expr.base)
+            ils, ia = self.gen_expr(expr.index)
+            idx = self._tmp()
+            base = self._tmp()
+            b = self._tmp()
+            off = self._tmp()
+            lines = bls + ils + [
+                f"{idx} = int({ia})",
+                f"{base} = {ba}",
+                f"if type({base}) is MemBlock:",
+                f"    {base} = Pointer({base}, 0)",
+                f"elif type({base}) is not Pointer:",
+                "    raise MemoryFault('indexing a non-array value')",
+                f"{b} = {base}.block",
+                f"if {b} is None: "
+                "raise MemoryFault('dereference of a null pointer')",
+                f"{off} = {base}.offset + {idx}",
+                f"{b}.check({off})",
+            ]
+            return lines, b, off
+        if isinstance(expr, N.UnOp) and expr.op == "*":
+            ols, oa = self.gen_expr(expr.operand)
+            if not oa.isidentifier():
+                oa = f"({oa})"
+            b = self._tmp()
+            off = self._tmp()
+            lines = ols + [
+                f"if type({oa}) is not Pointer: "
+                "raise MemoryFault('dereference of a non-pointer value')",
+                f"{b} = {oa}.block",
+                f"if {b} is None: "
+                "raise MemoryFault('dereference of a null pointer')",
+                f"{off} = {oa}.offset",
+            ]
+            return lines, b, off
+        if isinstance(expr, N.Cast):
+            return self.gen_lvalue(expr.expr)
+        return None
+
+    def _gen_observer(
+        self, target: N.Expr, b: str, off: str
+    ) -> List[str]:
+        """Inline mirror of ``_make_observer`` applied after a store."""
+        if not isinstance(target, N.Ident):
+            return []
+        _acc, binding = self._make_accessor(target.name, target.line)
+        name_const = self.pool.add(target.name)
+        if binding is not None:
+            uid = binding.observe_uid
+            if uid is None:
+                return []
+            return [f"observe({uid}, {name_const}, {b}.cells[{off}])"]
+        observer = _FunctionCompiler._make_observer(self, target)
+        obs = self.pool.add(observer)
+        lv = self._tmp()
+        return [
+            f"{lv} = LValue({b}.elem_type, block={b}, offset={off})",
+            f"{obs}(rt, frame, {lv})",
+        ]
+
+    def _gen_incdec(
+        self, expr: N.IncDec, want_result: bool
+    ) -> Tuple[List[str], str]:
+        lv = self.gen_lvalue(expr.operand)
+        if lv is None:
+            raise _GiveUp()
+        lines, b, off = lv
+        delta = 1 if expr.op == "++" else -1
+        old = self._tmp()
+        new = self._tmp()
+        lines = lines + [
+            f"{old} = {b}.load({off})",
+            f"if type({old}) is Pointer:",
+            f"    {new} = {old}.add({delta})",
+            "else:",
+            f"    {new} = {old} + {delta}",
+            f"{b}.store({off}, coerce({new}, {b}.elem_type))",
+        ]
+        lines += self._gen_observer(expr.operand, b, off)
+        lines += self._chg(1)
+        if not want_result:
+            return lines, "None"
+        if expr.postfix:
+            return lines, old
+        t = self._tmp()
+        return lines + [f"{t} = {b}.cells[{off}]"], t
+
+    def _gen_static_coerce(
+        self, ctype: Optional[T.CType], v: str
+    ) -> Optional[List[str]]:
+        """Inline co_int for statically known int targets (in place)."""
+        if ctype is None:
+            return None
+        resolved = T.strip_typedefs(ctype)
+        if not type(resolved) is T.IntType:
+            return None
+        bits, signed = resolved.bits, resolved.signed
+        mask = (1 << bits) - 1
+        half = 1 << (bits - 1)
+        full = 1 << bits
+        lines = [
+            f"if not isinstance({v}, Pointer):",
+            f"    {v} = int({v}) & {mask}",
+        ]
+        if signed:
+            lines.append(f"    if {v} >= {half}: {v} -= {full}")
+        return lines
+
+    def _gen_assign(
+        self, expr: N.Assign, want_result: bool
+    ) -> Tuple[List[str], str]:
+        lv = self.gen_lvalue(expr.target)
+        if lv is None:
+            raise _GiveUp()
+        lines, b, off = lv
+        vls, va = self.gen_expr(expr.value)
+        lines = lines + vls
+        v = self._tmp()
+        lines.append(f"{v} = {va}")
+        if expr.op != "=":
+            op = expr.op[:-1]
+            old = self._tmp()
+            lines.append(f"{old} = {b}.load({off})")
+            if op in _ARITH_APPLY:
+                body = self._gen_arith(op, old, v, v)
+                lines += [
+                    f"if type({old}) is Pointer or type({v}) is Pointer:",
+                    "    rt.steps = steps",
+                    f"    {v} = _pointer_binop(rt, {op!r}, {old}, {v})",
+                    "    steps = rt.steps",
+                    "else:",
+                ] + _blk(body)
+            else:
+                lines += [
+                    "rt.steps = steps",
+                    f"{v} = _apply_binop(rt, {op!r}, {old}, {v})",
+                    "steps = rt.steps",
+                ]
+        # Coercion: specialize for a statically typed Ident target,
+        # otherwise go through the runtime-typed path.
+        static_done = False
+        if isinstance(expr.target, N.Ident):
+            _acc, binding = self._make_accessor(
+                expr.target.name, expr.target.line
+            )
+            if binding is not None and binding.ctype is not None:
+                inline = self._gen_static_coerce(binding.ctype, v)
+                if inline is not None:
+                    lines += inline
+                else:
+                    co = self.pool.add(_make_coercer(binding.ctype))
+                    lines.append(f"{v} = {co}(rt, {v})")
+                static_done = True
+        if not static_done:
+            lines.append(f"{v} = _coerce_value(rt, {v}, {b}.elem_type)")
+        lines += self._chg(2)
+        lines.append(f"{b}.store({off}, coerce({v}, {b}.elem_type))")
+        lines += self._gen_observer(expr.target, b, off)
+        if not want_result:
+            return lines, "None"
+        t = self._tmp()
+        return lines + [f"{t} = {b}.cells[{off}]"], t
+
+    def _gen_cond(self, expr: N.Cond) -> Tuple[List[str], str]:
+        cls, ca = self.gen_expr(expr.cond)
+        tls, ta = self.gen_expr(expr.then)
+        els, ea = self.gen_expr(expr.other)
+        kt = self.pool.add((expr.uid, True))
+        kf = self.pool.add((expr.uid, False))
+        tk = self._tmp()
+        t = self._tmp()
+        return cls + [
+            f"{tk} = {self._truth_of(ca)}",
+            f"cov_add({kt} if {tk} else {kf})",
+        ] + self._chg(1) + [
+            f"if {tk}:",
+        ] + _blk(tls + [f"{t} = {ta}"]) + [
+            "else:",
+        ] + _blk(els + [f"{t} = {ea}"]), t
+
+    def _gen_index_rvalue(self, expr: N.Index) -> Tuple[List[str], str]:
+        lv = self.gen_lvalue(expr)
+        assert lv is not None
+        lines, b, off = lv
+        t = self._tmp()
+        # gen_lvalue already ran block.check(off); the closure's
+        # block.load() would re-check the same untouched block, so the
+        # direct cell read is observably identical.
+        return lines + self._chg(2) + [
+            f"{t} = {b}.cells[{off}]",
+            f"if type({t}) is MemBlock: {t} = Pointer({t}, 0)",
+        ], t
+
+    def _gen_member_rvalue(self, expr: N.Member) -> Tuple[List[str], str]:
+        closure = _FunctionCompiler._compile_member_lvalue(self, expr)
+        name = self.pool.add(closure)
+        lv = self._tmp()
+        t = self._tmp()
+        return [
+            "rt.steps = steps",
+            f"{lv} = {name}(rt, frame)",
+            "steps = rt.steps",
+        ] + self._chg(2) + [
+            f"{t} = {lv}.load()",
+        ], t
+
+    def _gen_cast(self, expr: N.Cast) -> Tuple[List[str], str]:
+        lines, a = self.gen_expr(expr.expr)
+        v = self._tmp()
+        lines = lines + [f"{v} = {a}"]
+        inline = self._gen_static_coerce(expr.to_type, v)
+        if inline is not None:
+            return lines + inline, v
+        co = self.pool.add(_make_coercer(expr.to_type))
+        return lines + [f"{v} = {co}(rt, {v})"], v
+
+    # -- calls -------------------------------------------------------------
+
+    def _gen_call(self, expr: N.Call) -> Tuple[List[str], str]:
+        if isinstance(expr.func, N.Member):
+            return self._gen_method_call(expr)
+        name = expr.callee_name
+        if name is None:
+            return [
+                "raise InterpError('indirect calls are not supported')",
+            ], "None"
+        arg_parts = [self.gen_expr(a) for a in expr.args]
+        lines: List[str] = []
+        atoms: List[str] = []
+        for als, aa in arg_parts:
+            lines += als
+            atoms.append(aa)
+        args_list = f"[{', '.join(atoms)}]"
+        t = self._tmp()
+        cf = self.program.functions.get(name)
+        if cf is not None:
+            cfn = self.pool.add(cf)
+            snap = ", ".join(f"_snapshot_arg({a})" for a in atoms)
+            return lines + [
+                f"if rt.capture_name == {name!r}:",
+                f"    rt.captured.append([{snap}])",
+                "rt.steps = steps",
+                f"{t} = _call(rt, {cfn}, {args_list}, None)",
+                "steps = rt.steps",
+            ], t
+        builtin = BUILTINS.get(name)
+        if builtin is not None:
+            bn = self.pool.add(builtin)
+            return lines + self._chg(5) + [
+                "rt.steps = steps",
+                f"{t} = {bn}(rt, {args_list})",
+                "steps = rt.steps",
+            ], t
+        message = f"call to undefined function {name!r} at line {expr.line}"
+        return lines + [f"raise InterpError({message!r})"], "None"
+
+    def _gen_method_call(self, expr: N.Call) -> Tuple[List[str], str]:
+        assert isinstance(expr.func, N.Member)
+        member = expr.func
+        mname = member.name
+        if mname == "write" and len(expr.args) != 1:
+            raise _GiveUp()  # closure raises IndexError on args[0]
+        ols, oa = self.gen_expr(member.obj)
+        r = self._tmp()
+        lines = ols + [
+            f"{r} = {oa}",
+            f"if type({r}) is Pointer:",
+            f"    if {r}.block is None: "
+            "raise MemoryFault('dereference of a null pointer')",
+            f"    {r} = {r}.block.load({r}.offset)",
+        ]
+        atoms: List[str] = []
+        for arg in expr.args:
+            als, aa = self.gen_expr(arg)
+            lines += als
+            atoms.append(aa)
+        t = self._tmp()
+        if mname == "read":
+            op_lines = [f"{t} = {r}.read()"]
+        elif mname == "write":
+            op_lines = [f"{r}.write({atoms[0]})", f"{t} = None"]
+        elif mname == "empty":
+            op_lines = [f"{t} = int({r}.empty())"]
+        elif mname == "size":
+            op_lines = [f"{t} = len({r}.items)"]
+        else:
+            bad = f"unknown stream method {mname!r}"
+            op_lines = [f"raise InterpError({bad!r})"]
+        methods = self.pool.add(self.program.methods)
+        cfv = self._tmp()
+        missing = self.pool.add(f"struct %r has no method {mname!r}")
+        nonobj = f"method call on a non-object value: {mname!r}"
+        args_list = f"[{', '.join(atoms)}]"
+        lines += [
+            f"if isinstance({r}, StreamValue):",
+        ] + _blk(self._chg(2) + op_lines) + [
+            f"elif isinstance({r}, StructValue):",
+            f"    {cfv} = {methods}.get(({r}.tag, {mname!r}))",
+            f"    if {cfv} is None:",
+            f"        raise InterpError({missing} % ({r}.tag,))",
+            "    rt.steps = steps",
+            f"    {t} = _call(rt, {cfv}, {args_list}, {r})",
+            "    steps = rt.steps",
+            "else:",
+            f"    raise InterpError({nonobj!r})",
+        ]
+        return lines, t
+
+    # -- statements --------------------------------------------------------
+
+    def gen_stmt(self, stmt: N.Stmt, conditional: bool = False) -> List[str]:
+        if isinstance(stmt, N.Compound):
+            return self.gen_compound(stmt, charge=True)
+        if isinstance(stmt, N.ExprStmt):
+            return self._chg(1) + self._gen_expr_effect(stmt.expr)
+        if isinstance(stmt, N.DeclStmt):
+            return self._gen_decl(stmt.decl, conditional)
+        if isinstance(stmt, N.If):
+            return self._gen_if(stmt)
+        if isinstance(stmt, N.While):
+            return self._gen_while(stmt)
+        if isinstance(stmt, N.DoWhile):
+            return self._gen_dowhile(stmt)
+        if isinstance(stmt, N.For):
+            return self._gen_for(stmt)
+        if isinstance(stmt, N.Return):
+            if stmt.value is None:
+                return self._chg(1) + ["rt.retval = None", "return _RET"]
+            lines, a = self.gen_expr(stmt.value)
+            return self._chg(1) + lines + [
+                f"rt.retval = {a}",
+                "return _RET",
+            ]
+        if isinstance(stmt, N.Break):
+            return self._chg(1) + ["rt.steps = steps", "raise _Break()"]
+        if isinstance(stmt, N.Continue):
+            return self._chg(1) + ["rt.steps = steps", "raise _Continue()"]
+        if isinstance(stmt, (N.Pragma, N.Empty)):
+            return self._chg(1)
+        message = f"cannot execute {type(stmt).__name__}"
+        return self._chg(1) + [f"raise InterpError({message!r})"]
+
+    def _gen_expr_effect(self, expr: N.Expr) -> List[str]:
+        """An expression evaluated for effect: skip pure trailing loads."""
+        try:
+            if isinstance(expr, N.Assign):
+                return self._gen_assign(expr, want_result=False)[0]
+            if isinstance(expr, N.IncDec):
+                return self._gen_incdec(expr, want_result=False)[0]
+        except Exception:
+            pass  # fall through to the value path / closure fallback
+        return self.gen_expr(expr)[0]
+
+    def _gen_body_stmt(self, stmt: N.Stmt) -> List[str]:
+        if isinstance(stmt, N.Compound):
+            return self.gen_compound(stmt, charge=True)
+        return self.gen_stmt(stmt, conditional=True)
+
+    def gen_compound(self, stmt: N.Compound, charge: bool) -> List[str]:
+        self._push_scope()
+        inner: List[str] = []
+        for child in stmt.items:
+            inner += self.gen_stmt(child)
+        resets = self._pop_scope()
+        lines = self._chg(1) if charge else []
+        lines += [f"frame[{slot}] = _UNSET" for slot in resets]
+        return lines + inner
+
+    def _gen_cond_check(
+        self, cond_atom: str, uid: int
+    ) -> Tuple[List[str], str]:
+        kt = self.pool.add((uid, True))
+        kf = self.pool.add((uid, False))
+        tk = self._tmp()
+        return [
+            f"{tk} = {self._truth_of(cond_atom)}",
+            f"cov_add({kt} if {tk} else {kf})",
+        ], tk
+
+    def _gen_if(self, stmt: N.If) -> List[str]:
+        lines = self._chg(1)
+        cls, ca = self.gen_expr(stmt.cond)
+        check, tk = self._gen_cond_check(ca, stmt.uid)
+        lines += cls + check + [f"if {tk}:"]
+        lines += _blk(self._gen_body_stmt(stmt.then))
+        if stmt.other is not None:
+            lines += ["else:"] + _blk(self._gen_body_stmt(stmt.other))
+        return lines
+
+    def _loop_body_try(self, body: List[str], on_continue: str) -> List[str]:
+        """The body of a generated loop with signal handlers.
+
+        ``steps = rt.steps`` in the handlers picks up charges a callee
+        made before a cross-frame break/continue unwound into this loop
+        (the raise sites sync ``rt.steps`` first).
+        """
+        return ["try:"] + _blk(body) + [
+            "except _Break:",
+            "    steps = rt.steps",
+            "    break",
+            "except _Continue:",
+            "    steps = rt.steps",
+            on_continue,
+        ]
+
+    def _gen_while(self, stmt: N.While) -> List[str]:
+        body = self._gen_body_stmt(stmt.body)
+        cls, ca = self.gen_expr(stmt.cond)
+        check, tk = self._gen_cond_check(ca, stmt.uid)
+        loop = cls + check + [f"if not {tk}: break"]
+        loop += self._loop_body_try(body, "    continue")
+        return self._chg(1) + ["while True:"] + _blk(loop)
+
+    def _gen_dowhile(self, stmt: N.DoWhile) -> List[str]:
+        body = self._gen_body_stmt(stmt.body)
+        cls, ca = self.gen_expr(stmt.cond)
+        check, tk = self._gen_cond_check(ca, stmt.uid)
+        loop = self._loop_body_try(body, "    pass")
+        loop += cls + check + [f"if not {tk}: break"]
+        return self._chg(1) + ["while True:"] + _blk(loop)
+
+    def _gen_for(self, stmt: N.For) -> List[str]:
+        self._push_scope()
+        init = self.gen_stmt(stmt.init) if stmt.init is not None else []
+        body = self._gen_body_stmt(stmt.body)
+        cond = self.gen_expr(stmt.cond) if stmt.cond is not None else None
+        step = (
+            self._gen_expr_effect(stmt.step)
+            if stmt.step is not None else []
+        )
+        resets = self._pop_scope()
+        lines = self._chg(1)
+        lines += [f"frame[{slot}] = _UNSET" for slot in resets]
+        lines += init
+        loop: List[str] = []
+        if cond is not None:
+            cls, ca = cond
+            check, tk = self._gen_cond_check(ca, stmt.uid)
+            loop += cls + check + [f"if not {tk}: break"]
+        loop += self._loop_body_try(body, "    pass")
+        loop += step
+        return lines + ["while True:"] + _blk(loop)
+
+    def _gen_decl(self, decl: N.VarDecl, conditional: bool) -> List[str]:
+        ctype = T.strip_typedefs(decl.type)
+        is_array = isinstance(ctype, T.ArrayType)
+        make_lines: Optional[List[str]] = None
+        blk = self._tmp()
+        if not is_array and not decl.is_static:
+            make_lines = self._gen_scalar_make(decl, blk)
+        mk = None
+        if make_lines is None:
+            mk = self.pool.add(self._compile_var_block(decl))
+        # Declare *after* compiling the maker: `int x = x;` must resolve
+        # the initializer's x in the enclosing scope.
+        binding = self._declare(decl, conditional)
+        slot = binding.slot
+        lines = self._chg(1)
+        if decl.is_static:
+            uid = decl.uid
+            return lines + [
+                f"{blk} = rt.statics.get({uid})",
+                f"if {blk} is None:",
+                "    rt.steps = steps",
+                f"    {blk} = {mk}(rt, frame)",
+                "    steps = rt.steps",
+                f"    rt.statics[{uid}] = {blk}",
+                f"frame[{slot}] = {blk}",
+            ]
+        if is_array:
+            return lines + [
+                "rt.steps = steps",
+                f"frame[{slot}] = {mk}(rt, frame)",
+                "steps = rt.steps",
+            ]
+        if make_lines is not None:
+            lines += make_lines
+        else:
+            lines += [
+                "rt.steps = steps",
+                f"{blk} = {mk}(rt, frame)",
+                "steps = rt.steps",
+            ]
+        name_const = self.pool.add(decl.name)
+        return lines + [
+            f"frame[{slot}] = {blk}",
+            f"observe({decl.uid}, {name_const}, {blk}.cells[0])",
+        ]
+
+    def _gen_scalar_make(
+        self, decl: N.VarDecl, blk: str
+    ) -> Optional[List[str]]:
+        """Inline the scalar-block maker (the hot declare-in-loop path)."""
+        try:
+            default = default_value(decl.type, self.program.structs)
+        except TypeError as exc:
+            return [f"raise TypeError({str(exc)!r})"]
+        immutable = isinstance(default, (int, float)) \
+            or type(default) is Pointer
+        ty = self.pool.add(decl.type)
+        nm = self.pool.add(decl.name)
+        v = self._tmp()
+        if decl.init is not None:
+            ils, ia = self.gen_expr(decl.init)
+            lines = ils + [f"{v} = {ia}"]
+            inline = self._gen_static_coerce(decl.type, v)
+            if inline is not None:
+                lines += inline
+            else:
+                co = self.pool.add(_make_coercer(decl.type))
+                lines.append(f"{v} = {co}(rt, {v})")
+        elif immutable:
+            lines = [f"{v} = {self._atom_const(default)}"]
+        else:
+            lines = [f"{v} = default_value({ty}, rt.structs)"]
+        return lines + [
+            f"{blk} = MemBlock({ty}, [{v}], label={nm})",
+            f"{blk}._decl_uid = {decl.uid}",
+        ]
+
+    # -- function entry ----------------------------------------------------
+
+    def gen_function(self, func: N.FunctionDef, cf: CompiledFunction) -> None:
+        """Populate *cf* with binders, slot count, and a generated body."""
+        self._push_scope()
+        for param in func.params:
+            binding = self._declare_param(param)
+            cf.binders.append(self._make_param_binder(param))
+            assert binding.slot == len(cf.binders) - 1
+        if func.owner_struct:
+            this_binding = _Binding(
+                kind="local", slot=self._new_slot(), is_array=False,
+                observe_uid=None, ctype=T.PointerType(T.VOID),
+                maybe_unset=False,
+            )
+            self.scopes[-1]["this"] = this_binding
+            cf.this_slot = this_binding.slot
+        assert func.body is not None
+        # Like the closure compiler, the top-level compound is uncharged.
+        body = self.gen_compound(func.body, charge=False)
+        self._pop_scope()
+        cf.n_slots = self.n_slots
+        src_lines = [
+            "def _batch_body(rt, frame):",
+            "    steps = rt.steps",
+            "    max_steps = rt.max_steps",
+        ]
+        joined = "\n".join(body)
+        if "cov_add(" in joined:
+            src_lines.append("    cov_add = rt.cov_add")
+        if "observe(" in joined:
+            src_lines.append("    observe = rt.observe")
+        src_lines += ["    try:"]
+        src_lines += ["        " + line for line in body] or ["        pass"]
+        src_lines += [
+            "    finally:",
+            "        if steps > rt.steps:",
+            "            rt.steps = steps",
+            "    return None",
+        ]
+        src = "\n".join(src_lines) + "\n"
+        code = compile(src, f"<batch:{cf.name}>", "exec")
+        ns = self.pool.ns
+        exec(code, ns)
+        cf.body = ns.pop("_batch_body")
+
+
+# --------------------------------------------------------------------------
+# Whole-unit batch compilation
+# --------------------------------------------------------------------------
+
+
+class BatchProgram:
+    """All functions of one unit lowered to flat generated Python.
+
+    Wraps (and never mutates) the unit's :class:`CompiledProgram`: the
+    closure compilation — including PR 3 lineage reuse — happens first
+    and stays available as the per-node and per-function fallback.
+    Globals reuse the closure makers outright (they run once per input,
+    not per step).
+    """
+
+    def __init__(self, unit: N.TranslationUnit) -> None:
+        self.unit = unit
+        base = compile_program(unit)
+        self.base = base
+        self.structs = base.structs
+        self.global_bindings = base.global_bindings
+        self.global_makers = base.global_makers
+        self.functions: Dict[str, CompiledFunction] = {}
+        self.methods: Dict[Tuple[str, str], CompiledFunction] = {}
+        self.generated = 0
+        self.fallback_functions = 0
+        pool = _ConstPool()
+        # Two phases: create every shell first so generated call sites
+        # (including recursion and method dispatch) can pool the callee.
+        shells: List[Tuple[Any, N.FunctionDef, CompiledFunction]] = []
+        for decl in unit.decls:
+            if isinstance(decl, N.FunctionDef) and decl.body is not None:
+                cf = CompiledFunction(decl)
+                self.functions[decl.name] = cf
+                shells.append((decl.name, decl, cf))
+            elif isinstance(decl, N.StructDef):
+                for method in decl.methods:
+                    if method.body is not None:
+                        cf = CompiledFunction(method)
+                        self.methods[(decl.tag, method.name)] = cf
+                        shells.append(((decl.tag, method.name), method, cf))
+        no_codegen = os.environ.get("REPRO_BATCH_NO_CODEGEN") == "1"
+        for key, func, cf in shells:
+            try:
+                if no_codegen:
+                    raise _GiveUp()
+                _BatchCompiler(self, pool).gen_function(func, cf)
+                self.generated += 1
+            except Exception:
+                # Serve this function with its closure compilation: the
+                # shell adopts the base body (and the matching binders
+                # and slot numbering), staying duck-compatible with the
+                # generated callers that pooled it.
+                base_cf = (
+                    base.methods[key] if isinstance(key, tuple)
+                    else base.functions[key]
+                )
+                cf.binders = base_cf.binders
+                cf.n_slots = base_cf.n_slots
+                cf.body = base_cf.body
+                cf.this_slot = base_cf.this_slot
+                cf.ret_coercer = base_cf.ret_coercer
+                self.fallback_functions += 1
+        self.poolable_globals = _poolable_globals(unit)
+
+    def init_globals(self, rt: Runtime) -> None:
+        gframe = rt.gframe
+        for make in self.global_makers:
+            gframe.append(make(rt, _NO_FRAME))
+
+    def __deepcopy__(self, memo: Dict[int, Any]) -> None:
+        # A unit clone is about to be edited; it must re-lower from its
+        # own (lineage-reusing) closure compilation.
+        return None
+
+
+_BATCH_CACHE_LOCK = threading.Lock()
+
+
+def batch_program(unit: N.TranslationUnit) -> BatchProgram:
+    """Lower *unit* for batched execution, memoized per unit object."""
+    program = unit.__dict__.get("_batch_program")
+    if isinstance(program, BatchProgram):
+        return program
+    with _BATCH_CACHE_LOCK:
+        program = unit.__dict__.get("_batch_program")
+        if not isinstance(program, BatchProgram):
+            program = BatchProgram(unit)
+            unit.__dict__["_batch_program"] = program
+    return program
+
+
+# --------------------------------------------------------------------------
+# Engines
+# --------------------------------------------------------------------------
+
+
+class BatchRecord:
+    """Per-input outcome of :meth:`BatchEngine.run_many`.
+
+    Exactly one of the three shapes holds: ``result`` is the
+    :class:`ExecResult`; ``error`` is the fault the input raised (the
+    same type and message the compiled backend raises); ``skipped`` is
+    True when the batch's ``max_faults`` budget was exhausted before
+    this input executed.
+    """
+
+    __slots__ = ("result", "error", "skipped")
+
+    def __init__(
+        self,
+        result: Optional[ExecResult] = None,
+        error: Optional[BaseException] = None,
+        skipped: bool = False,
+    ) -> None:
+        self.result = result
+        self.error = error
+        self.skipped = skipped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.skipped:
+            return "BatchRecord(skipped)"
+        if self.error is not None:
+            return f"BatchRecord(error={self.error!r})"
+        return f"BatchRecord(result={self.result!r})"
+
+
+class BatchEngine:
+    """Drop-in engine with a batched fast path (`run_many`)."""
+
+    def __init__(
+        self,
+        unit: N.TranslationUnit,
+        limits: Optional[ExecLimits] = None,
+        hls_mode: bool = False,
+        capture_calls: str = "",
+        want_out_args: bool = True,
+    ) -> None:
+        self.unit = unit
+        self.limits = limits or ExecLimits()
+        self.hls_mode = hls_mode
+        self.capture_calls = capture_calls
+        self.want_out_args = want_out_args
+        self.program = batch_program(unit)
+        self.captured: List[List[Any]] = []
+        self.steps = 0
+
+    # -- single-input path (drop-in for CompiledEngine.run) ---------------
+
+    def run(self, func_name: str, args: List[Any]) -> ExecResult:
+        program = self.program
+        cf = program.functions.get(func_name)
+        if cf is None:
+            raise InterpError(f"no function named {func_name!r}")
+        rt = Runtime(self.limits, program.structs, self.capture_calls)
+        self.captured = rt.captured
+        try:
+            program.init_globals(rt)
+            runtime_args = self._marshal(rt, program, cf, func_name, args)
+            value = _call(rt, cf, runtime_args, None)
+        except MemoryFault as exc:
+            if self.hls_mode and getattr(exc, "oob_array", False):
+                raise HlsSimulationFault(str(exc)) from exc
+            raise
+        finally:
+            self.steps = rt.steps
+            self.coverage = rt.coverage
+            self.profile = rt.profile
+        out_args = (
+            [c_to_python(a) for a in runtime_args]
+            if self.want_out_args else []
+        )
+        return ExecResult(
+            value=c_to_python(value),
+            out_args=out_args,
+            steps=rt.steps,
+            coverage=rt.coverage,
+            profile=rt.profile,
+            captured_args=rt.captured,
+        )
+
+    def _marshal(self, rt, program, cf, func_name, args) -> List[Any]:
+        runtime_args: List[Any] = []
+        params = cf.params
+        for param, arg in zip(params, args):
+            try:
+                runtime_args.append(
+                    python_to_c(arg, param.type, program.structs)
+                )
+            except (TypeError, ValueError) as exc:
+                raise InterpError(
+                    f"{func_name}: cannot marshal argument "
+                    f"{param.name!r}: {exc}"
+                ) from exc
+        if len(args) != len(params):
+            raise InterpError(
+                f"{func_name} expects {len(params)} args, got {len(args)}"
+            )
+        return runtime_args
+
+    # -- batched path ------------------------------------------------------
+
+    def run_many(
+        self,
+        func_name: str,
+        arg_sets: Sequence[Sequence[Any]],
+        max_faults: Optional[int] = None,
+    ) -> List[BatchRecord]:
+        """Run every input through one pooled pass.
+
+        Per-input results are bit-identical to calling
+        :meth:`run` once per input: the Runtime is reset (not shared
+        state) between inputs, coverage/profile recorders are handed off
+        into each ExecResult, and the global frame is either rebuilt or —
+        when the unit's initializers are provably effect-free — restored
+        by value with the init's step/heap charges replayed.  A faulting
+        input yields an error record and the batch continues; once
+        *max_faults* faults have occurred, remaining inputs are marked
+        ``skipped`` without executing (the difftest abort contract).
+        """
+        program = self.program
+        cf = program.functions.get(func_name)
+        rt = Runtime(self.limits, program.structs, self.capture_calls)
+        want_out = self.want_out_args
+        hls_mode = self.hls_mode
+        records: List[BatchRecord] = []
+        faults = 0
+        pristine: Optional[List[List[Any]]] = None
+        g_steps = g_heap = 0
+        for args in arg_sets:
+            if max_faults is not None and faults >= max_faults:
+                records.append(BatchRecord(skipped=True))
+                continue
+            rt.steps = 0
+            rt.heap_cells = 0
+            rt.depth = 0
+            rt.coverage = CoverageRecorder()
+            rt.cov_add = rt.coverage.hits.add
+            rt.profile = ValueProfile()
+            rt.observe = rt.profile.observe
+            if rt.active:
+                rt.active.clear()
+            if rt.statics:
+                rt.statics.clear()
+            rt.captured = []
+            rt.retval = None
+            error: Optional[BaseException] = None
+            value: Any = None
+            runtime_args: List[Any] = []
+            try:
+                if cf is None:
+                    raise InterpError(f"no function named {func_name!r}")
+                if pristine is not None:
+                    # Replay the init charges with one-shot budget checks:
+                    # the messages carry no running totals, so a crossing
+                    # raises identically to the incremental charges.
+                    rt.steps = g_steps
+                    if rt.steps > rt.max_steps:
+                        _over_steps(rt)
+                    rt.heap_cells = g_heap
+                    if rt.heap_cells > rt.max_heap:
+                        raise InterpLimitExceeded("heap budget exceeded")
+                    for block, cells in zip(rt.gframe, pristine):
+                        block.cells[:] = cells
+                        block.alive = True
+                else:
+                    rt.gframe.clear()
+                    program.init_globals(rt)
+                    # Snapshot only when init provably had no observable
+                    # effects beyond cell values and step/heap charges:
+                    # the AST whitelist rules out branching/calling
+                    # initializers, the runtime check (belt and braces)
+                    # rules out anything the whitelist missed, and the
+                    # int/float restriction rules out mutable values
+                    # (struct/stream/pointer) that a kernel could alias.
+                    if (
+                        program.poolable_globals
+                        and not rt.coverage.hits
+                        and not rt.profile.ranges
+                        and not rt.profile.call_depths
+                        and not rt.statics
+                        and not rt.captured
+                        and all(
+                            type(c) in (int, float)
+                            for b in rt.gframe for c in b.cells
+                        )
+                    ):
+                        pristine = [list(b.cells) for b in rt.gframe]
+                        g_steps = rt.steps
+                        g_heap = rt.heap_cells
+                runtime_args = self._marshal(rt, program, cf, func_name, args)
+                value = _call(rt, cf, runtime_args, None)
+            except MemoryFault as exc:
+                if hls_mode and getattr(exc, "oob_array", False):
+                    error = HlsSimulationFault(str(exc))
+                    error.__cause__ = exc
+                else:
+                    error = exc
+            except InterpError as exc:
+                error = exc
+            self.steps = rt.steps
+            self.coverage = rt.coverage
+            self.profile = rt.profile
+            self.captured = rt.captured
+            if error is not None:
+                faults += 1
+                records.append(BatchRecord(error=error))
+                continue
+            out_args = (
+                [c_to_python(a) for a in runtime_args] if want_out else []
+            )
+            records.append(BatchRecord(result=ExecResult(
+                value=c_to_python(value),
+                out_args=out_args,
+                steps=rt.steps,
+                coverage=rt.coverage,
+                profile=rt.profile,
+                captured_args=rt.captured,
+            )))
+        return records
+
+
+class BatchCrossCheckEngine(CrossCheckEngine):
+    """Runs compiled and batch on every input, asserting identity.
+
+    Reuses the cross-check comparison verbatim one level up the tower:
+    the ``tree`` slot holds the compiled backend (the reference) and the
+    ``compiled`` slot the batch backend (the candidate) — mismatch
+    messages read accordingly.
+    """
+
+    def __init__(
+        self,
+        unit: N.TranslationUnit,
+        limits: Optional[ExecLimits] = None,
+        hls_mode: bool = False,
+        capture_calls: str = "",
+        want_out_args: bool = True,
+    ) -> None:
+        self.tree = CompiledEngine(
+            unit, limits=limits, hls_mode=hls_mode,
+            capture_calls=capture_calls, want_out_args=want_out_args,
+        )
+        self.compiled = BatchEngine(
+            unit, limits=limits, hls_mode=hls_mode,
+            capture_calls=capture_calls, want_out_args=want_out_args,
+        )
+        self.unit = unit
+        self.limits = self.compiled.limits
+        self.hls_mode = hls_mode
+        self.capture_calls = capture_calls
+        self.want_out_args = want_out_args
+        self.captured: List[List[Any]] = []
+
+
+def engine_run_many(
+    engine: Any,
+    func_name: str,
+    arg_sets: Sequence[Sequence[Any]],
+    max_faults: Optional[int] = None,
+) -> List[BatchRecord]:
+    """Run a batch of inputs on any engine.
+
+    Uses the engine's native ``run_many`` when it has one (the batch
+    backend's pooled pass); otherwise loops ``run`` with the same
+    record/fault-isolation/abort contract, so consumers have a single
+    code path across all backends.
+    """
+    native = getattr(engine, "run_many", None)
+    if native is not None:
+        return native(func_name, arg_sets, max_faults=max_faults)
+    records: List[BatchRecord] = []
+    faults = 0
+    for args in arg_sets:
+        if max_faults is not None and faults >= max_faults:
+            records.append(BatchRecord(skipped=True))
+            continue
+        try:
+            result = engine.run(func_name, args)
+        except InterpError as exc:
+            faults += 1
+            records.append(BatchRecord(error=exc))
+        else:
+            records.append(BatchRecord(result=result))
+    return records

@@ -2394,7 +2394,7 @@ class CrossCheckEngine:
 # Backend selection
 # --------------------------------------------------------------------------
 
-BACKENDS = ("tree", "compiled", "cross")
+BACKENDS = ("tree", "compiled", "cross", "batch", "batch-cross")
 
 _default_backend = os.environ.get("REPRO_INTERP_BACKEND", "compiled")
 
@@ -2435,6 +2435,20 @@ def make_engine(
         )
     if name == "cross":
         return CrossCheckEngine(
+            unit, limits=limits, hls_mode=hls_mode,
+            capture_calls=capture_calls, want_out_args=want_out_args,
+        )
+    if name == "batch":
+        from .batch import BatchEngine
+
+        return BatchEngine(
+            unit, limits=limits, hls_mode=hls_mode,
+            capture_calls=capture_calls, want_out_args=want_out_args,
+        )
+    if name == "batch-cross":
+        from .batch import BatchCrossCheckEngine
+
+        return BatchCrossCheckEngine(
             unit, limits=limits, hls_mode=hls_mode,
             capture_calls=capture_calls, want_out_args=want_out_args,
         )

@@ -1,9 +1,11 @@
-"""The ten benchmark subjects of Table 3."""
+"""The ten benchmark subjects of Table 3, plus the generated smoke
+corpus used for cross-backend differential testing."""
 
 from typing import Dict, List
 
 from ..errors import SubjectError
 from .base import Subject
+from .generated import GeneratedSubject, generated_subjects
 
 
 from .p01_signal import SUBJECT as P1
@@ -37,4 +39,10 @@ def get_subject(subject_id: str) -> Subject:
         ) from None
 
 
-__all__ = ["Subject", "all_subjects", "get_subject"]
+__all__ = [
+    "GeneratedSubject",
+    "Subject",
+    "all_subjects",
+    "generated_subjects",
+    "get_subject",
+]

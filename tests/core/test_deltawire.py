@@ -367,6 +367,75 @@ class TestWorkerEvaluation:
         assert not second.wire.unit_cache_hit
 
 
+class TestParseCacheKeying:
+    """Regression tests for the parsed-unit LRU key (the 0.006 hit rate
+    in the BENCH_parallel wire sweep).
+
+    The first cut keyed delta jobs by packed decl-fingerprint bytes and
+    full jobs by a source digest, both scoped by the wire context token
+    — so the only repeats that structurally occur (DeltaMiss resends
+    and later searches over the same subject) addressed identical
+    content under different keys and always re-parsed.  The key is now
+    ``(kernel, sha256(source))``: pure content addressing, shared by
+    both wire formats and across contexts."""
+
+    def test_full_resend_hits_delta_parse(self, clean_wire_state):
+        """The DeltaMiss-resend shape: a full-source resubmit of a
+        candidate whose content a delta job already carried must reuse
+        the parse, not repeat it."""
+        search, initial = _make_search(executor="thread")
+        first = evaluate_job(search._make_job(initial))
+        second = evaluate_job(search._make_job(initial, full_source=True))
+        assert not first.wire.unit_cache_hit
+        assert second.wire.unit_cache_hit
+        assert second.wire.parse_seconds == 0.0
+        assert dataclasses.replace(first, wire=None) == dataclasses.replace(
+            second, wire=None
+        )
+
+    def test_parse_cache_survives_context_turnover(self, clean_wire_state):
+        """A fresh search over the same subject (new context token —
+        here via different exec limits) re-submits identical candidate
+        content; the worker must not re-parse it."""
+        from repro.interp import ExecLimits
+
+        search_a, initial_a = _make_search(executor="thread")
+        unit_b = parse(BROKEN_SRC, top_name="kernel")
+        search_b = RepairSearch(
+            original=unit_b,
+            kernel_name="kernel",
+            tests=TESTS,
+            config=SearchConfig(executor="thread", max_iterations=4,
+                                use_synthesis=False),
+            clock=SimulatedClock(),
+            limits=ExecLimits(max_steps=123_456),
+        )
+        initial_b = Candidate(
+            unit=unit_b, config=initial_a.config
+        )
+        assert search_a._wire_context != search_b._wire_context
+        first = evaluate_job(search_a._make_job(initial_a))
+        second = evaluate_job(search_b._make_job(initial_b))
+        assert not first.wire.unit_cache_hit
+        assert second.wire.unit_cache_hit
+
+    def test_delta_sweep_rerun_hit_rate(self, clean_wire_state):
+        """A rerun of a delta-wire job stream (the shape of a warm
+        sweep: same subject, fresh search generation) must hit the
+        parse cache for every repeated content — a realistic hit rate,
+        not the ~0 the mismatched keys produced."""
+        search, initial = _make_search(executor="thread")
+        jobs = [
+            search._make_job(initial),
+            search._make_job(initial, full_source=True),
+        ]
+        for job in jobs:
+            evaluate_job(job)
+        results = [evaluate_job(job) for job in jobs]
+        hits = sum(1 for result in results if result.wire.unit_cache_hit)
+        assert hits / len(results) == 1.0
+
+
 class TestContextLRU:
     TINY = "int kernel(int x) {\n  return x;\n}\n"
 

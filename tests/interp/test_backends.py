@@ -28,7 +28,7 @@ from repro.interp import (
 )
 from repro.interp.compile import CompiledProgram
 
-BOTH = pytest.mark.parametrize("backend", ["tree", "compiled"])
+BOTH = pytest.mark.parametrize("backend", ["tree", "compiled", "batch"])
 
 
 def run_c(source, func, args, backend, **kwargs):
@@ -302,6 +302,12 @@ def test_make_engine_types(sum_array_source):
     assert isinstance(make_engine(unit, backend="tree"), Interpreter)
     assert isinstance(make_engine(unit, backend="compiled"), CompiledEngine)
     assert isinstance(make_engine(unit, backend="cross"), CrossCheckEngine)
+    from repro.interp import BatchCrossCheckEngine, BatchEngine
+
+    assert isinstance(make_engine(unit, backend="batch"), BatchEngine)
+    assert isinstance(
+        make_engine(unit, backend="batch-cross"), BatchCrossCheckEngine
+    )
     with pytest.raises(ValueError):
         make_engine(unit, backend="bogus")
 
@@ -318,7 +324,9 @@ def test_default_backend_roundtrip(sum_array_source):
             set_default_backend("bogus")
     finally:
         set_default_backend(original)
-    assert set(BACKENDS) == {"tree", "compiled", "cross"}
+    assert set(BACKENDS) == {
+        "tree", "compiled", "cross", "batch", "batch-cross"
+    }
 
 
 def test_compiled_program_cached_per_unit(sum_array_source):

@@ -1,0 +1,75 @@
+"""Acceptance: the batch backend stays bit-identical across Table 3.
+
+Mirror of ``test_cross_check_subjects.py`` one level up the tower:
+fuzzing each subject under ``backend="batch-cross"`` executes every
+generated input through both the closure-compiled engine and the batch
+engine and asserts identical observables, step counts, coverage hits
+and value profiles.  A divergence raises ``BackendMismatch`` (an
+``AssertionError``), failing the campaign outright.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InterpError
+from repro.fuzz import FuzzConfig, fuzz_kernel
+from repro.interp import ExecLimits, engine_run_many, make_engine
+from repro.subjects import all_subjects
+
+#: Modest CI budget; the benchmark harness replays full corpora with the
+#: same identity assertion on every run.
+CROSS_EXECS = 120
+
+LIMITS = ExecLimits(max_steps=60_000, max_depth=128)
+
+SUBJECTS = all_subjects()
+
+
+@pytest.mark.parametrize("subject", SUBJECTS, ids=[s.id for s in SUBJECTS])
+def test_fuzz_corpus_batch_cross_checks(subject):
+    unit = subject.parse()
+    report = fuzz_kernel(
+        unit,
+        subject.kernel,
+        FuzzConfig(max_execs=CROSS_EXECS, plateau_execs=CROSS_EXECS, seed=7),
+        seeds=subject.existing_test_list() or None,
+        limits=LIMITS,
+        backend="batch-cross",
+    )
+    assert report.execs > 0
+
+    # Replay part of the corpus in HLS mode: wrap/fault translation must
+    # agree between the compiled and batch engines too.
+    engine = make_engine(
+        unit, backend="batch-cross", limits=LIMITS, hls_mode=True
+    )
+    for test in report.suite(20):
+        try:
+            engine.run(subject.kernel, test)
+        except InterpError:
+            pass  # a fault is fine — only divergence is not
+
+
+@pytest.mark.parametrize("subject", SUBJECTS, ids=[s.id for s in SUBJECTS])
+def test_run_many_matches_compiled_on_subject_suite(subject):
+    """The pooled batched pass over each subject's existing tests must
+    produce the same record stream as the compiled per-input loop."""
+    tests = subject.existing_test_list()
+    if not tests:
+        pytest.skip(f"{subject.id} has no pre-existing test suite")
+    unit = subject.parse()
+    batch = make_engine(unit, backend="batch", limits=LIMITS)
+    compiled = make_engine(unit, backend="compiled", limits=LIMITS)
+    native = engine_run_many(batch, subject.kernel, tests)
+    looped = engine_run_many(compiled, subject.kernel, tests)
+    for n, l in zip(native, looped):
+        assert (n.error is None) == (l.error is None)
+        if n.error is not None:
+            assert type(n.error) is type(l.error)
+            assert str(n.error) == str(l.error)
+        else:
+            assert n.result.value == l.result.value
+            assert n.result.out_args == l.result.out_args
+            assert n.result.steps == l.result.steps
+            assert n.result.coverage.hits == l.result.coverage.hits
