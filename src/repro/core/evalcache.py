@@ -111,6 +111,17 @@ class WireStats:
     """Interpreter closures adopted from the worker's compiled ancestor."""
     delta: bool
     """The job arrived in the delta wire format (vs full source)."""
+    graft_seconds: float = 0.0
+    """Cloning cached decl templates into the grafted unit (0 when the
+    job full-parsed)."""
+    uid_remap_seconds: float = 0.0
+    """The deterministic uid/line renumbering pass over grafted decls."""
+    decl_cache_hits: int = 0
+    """Decl-template cache hits while reconstructing this job's unit."""
+    decl_cache_misses: int = 0
+    """Decl blocks that had to be mini-parsed (template-cache misses)."""
+    grafted: bool = False
+    """The unit was graft-reconstructed instead of full-parsed."""
 
 
 @dataclass(frozen=True)

@@ -88,11 +88,22 @@ changes what crosses the wire.  A worker missing a referenced block
 and the parent re-submits that candidate as a full-source job — a pure
 wall-clock fallback.
 
-On top of the splice, workers keep a fingerprint-keyed **parsed-unit
-LRU** (same content addressing as the parent's evalcache): a job whose
-decl-fingerprint tuple matches a previous job in the same context skips
-the parse entirely.  Identical source text parses (under the counter
-reset) to a value-identical tree, so reuse is observationally exact.
+On top of the splice, workers keep two parse-elision tiers.  The
+content-addressed **parsed-unit LRU** (same content addressing as the
+parent's evalcache) skips the parse entirely when the whole spliced
+source was seen before — rare in steady state, since candidates are
+almost never byte-identical.  Below it, the **decl-template cache**
+(:mod:`repro.cfront.graft`) works at the grain where candidates *are*
+identical: delta jobs reconstruct their unit by cloning cached
+per-declaration ASTs and remapping uids/lines into place, mini-parsing
+only the blocks without a cached template — in practice the one or two
+declarations the candidate edited.  The graft contract (the grafted
+unit is bit-identical to a full parse of the spliced source) is
+enforced on every job under ``REPRO_AST_GRAFT=cross`` and switched off
+entirely under ``REPRO_AST_GRAFT=0``; the mode rides the job envelope
+so workers mirror the parent, never their own environment.  Identical
+source text parses (under the counter reset) to a value-identical
+tree, so reuse in either tier is observationally exact.
 Workers also carry the interpreter-closure lineage across jobs: the
 last compiled program per context seeds
 :func:`~repro.interp.compile.seed_compile_lineage` on the next freshly
@@ -125,6 +136,7 @@ picklable as a whole).
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import itertools
 import multiprocessing
@@ -139,6 +151,14 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..cfront import nodes as N
 from ..cfront.fingerprint import forced_mode, incremental_mode, structural_fp
+from ..cfront.graft import (
+    GraftStats,
+    GraftUnsupported,
+    graft_mode,
+    graft_unit,
+    graft_unit_cross,
+    warm_templates,
+)
 from ..cfront.parser import parse
 from ..cfront.printer import render_decl, render_unit_from_blocks
 from ..difftest import DiffReport, differential_test, run_cpu_reference
@@ -262,6 +282,10 @@ class EvalJob:
     no dirty entry reference the worker's content-addressed block
     cache.  When set, ``source`` is empty and the worker reassembles
     the exact full source before parsing."""
+    graft: str = "on"
+    """AST-graft mode the worker must apply (``on``/``off``/``cross``) —
+    stamped by the producer from :func:`~repro.cfront.graft.graft_mode`
+    so workers mirror the parent even across environment drift."""
 
 
 @dataclass(frozen=True)
@@ -289,6 +313,8 @@ class DeltaJob:
     """Incremental mode (:attr:`EvalJob.incremental`)."""
     t: bool = False
     """Trace capture flag (:attr:`EvalJob.trace`)."""
+    a: str = "on"
+    """AST-graft mode (:attr:`EvalJob.graft`)."""
 
 
 @dataclass(frozen=True)
@@ -564,6 +590,13 @@ def _worker_context(job: EvalJob) -> _WorkerContext:
         clock=SimulatedClock(),
         backend=job.interp_backend,
     )
+    if job.graft != "off":
+        # Pre-warm the decl-template cache with the baseline's blocks:
+        # context construction already pays a full parse and a reference
+        # run once per search, so the first delta job grafts warm and
+        # per-job parse time only covers edited declarations.  (After
+        # the reference run: warming resets the node-uid counter.)
+        warm_templates([render_decl(decl) for decl in original.decls])
     context = _WorkerContext(original, reference, cpu_ns, tests=tests)
     while len(_WORKER_CONTEXTS) >= _MAX_WORKER_CONTEXTS:
         # True LRU: evict the least-recently *used* context, not the
@@ -607,6 +640,7 @@ def evaluate_job(job: Any) -> Any:
             decls=job.d,
             incremental=job.i,
             trace=job.t,
+            graft=job.a,
         )
     if not job.trace:
         return _evaluate_pipeline(job)
@@ -618,11 +652,14 @@ def evaluate_job(job: Any) -> Any:
     return replace(result, trace=tracer.subtrace())
 
 
-def _splice_source(job: EvalJob) -> Tuple[Optional[str], Tuple[Any, ...]]:
-    """Reassemble a delta job's full source from cached + shipped blocks.
+def _splice_blocks(
+    job: EvalJob,
+) -> Tuple[Optional[List[str]], Tuple[Any, ...]]:
+    """Resolve a delta job's decl blocks from cached + shipped entries.
 
-    Returns ``(source, ())`` or ``(None, missing_fps)``.  Shipped blocks
-    are cached for later jobs either way."""
+    Returns ``(blocks, ())`` in declaration order or
+    ``(None, missing_fps)``.  Shipped blocks are cached for later jobs
+    either way."""
     packed, dirty = job.decls or (b"", ())
     shipped = dict(dirty)
     if shipped and job.context_id not in _CONTEXT_PAYLOADS:
@@ -647,14 +684,25 @@ def _splice_source(job: EvalJob) -> Tuple[Optional[str], Tuple[Any, ...]]:
         blocks.append(block)
     if missing:
         return None, tuple(missing)
+    return blocks, ()
+
+
+def _splice_source(job: EvalJob) -> Tuple[Optional[str], Tuple[Any, ...]]:
+    """Reassemble a delta job's full source from cached + shipped blocks.
+
+    Returns ``(source, ())`` or ``(None, missing_fps)``."""
+    blocks, missing = _splice_blocks(job)
+    if blocks is None:
+        return None, missing
     return render_unit_from_blocks(blocks), ()
 
 
 def _candidate_unit(
-    job: EvalJob, source: str
-) -> Tuple[N.TranslationUnit, float, bool]:
+    job: EvalJob, source: str, blocks: Optional[List[str]] = None
+) -> Tuple[N.TranslationUnit, float, bool, Optional[GraftStats]]:
     """Parse the candidate, served from the worker's parsed-unit LRU
-    when the content was seen before.
+    when the content was seen before, or grafted from the decl-template
+    cache when the job arrived as delta blocks.
 
     Cache key: the kernel name plus a digest of the (spliced) source —
     pure content addressing, deliberately *not* scoped by wire format
@@ -675,8 +723,16 @@ def _candidate_unit(
     uid-counter reset) to a value-identical tree regardless of which
     context asked, and units are never mutated after evaluation
     starts.  Bypassed when incremental mode is off so the escape hatch
-    restores pre-incremental behaviour to the letter.  Returns
-    ``(unit, parse_seconds, was_cache_hit)``."""
+    restores pre-incremental behaviour to the letter.
+
+    Below the unit LRU, a miss with *blocks* in hand (a delta job) and
+    graft mode on goes to the decl-grain template cache instead of a
+    full parse: :func:`~repro.cfront.graft.graft_unit` mini-parses only
+    the blocks without a cached template and grafts the rest.  ``cross``
+    mode additionally full-parses and asserts node-exact equality on
+    every job; a :class:`~repro.cfront.graft.GraftUnsupported` block
+    falls back to the plain full parse.  Returns
+    ``(unit, parse_seconds, was_cache_hit, graft_stats_or_None)``."""
     key: Optional[Tuple[str, Any]] = None
     if job.incremental != "off":
         key = (
@@ -687,20 +743,31 @@ def _candidate_unit(
         if unit is not None:
             _PARSED_UNITS.move_to_end(key)
             _UNIT_CACHE_STATS["hits"] += 1
-            return unit, 0.0, True
+            return unit, 0.0, True, None
         _UNIT_CACHE_STATS["misses"] += 1
-    started = time.perf_counter()
-    # Deterministic uids per job: re-parses of the same source get
-    # identical exact fingerprints, so the per-function analysis
-    # memos hit across jobs that share unedited functions.
-    N._uid_counter = itertools.count(1)
-    unit = parse(source, top_name=job.kernel_name)
-    parse_seconds = time.perf_counter() - started
+    gstats: Optional[GraftStats] = None
+    unit = None
+    if blocks is not None and key is not None and job.graft != "off":
+        reconstruct = graft_unit_cross if job.graft == "cross" else graft_unit
+        try:
+            unit, gstats = reconstruct(blocks, top_name=job.kernel_name)
+        except GraftUnsupported:
+            unit, gstats = None, None
+    if unit is None:
+        started = time.perf_counter()
+        # Deterministic uids per job: re-parses of the same source get
+        # identical exact fingerprints, so the per-function analysis
+        # memos hit across jobs that share unedited functions.
+        N._uid_counter = itertools.count(1)
+        unit = parse(source, top_name=job.kernel_name)
+        parse_seconds = time.perf_counter() - started
+    else:
+        parse_seconds = gstats.parse_seconds
     if key is not None:
         _PARSED_UNITS[key] = unit
         while len(_PARSED_UNITS) > _MAX_PARSED_UNITS:
             _PARSED_UNITS.popitem(last=False)
-    return unit, parse_seconds, False
+    return unit, parse_seconds, False, gstats
 
 
 def _evaluate_pipeline(job: EvalJob) -> Any:
@@ -710,14 +777,18 @@ def _evaluate_pipeline(job: EvalJob) -> Any:
         except _ContextUnavailable as exc:
             return DeltaMiss(exc.missing)
         started = time.perf_counter()
+        blocks: Optional[List[str]] = None
         if job.decls is not None:
-            source, missing = _splice_source(job)
-            if source is None:
+            blocks, missing = _splice_blocks(job)
+            if blocks is None:
                 return DeltaMiss(missing)
+            source = render_unit_from_blocks(blocks)
         else:
             source = job.source
         splice_seconds = time.perf_counter() - started
-        unit, parse_seconds, unit_cached = _candidate_unit(job, source)
+        unit, parse_seconds, unit_cached, gstats = _candidate_unit(
+            job, source, blocks
+        )
         if not unit_cached:
             # Closure reuse across jobs: let the first compile of this
             # unit adopt the context's previous program where the exact-
@@ -738,6 +809,11 @@ def _evaluate_pipeline(job: EvalJob) -> Any:
                 unit_cache_hit=unit_cached,
                 reused_functions=reused,
                 delta=job.decls is not None,
+                graft_seconds=gstats.graft_seconds if gstats else 0.0,
+                uid_remap_seconds=gstats.remap_seconds if gstats else 0.0,
+                decl_cache_hits=gstats.hits if gstats else 0,
+                decl_cache_misses=gstats.misses if gstats else 0,
+                grafted=gstats is not None,
             ),
         )
 
@@ -802,6 +878,22 @@ def _start_method() -> str:
     return "fork" if "fork" in methods else "spawn"
 
 
+def _worker_init() -> None:
+    """Fork-child initializer: take the inherited heap out of cyclic GC.
+
+    A fork child starts with the parent's entire object graph — warm
+    imports, analysis memos, the block cache — in its collectable
+    generations, so every full collection the worker's own allocation
+    bursts trigger traverses megabytes of objects that will never
+    become garbage.  ``gc.freeze`` moves them to the permanent
+    generation: collections then scan only what the worker itself
+    allocated, which turns the heavy-tailed multi-millisecond GC pauses
+    observed inside ``_parse_template`` back into microseconds.
+    """
+    gc.collect()
+    gc.freeze()
+
+
 def get_pool(workers: int) -> ProcessPoolExecutor:
     """The shared persistent pool, grown to at least *workers* wide.
 
@@ -814,7 +906,9 @@ def get_pool(workers: int) -> ProcessPoolExecutor:
     if _POOL is not None:
         _POOL.shutdown(wait=True)
     mp_context = multiprocessing.get_context(_start_method())
-    _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=mp_context)
+    _POOL = ProcessPoolExecutor(
+        max_workers=workers, mp_context=mp_context, initializer=_worker_init
+    )
     _POOL_SIZE = workers
     _SHIPPED_COUNTS.clear()
     _SEEDED_AT_FORK.clear()
@@ -855,7 +949,14 @@ _WIRE_TOTALS: Dict[str, Any] = {
     "measured_jobs": 0,
     "splice_seconds": 0.0,
     "parse_seconds": 0.0,
+    "delta_parse_seconds": 0.0,
+    "delta_results": 0,
+    "graft_seconds": 0.0,
+    "uid_remap_seconds": 0.0,
     "unit_cache_hits": 0,
+    "decl_cache_hits": 0,
+    "decl_cache_misses": 0,
+    "grafted_jobs": 0,
     "worker_results": 0,
     "reused_functions": 0,
 }
@@ -900,19 +1001,42 @@ def _account_job(job: Any) -> None:
 
 def record_worker_wire(wire: WireStats) -> None:
     """Fold a worker's :class:`~repro.core.evalcache.WireStats` into the
-    parent-side totals (the search strips the side-channel right after)."""
+    parent-side totals (the search strips the side-channel right after)
+    and publish the per-tier cache counters — ``worker.unit_cache`` for
+    the whole-unit parsed LRU, ``worker.decl_cache`` for the decl-grain
+    template cache — to the metrics registry."""
     _WIRE_TOTALS["worker_results"] += 1
     _WIRE_TOTALS["splice_seconds"] += wire.splice_seconds
     _WIRE_TOTALS["parse_seconds"] += wire.parse_seconds
+    if wire.delta:
+        # Per-kind parse buckets: the ≥5× elision claim is about delta
+        # jobs, so cold-process resends (full jobs at full-parse cost)
+        # must not blur the delta mean.
+        _WIRE_TOTALS["delta_results"] += 1
+        _WIRE_TOTALS["delta_parse_seconds"] += wire.parse_seconds
+    _WIRE_TOTALS["graft_seconds"] += wire.graft_seconds
+    _WIRE_TOTALS["uid_remap_seconds"] += wire.uid_remap_seconds
     if wire.unit_cache_hit:
         _WIRE_TOTALS["unit_cache_hits"] += 1
+    _WIRE_TOTALS["decl_cache_hits"] += wire.decl_cache_hits
+    _WIRE_TOTALS["decl_cache_misses"] += wire.decl_cache_misses
+    if wire.grafted:
+        _WIRE_TOTALS["grafted_jobs"] += 1
     _WIRE_TOTALS["reused_functions"] += wire.reused_functions
     recorder = get_recorder()
     if recorder.enabled:
         recorder.metrics.inc(
-            "worker.parse_reuse",
+            "worker.unit_cache",
             outcome="hit" if wire.unit_cache_hit else "miss",
         )
+        if wire.decl_cache_hits:
+            recorder.metrics.inc(
+                "worker.decl_cache", wire.decl_cache_hits, outcome="hit"
+            )
+        if wire.decl_cache_misses:
+            recorder.metrics.inc(
+                "worker.decl_cache", wire.decl_cache_misses, outcome="miss"
+            )
         if wire.reused_functions:
             recorder.metrics.inc(
                 "worker.closure_reuse", wire.reused_functions

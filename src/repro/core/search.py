@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..cfront import nodes as N
 from ..cfront.fingerprint import incremental_mode
+from ..cfront.graft import graft_mode
 from ..cfront.printer import render
 from ..difftest import DiffReport, differential_test, run_cpu_reference
 from ..hls.clock import SimulatedClock
@@ -738,6 +739,7 @@ class RepairSearch:
                 ),
                 i=incremental_mode(),
                 t=get_recorder().enabled,
+                a=graft_mode(),
             )
         return dataclasses.replace(
             self._job_template,
@@ -745,6 +747,7 @@ class RepairSearch:
             config=candidate.config,
             incremental=incremental_mode(),
             trace=get_recorder().enabled,
+            graft=graft_mode(),
         )
 
     def _delta_wire(self) -> bool:

@@ -17,6 +17,7 @@ from concurrent.futures import Future
 
 import pytest
 
+from repro.cfront import graft
 from repro.cfront import nodes as N
 from repro.cfront.fingerprint import exact_fp, structural_fp
 from repro.cfront.parser import parse
@@ -82,6 +83,12 @@ def clean_wire_state():
         dict(parallel._PARSED_UNITS),
         dict(parallel._UNIT_CACHE_STATS),
     )
+    saved_templates = (
+        dict(graft._TEMPLATES),
+        dict(graft._TEMPLATE_STATS),
+        dict(graft._HOLE_FAMILIES),
+    )
+    graft.clear_decl_templates()
     parallel._DECL_BLOCKS.clear()
     parallel._BASELINE_FPS.clear()
     parallel._SEEDED_AT_FORK.clear()
@@ -114,6 +121,11 @@ def clean_wire_state():
     parallel._PARSED_UNITS.clear()
     parallel._PARSED_UNITS.update(units)
     parallel._UNIT_CACHE_STATS.update(ustats)
+    graft._TEMPLATES.clear()
+    graft._TEMPLATES.update(saved_templates[0])
+    graft._TEMPLATE_STATS.update(saved_templates[1])
+    graft._HOLE_FAMILIES.clear()
+    graft._HOLE_FAMILIES.update(saved_templates[2])
 
 
 def _make_search(**overrides):
@@ -436,6 +448,125 @@ class TestParseCacheKeying:
         assert hits / len(results) == 1.0
 
 
+class TestGraftWorkerPath:
+    """The decl-grain graft tier inside ``evaluate_job`` (PR 9)."""
+
+    def test_delta_job_grafts_and_matches_graft_off(
+        self, clean_wire_state, monkeypatch
+    ):
+        monkeypatch.setenv(graft.GRAFT_ENV, "1")
+        search, initial = _make_search(executor="thread")
+        job = search._make_job(initial)
+        assert job.a == "on"
+        grafted = evaluate_job(job)
+        assert grafted.wire.grafted
+        # Context construction pre-warms the baseline's decl templates,
+        # so the initial candidate (== baseline) grafts entirely from
+        # cache without a single mini-parse.
+        assert grafted.wire.decl_cache_hits > 0
+        assert grafted.wire.decl_cache_misses == 0
+        parallel._PARSED_UNITS.clear()
+        graft.clear_decl_templates()
+        plain = evaluate_job(dataclasses.replace(job, a="off"))
+        assert not plain.wire.grafted
+        assert plain.wire.decl_cache_hits == 0
+        assert plain.wire.decl_cache_misses == 0
+        assert dataclasses.replace(grafted, wire=None) == dataclasses.replace(
+            plain, wire=None
+        )
+
+    def test_repeat_graft_hits_decl_templates(
+        self, clean_wire_state, monkeypatch
+    ):
+        """A unit-LRU miss whose blocks are all cached grafts with zero
+        mini-parses — the decl tier serving what the unit tier cannot."""
+        monkeypatch.setenv(graft.GRAFT_ENV, "1")
+        search, initial = _make_search(executor="thread")
+        job = search._make_job(initial)
+        first = evaluate_job(job)
+        # Warmed at context build: the first graft already rides the
+        # decl tier rather than mini-parsing.
+        assert first.wire.decl_cache_hits > 0
+        assert graft.decl_cache_stats()["warmed"] > 0
+        # Evict the whole-unit entry but keep decl templates: the repeat
+        # must reconstruct without parsing a single block.
+        parallel._PARSED_UNITS.clear()
+        second = evaluate_job(job)
+        assert second.wire.grafted
+        assert not second.wire.unit_cache_hit
+        assert second.wire.decl_cache_misses == 0
+        assert second.wire.decl_cache_hits > 0
+        assert second.wire.parse_seconds == 0.0
+        assert dataclasses.replace(first, wire=None) == dataclasses.replace(
+            second, wire=None
+        )
+
+    def test_cross_mode_verifies_every_graft(self, clean_wire_state):
+        search, initial = _make_search(executor="thread")
+        job = search._make_job(initial)
+        assert_equivalent_jobs = evaluate_job(
+            dataclasses.replace(job, a="cross")
+        )
+        assert assert_equivalent_jobs.wire.grafted
+        parallel._PARSED_UNITS.clear()
+        graft.clear_decl_templates()
+        baseline = evaluate_job(dataclasses.replace(job, a="off"))
+        assert dataclasses.replace(
+            assert_equivalent_jobs, wire=None
+        ) == dataclasses.replace(baseline, wire=None)
+
+    def test_graft_mode_rides_the_wire(self, clean_wire_state, monkeypatch):
+        """The producer stamps its graft mode onto the envelope, so the
+        worker mirrors the parent even if its own environment differs."""
+        search, initial = _make_search(executor="thread")
+        monkeypatch.setenv(graft.GRAFT_ENV, "0")
+        job_off = search._make_job(initial)
+        assert job_off.a == "off"
+        monkeypatch.setenv(graft.GRAFT_ENV, "cross")
+        job_cross = search._make_job(initial)
+        assert job_cross.a == "cross"
+        monkeypatch.delenv(graft.GRAFT_ENV)
+        result = evaluate_job(job_off)
+        assert not result.wire.grafted
+
+    def test_incremental_off_disables_grafting(self, clean_wire_state):
+        search, initial = _make_search(executor="thread")
+        job = search._make_job(initial, full_source=True)
+        job = dataclasses.replace(job, incremental="off")
+        result = evaluate_job(job)
+        assert not result.wire.grafted
+
+    def test_cache_tier_metrics_reach_the_registry(
+        self, clean_wire_state, monkeypatch
+    ):
+        """Satellite regression: ``worker.unit_cache`` and
+        ``worker.decl_cache`` hit/miss counters land in the metrics
+        registry when the parent folds worker wire stats."""
+        from repro.obs import TraceRecorder, scoped_recorder
+        from repro.core.parallel import record_worker_wire
+        from repro.core.evalcache import WireStats
+
+        monkeypatch.setenv(graft.GRAFT_ENV, "1")
+        search, initial = _make_search(executor="thread")
+        job = search._make_job(initial)
+        first = evaluate_job(job)
+        second = evaluate_job(job)  # unit-LRU hit
+        recorder = TraceRecorder()
+        with scoped_recorder(recorder):
+            record_worker_wire(first.wire)
+            record_worker_wire(second.wire)
+        unit = recorder.metrics.counters_named("worker.unit_cache")
+        decl = recorder.metrics.counters_named("worker.decl_cache")
+        assert unit[(("outcome", "hit"),)] == 1
+        assert unit[(("outcome", "miss"),)] == 1
+        assert first.wire.decl_cache_hits > 0
+        assert decl[(("outcome", "hit"),)] == first.wire.decl_cache_hits
+        totals = parallel.wire_totals()
+        assert totals["grafted_jobs"] >= 1
+        assert totals["decl_cache_hits"] >= 1
+        assert totals["unit_cache_hits"] >= 1
+
+
 class TestContextLRU:
     TINY = "int kernel(int x) {\n  return x;\n}\n"
 
@@ -512,6 +643,29 @@ class TestWireBytes:
         assert totals["full_jobs"] == 1
         assert totals["measured_jobs"] == 2
         assert totals["wire_bytes"] > 0
+        parallel.reset_wire_totals()
+
+    def test_accounting_includes_graft_metadata(
+        self, clean_wire_state, monkeypatch
+    ):
+        """``mean_wire_bytes_per_job`` must charge the graft-mode field
+        the envelope now carries: the accounted bytes are the bytes of
+        the *whole* pickled job, and a mode string that widens the
+        pickle widens the measurement."""
+        search, initial = _make_search(executor="thread")
+        job = search._make_job(initial)
+        assert dataclasses.asdict(job)["a"] == job.a  # field is on the wire
+        parallel.reset_wire_totals()
+        parallel.set_wire_accounting(True)
+        try:
+            parallel._account_job(job)
+        finally:
+            parallel.set_wire_accounting(False)
+        totals = parallel.wire_totals()
+        assert totals["wire_bytes"] == len(pickle.dumps(job, protocol=4))
+        monkeypatch.setenv(graft.GRAFT_ENV, "cross")
+        wide = dataclasses.replace(job, a="cross")
+        assert len(pickle.dumps(wide, protocol=4)) >= totals["wire_bytes"]
         parallel.reset_wire_totals()
 
 
