@@ -19,6 +19,7 @@ from pathlib import Path
 
 from repro.baselines import TWELVE_HOURS, default_config, run_variant
 from repro.core.report import TranspileResult
+from repro.obs.export import git_describe
 from repro.subjects import all_subjects, get_subject
 
 OUT_DIR = Path(__file__).parent / "out"
@@ -26,6 +27,12 @@ REPO_ROOT = Path(__file__).parent.parent
 
 #: One deterministic seed for every run in the harness.
 SEED = 2022
+
+#: Schema tag stamped into every ``BENCH_*.json`` payload.  Bump when
+#: the shape of a bench artifact changes incompatibly, so downstream
+#: consumers (EXPERIMENTS.md tooling, trend dashboards) can tell old
+#: artifacts from new ones.
+BENCH_SCHEMA_VERSION = 1
 
 
 def write_table(name: str, text: str) -> Path:
@@ -43,9 +50,18 @@ def write_bench_json(name: str, payload: dict) -> Path:
     verbatim to the repo root so the headline numbers are one click away
     in the tree.  All bench scripts emit through here; nothing else
     writes to the root.
+
+    Every payload is stamped with ``schema_version`` and the source
+    tree's ``git describe`` so an artifact is attributable to the code
+    that produced it.
     """
     OUT_DIR.mkdir(exist_ok=True)
-    text = json.dumps(payload, indent=2)
+    stamped = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_describe": git_describe(),
+    }
+    stamped.update(payload)
+    text = json.dumps(stamped, indent=2)
     path = OUT_DIR / name
     path.write_text(text)
     (REPO_ROOT / name).write_text(text)

@@ -16,10 +16,17 @@ Two measurements, emitted into ``benchmarks/out/BENCH_obs.json``:
    :class:`~repro.obs.recorder.TraceRecorder`, reporting what switching
    tracing *on* costs (informational: buffering spans is allowed to show
    up; determinism, not speed, is the enabled-mode contract).
+3. **subscriber overhead** — the traced run again, with the live
+   streaming sinks attached (:class:`~repro.obs.stream.ProgressSink`
+   rendering to a non-TTY buffer plus a
+   :class:`~repro.obs.stream.JsonlTailSink`); the progress sink must
+   cost at most ``SUBSCRIBER_OVERHEAD_BUDGET`` over tracing-only, so
+   ``--progress`` is safe to leave on by default.
 """
 
 from __future__ import annotations
 
+import io
 import itertools
 import statistics
 import time
@@ -27,6 +34,7 @@ import time
 from repro.cfront import nodes as N
 from repro.hls.memo import clear_analysis_caches
 from repro.obs import NULL_RECORDER, TraceRecorder, get_recorder, scoped_recorder
+from repro.obs.stream import JsonlTailSink, ProgressSink
 from repro.subjects import get_subject
 
 from _shared import write_bench_json, write_table
@@ -43,6 +51,11 @@ MICRO_ITERS = 200_000
 #: The hard budget: instrumentation with tracing disabled may cost at
 #: most this fraction of the untraced wall time.
 DISABLED_OVERHEAD_BUDGET = 0.02
+
+#: The live progress sink may cost at most this fraction of the
+#: tracing-only wall time (the tail sink does per-record file I/O and is
+#: reported informationally, not gated).
+SUBSCRIBER_OVERHEAD_BUDGET = 0.02
 
 
 def _quick_config():
@@ -79,19 +92,38 @@ def _run_once(recorder):
     return elapsed, result
 
 
-def run_macro():
-    """Median wall time per mode, interleaved (off, on, off, on, ...)
-    so host drift biases neither side."""
-    off_times, on_times = [], []
+def run_macro(tmp_path):
+    """Median wall time per mode, interleaved (off, on, live, off, on,
+    live, ...) so host drift biases no side."""
+    off_times, on_times, live_times, tail_times = [], [], [], []
     recorded = None
-    for _ in range(ROUNDS):
+    for round_no in range(ROUNDS):
         off, _result = _run_once(NULL_RECORDER)
         off_times.append(off)
         recorder = TraceRecorder()
         on, _result = _run_once(recorder)
         on_times.append(on)
         recorded = recorder
-    return off_times, on_times, recorded
+        # Progress sink only (the ≤2% gate): renders to an in-memory
+        # non-TTY buffer, so what is measured is the sink's own work.
+        recorder = TraceRecorder()
+        progress = ProgressSink(recorder, stream=io.StringIO())
+        recorder.add_subscriber(progress)
+        live, _result = _run_once(recorder)
+        progress.close()
+        live_times.append(live)
+        # Both sinks (informational): adds the tail sink's per-record
+        # write+flush to a real file.
+        recorder = TraceRecorder()
+        progress = ProgressSink(recorder, stream=io.StringIO())
+        tail = JsonlTailSink(str(tmp_path / f"tail-{round_no}.jsonl"))
+        recorder.add_subscriber(progress)
+        recorder.add_subscriber(tail)
+        both, _result = _run_once(recorder)
+        progress.close()
+        tail.close()
+        tail_times.append(both)
+    return off_times, on_times, live_times, tail_times, recorded
 
 
 def run_micro():
@@ -125,14 +157,19 @@ def run_micro():
     }
 
 
-def test_obs_overhead(benchmark):
-    off_times, on_times, recorder = benchmark.pedantic(
-        run_macro, rounds=1, iterations=1
+def test_obs_overhead(benchmark, tmp_path):
+    off_times, on_times, live_times, tail_times, recorder = benchmark.pedantic(
+        run_macro, args=(tmp_path,), rounds=1, iterations=1
     )
     micro = run_micro()
 
     off_median = statistics.median(off_times)
     on_median = statistics.median(on_times)
+    live_median = statistics.median(live_times)
+    tail_median = statistics.median(tail_times)
+    subscriber_overhead = (
+        live_median / on_median - 1.0 if on_median else 0.0
+    )
     # Hook executions per run: every span open/close and metric update a
     # traced run performs is one disabled-mode hook in an untraced run.
     hook_count = len(recorder.records())
@@ -151,9 +188,18 @@ def test_obs_overhead(benchmark):
         "macro": {
             "off_seconds": [round(t, 3) for t in off_times],
             "on_seconds": [round(t, 3) for t in on_times],
+            "live_seconds": [round(t, 3) for t in live_times],
+            "tail_seconds": [round(t, 3) for t in tail_times],
             "off_median_s": round(off_median, 3),
             "on_median_s": round(on_median, 3),
+            "live_median_s": round(live_median, 3),
+            "tail_median_s": round(tail_median, 3),
             "tracing_on_overhead": round(on_median / off_median - 1.0, 4),
+            "progress_sink_overhead": round(subscriber_overhead, 4),
+            "tail_sink_overhead": round(
+                tail_median / on_median - 1.0 if on_median else 0.0, 4
+            ),
+            "subscriber_budget": SUBSCRIBER_OVERHEAD_BUDGET,
         },
         "extrapolation": {
             "span_and_event_records": hook_count,
@@ -171,6 +217,10 @@ def test_obs_overhead(benchmark):
         f"untraced (null)   : {off_median:.3f}s",
         f"traced            : {on_median:.3f}s "
         f"({payload['macro']['tracing_on_overhead']:+.1%})",
+        f"traced + progress : {live_median:.3f}s "
+        f"({subscriber_overhead:+.1%} vs traced)",
+        f"traced + tail     : {tail_median:.3f}s "
+        f"({payload['macro']['tail_sink_overhead']:+.1%} vs traced)",
         f"null span hook    : {micro['span_guarded_ns']:.0f}ns guarded, "
         f"{micro['span_unguarded_ns']:.0f}ns unguarded",
         f"null metric hook  : {micro['metric_guarded_ns']:.0f}ns",
@@ -185,6 +235,10 @@ def test_obs_overhead(benchmark):
         f"disabled instrumentation costs {disabled_overhead:.2%} "
         f"of the untraced run — over the "
         f"{DISABLED_OVERHEAD_BUDGET:.0%} budget"
+    )
+    assert subscriber_overhead <= SUBSCRIBER_OVERHEAD_BUDGET, (
+        f"live progress sink costs {subscriber_overhead:.2%} over "
+        f"tracing-only — over the {SUBSCRIBER_OVERHEAD_BUDGET:.0%} budget"
     )
     # The traced run must have actually traced something substantive.
     assert hook_count > 50

@@ -1,7 +1,18 @@
 """``python -m repro`` entry point."""
 
+import os
 import sys
 
 from .cli import main
 
-sys.exit(main())
+try:
+    code = main()
+    sys.stdout.flush()
+except BrokenPipeError:
+    # Downstream consumer (e.g. ``repro trace summary ... | head``) hung
+    # up; exit with the conventional SIGPIPE status instead of a
+    # traceback.  Point stdout at devnull first so the interpreter's
+    # shutdown flush doesn't raise a second time.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 141
+sys.exit(code)

@@ -7,6 +7,8 @@ Usage::
     python -m repro fuzz kernel.c --kernel smooth
     python -m repro subjects [--run P3]
     python -m repro study
+    python -m repro trace summary run.trace.jsonl
+    python -m repro trace diff base.jsonl new.jsonl
 
 Every subcommand prints a human-readable report; ``--json`` switches to
 machine-readable output.
@@ -27,8 +29,21 @@ from .core.report import TranspileResult
 from .fuzz import FuzzConfig, fuzz_kernel, get_kernel_seed
 from .hls import SolutionConfig, compile_unit
 from .interp import BACKENDS, set_default_backend
-from .obs import TraceRecorder, configure_logging, install_recorder, trace_env_value
+from .obs import (
+    SPAN_CHECK,
+    SPAN_PARSE,
+    SPAN_SEED_CAPTURE,
+    SPAN_STUDY,
+    SPAN_STUDY_ANALYZE,
+    SPAN_STUDY_GENERATE,
+    TraceRecorder,
+    configure_logging,
+    get_recorder,
+    install_recorder,
+    trace_env_value,
+)
 from .obs.logs import LEVELS
+from .obs.stream import attach_cli_sinks, progress_env_enabled, stream_env_path
 from .subjects import all_subjects, get_subject
 
 
@@ -145,8 +160,11 @@ def cmd_transpile(args: argparse.Namespace) -> int:
 
 def cmd_check(args: argparse.Namespace) -> int:
     source = open(args.file).read() if args.file != "-" else sys.stdin.read()
-    unit = parse(source, top_name=args.top)
-    report = compile_unit(unit, SolutionConfig(top_name=args.top))
+    rec = get_recorder()
+    with rec.span(SPAN_CHECK, top=args.top, subject=args.file):
+        with rec.span(SPAN_PARSE):
+            unit = parse(source, top_name=args.top)
+        report = compile_unit(unit, SolutionConfig(top_name=args.top))
     if args.json:
         print(json.dumps(
             [
@@ -170,13 +188,16 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
     source = open(args.file).read() if args.file != "-" else sys.stdin.read()
-    unit = parse(source, top_name=args.kernel)
+    rec = get_recorder()
+    with rec.span(SPAN_PARSE):
+        unit = parse(source, top_name=args.kernel)
     seeds = None
     if args.host:
-        seeds = get_kernel_seed(
-            unit, args.host, args.kernel, _parse_host_args(args.host_args),
-            backend=args.interp_backend,
-        )
+        with rec.span(SPAN_SEED_CAPTURE, host=args.host):
+            seeds = get_kernel_seed(
+                unit, args.host, args.kernel, _parse_host_args(args.host_args),
+                backend=args.interp_backend,
+            )
     report = fuzz_kernel(
         unit, args.kernel,
         FuzzConfig(max_execs=args.fuzz_execs, seed=args.seed),
@@ -239,8 +260,12 @@ def cmd_subjects(args: argparse.Namespace) -> int:
 def cmd_study(args: argparse.Namespace) -> int:
     from .study import analyze_corpus, generate_corpus, render_table1
 
-    posts = generate_corpus(args.posts, seed=args.seed)
-    report = analyze_corpus(posts)
+    rec = get_recorder()
+    with rec.span(SPAN_STUDY, posts=args.posts):
+        with rec.span(SPAN_STUDY_GENERATE, posts=args.posts):
+            posts = generate_corpus(args.posts, seed=args.seed)
+        with rec.span(SPAN_STUDY_ANALYZE):
+            report = analyze_corpus(posts)
     if args.json:
         print(json.dumps(
             {
@@ -257,6 +282,129 @@ def cmd_study(args: argparse.Namespace) -> int:
         print()
         print(render_table1())
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace`` — consume recorded event journals."""
+    from .obs import analyze
+    from .obs import baseline as baseline_mod
+
+    if args.verb == "summary":
+        trace = analyze.load_journal(args.journal)
+        if args.json:
+            print(json.dumps(
+                {
+                    "stages": [
+                        stat.as_dict()
+                        for _name, stat in sorted(
+                            analyze.stage_stats(trace).items()
+                        )
+                    ],
+                    "edits": [
+                        stat.as_dict()
+                        for _name, stat in sorted(
+                            analyze.edit_stats(trace).items()
+                        )
+                    ],
+                    "critical_path_wall": analyze.critical_path(trace, "wall"),
+                    "critical_path_sim": analyze.critical_path(trace, "sim"),
+                    "truncated": trace.truncated,
+                    "skipped_lines": trace.skipped_lines,
+                },
+                indent=2,
+            ))
+        else:
+            print(analyze.render_summary(trace, top=args.top))
+        return 0
+
+    if args.verb == "flame":
+        trace = analyze.load_journal(args.journal)
+        if args.format == "speedscope":
+            text = json.dumps(
+                analyze.speedscope_document(trace, name=args.journal),
+                indent=1, sort_keys=True,
+            ) + "\n"
+        else:
+            text = "\n".join(analyze.folded_lines(trace, args.clock)) + "\n"
+        if args.out:
+            import os
+
+            parent = os.path.dirname(os.path.abspath(args.out))
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(args.out, "w") as handle:
+                handle.write(text)
+            print(f"wrote {args.format} flamegraph to {args.out}")
+        else:
+            sys.stdout.write(text)
+        return 0
+
+    if args.verb == "diff":
+        base = analyze.load_journal(args.base)
+        new = analyze.load_journal(args.new)
+        diff = analyze.diff_traces(
+            base, new,
+            sim_tolerance=args.sim_tol,
+            count_tolerance=args.count_tol,
+            wall_tolerance=args.wall_tol,
+        )
+        metric_deltas = None
+        if args.metrics:
+            with open(args.metrics[0]) as handle:
+                snap_a = json.load(handle)
+            with open(args.metrics[1]) as handle:
+                snap_b = json.load(handle)
+            metric_deltas = analyze.diff_metrics(snap_a, snap_b)
+        if args.json:
+            payload = {
+                "stages": [d.as_dict() for d in diff.stages],
+                "regressions": diff.regressions,
+                "improvements": diff.improvements,
+                "clean": diff.clean,
+            }
+            if metric_deltas is not None:
+                payload["metric_deltas"] = metric_deltas
+            print(json.dumps(payload, indent=2))
+        else:
+            print(analyze.render_diff(diff))
+            if metric_deltas is not None:
+                if metric_deltas:
+                    print(f"\n{len(metric_deltas)} counter delta(s):")
+                    for delta in metric_deltas:
+                        print(f"  {delta['counter']}: "
+                              f"{delta['base']} -> {delta['new']}")
+                else:
+                    print("\nmetrics snapshots identical")
+        return 0 if diff.clean else 1
+
+    assert args.verb == "check"
+    trace = analyze.load_journal(args.journal)
+    if args.update:
+        from .obs.export import git_describe
+
+        baseline = baseline_mod.baseline_from_trace(trace, meta={
+            "journal": args.journal,
+            "git_describe": git_describe(),
+        })
+        path = baseline_mod.write_baseline(args.baseline, baseline)
+        print(f"wrote baseline ({len(baseline['stages'])} stages) to {path}")
+        return 0
+    baseline = baseline_mod.load_baseline(args.baseline)
+    violations = baseline_mod.check_trace(
+        trace, baseline,
+        sim_tolerance=args.sim_tol,
+        count_tolerance=args.count_tol,
+        wall_tolerance=args.wall_tol,
+    )
+    if args.json:
+        print(json.dumps(
+            {"baseline": args.baseline, "violations": violations,
+             "passed": not violations},
+            indent=2,
+        ))
+    else:
+        print(baseline_mod.render_check(violations, args.baseline))
+    return 0 if not violations else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -295,6 +443,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the metrics snapshot (cache/store "
                        "tiers, edit families, HLS diagnostics, fuzzer "
                        "coverage, worker utilization) as JSON")
+        p.add_argument("--progress", action="store_true",
+                       help="live progress on stderr (phase, iteration/"
+                       "candidate counts, cache/store hit rates, simulated-"
+                       "budget ETA), rendered from the span stream.  Also "
+                       "$REPRO_PROGRESS=1.  Never changes results: pipeline "
+                       "stdout is byte-identical with it on or off")
+        p.add_argument("--stream-out", metavar="PATH", default=None,
+                       help="follow-able JSONL journal: every span/event is "
+                       "appended and flushed as it completes (tail -f "
+                       "friendly; the repair-service wire format).  Also "
+                       "$REPRO_STREAM")
         p.add_argument("--log-level", choices=list(LEVELS), default=None,
                        help="stderr diagnostic verbosity (default: "
                        "warning); diagnostics never mix with the product "
@@ -389,6 +548,71 @@ def build_parser() -> argparse.ArgumentParser:
     obs_flags(st)
     st.set_defaults(func=cmd_study)
 
+    tr = sub.add_parser(
+        "trace",
+        help="analyze recorded event journals (summary/flame/diff/check)",
+    )
+    trsub = tr.add_subparsers(dest="verb", required=True)
+
+    def tolerance_flags(p):
+        p.add_argument("--sim-tol", type=float, default=0.0,
+                       help="relative tolerance on per-stage simulated "
+                       "seconds (default 0: the simulated clock is "
+                       "deterministic, so any growth is a real change)")
+        p.add_argument("--count-tol", type=int, default=0,
+                       help="absolute tolerance on per-stage span counts "
+                       "(default 0)")
+        p.add_argument("--wall-tol", type=float, default=None,
+                       help="relative tolerance on per-stage wall time; "
+                       "omitted = wall-clock not gated (hosts are noisy; "
+                       "use a wide value like 10.0 on shared CI runners)")
+
+    ts = trsub.add_parser("summary", help="per-stage cost table, "
+                          "per-edit evaluation split, critical paths")
+    ts.add_argument("journal", help="JSONL event journal (from "
+                    "--trace-out/--stream-out)")
+    ts.add_argument("--top", type=int, default=0,
+                    help="show only the N hottest stages")
+    ts.add_argument("--json", action="store_true", help="JSON output")
+    ts.set_defaults(func=cmd_trace)
+
+    tf = trsub.add_parser("flame", help="flamegraph export (collapsed "
+                          "stacks for flamegraph.pl, or speedscope JSON)")
+    tf.add_argument("journal")
+    tf.add_argument("-o", "--out", default=None,
+                    help="output path (default: stdout)")
+    tf.add_argument("--format", choices=["folded", "speedscope"],
+                    default="folded")
+    tf.add_argument("--clock", choices=["wall", "sim"], default="wall",
+                    help="weight stacks by wall microseconds or simulated "
+                    "seconds (folded format; speedscope carries both)")
+    tf.set_defaults(func=cmd_trace)
+
+    td = trsub.add_parser("diff", help="structural diff of two journals; "
+                          "attributes regressions to stages, exit 1 on any")
+    td.add_argument("base", help="baseline journal (the 'before' run)")
+    td.add_argument("new", help="fresh journal (the 'after' run)")
+    td.add_argument("--metrics", nargs=2, metavar=("BASE", "NEW"),
+                    default=None,
+                    help="also diff two --metrics-out snapshots "
+                    "(deterministic counters)")
+    td.add_argument("--json", action="store_true", help="JSON output")
+    tolerance_flags(td)
+    td.set_defaults(func=cmd_trace)
+
+    tc = trsub.add_parser("check", help="gate a journal against a "
+                          "committed per-stage baseline, exit 1 on any "
+                          "violation")
+    tc.add_argument("journal")
+    tc.add_argument("--baseline", required=True,
+                    help="baseline JSON (see repro.obs.baseline)")
+    tc.add_argument("--update", action="store_true",
+                    help="regenerate the baseline from this journal "
+                    "instead of checking")
+    tc.add_argument("--json", action="store_true", help="JSON output")
+    tolerance_flags(tc)
+    tc.set_defaults(func=cmd_trace)
+
     return parser
 
 
@@ -445,15 +669,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         set_default_backend(args.interp_backend)
     trace_out = _resolve_trace_out(args)
     metrics_out = getattr(args, "metrics_out", None)
-    if not trace_out and not metrics_out:
+    progress = bool(getattr(args, "progress", False)) or progress_env_enabled()
+    stream_out = getattr(args, "stream_out", None) or stream_env_path()
+    if not (trace_out or metrics_out or progress or stream_out):
         return args.func(args)
     recorder = TraceRecorder()
+    sinks = attach_cli_sinks(recorder, progress=progress,
+                             stream_out=stream_out)
     previous = install_recorder(recorder)
     try:
         return args.func(args)
     finally:
         # Export even on failure: a trace of a crashed run is exactly
-        # when you want the journal.
+        # when you want the journal.  Sinks close first, so the tail
+        # stream is complete before the batch journal lands.
+        for sink in sinks:
+            try:
+                sink.close()
+            except Exception:
+                pass
         _export_observability(recorder, args, trace_out, metrics_out)
         install_recorder(previous)
 

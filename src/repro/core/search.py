@@ -401,6 +401,16 @@ class RepairSearch:
                 executor=self.config.executor,
                 workers=self.config.workers,
             ):
+                if rec.enabled:
+                    # Spans are reported at *close*; live subscribers
+                    # (repro.obs.stream) learn the budget from this
+                    # event, which is emitted immediately.
+                    rec.event(
+                        "search_started",
+                        kernel=self.kernel_name,
+                        budget_seconds=self.config.budget_seconds,
+                        max_iterations=self.config.max_iterations,
+                    )
                 while (
                     frontier
                     and self.stats.iterations < self.config.max_iterations

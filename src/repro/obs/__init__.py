@@ -3,7 +3,11 @@ pipeline.
 
 Spans + events (:mod:`.recorder`), metrics (:mod:`.metrics`), exporters
 (:mod:`.export`: JSONL journal, Chrome ``trace_event``, run manifest),
-the journal schema (:mod:`.schema`) and logging wiring (:mod:`.logs`).
+live streaming sinks (:mod:`.stream`: stderr progress renderer,
+follow-able JSONL tail), journal analytics (:mod:`.analyze`: per-stage
+aggregation, critical path, flamegraphs, structural diff), per-stage
+perf baselines (:mod:`.baseline`: the ``repro trace check`` gate), the
+journal schema (:mod:`.schema`) and logging wiring (:mod:`.logs`).
 
 Default state is a no-op :class:`NullRecorder`; `REPRO_TRACE` or the CLI
 ``--trace-out`` flag activates a :class:`TraceRecorder`.  Tracing is
@@ -42,6 +46,11 @@ SPAN_SCHEDULE = "hls_schedule"
 SPAN_DIFFTEST = "difftest"
 SPAN_CPU_REFERENCE = "cpu_reference"
 SPAN_FINAL_DIFFTEST = "final_difftest"
+SPAN_PARSE = "parse"
+SPAN_CHECK = "check"
+SPAN_STUDY = "study"
+SPAN_STUDY_GENERATE = "study.generate"
+SPAN_STUDY_ANALYZE = "study.analyze"
 
 __all__ = [
     "MetricsRegistry",
@@ -70,4 +79,9 @@ __all__ = [
     "SPAN_DIFFTEST",
     "SPAN_CPU_REFERENCE",
     "SPAN_FINAL_DIFFTEST",
+    "SPAN_PARSE",
+    "SPAN_CHECK",
+    "SPAN_STUDY",
+    "SPAN_STUDY_GENERATE",
+    "SPAN_STUDY_ANALYZE",
 ]

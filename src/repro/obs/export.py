@@ -212,13 +212,23 @@ def write_chrome_trace(recorder: TraceRecorder, path: str) -> str:
 # --------------------------------------------------------------------------
 
 
+#: Label dimensions folded out of the metrics snapshot on export:
+#: worker pids differ between otherwise identical runs (and the per-pid
+#: job split is wall-clock scheduling), so ``--metrics-out`` aggregates
+#: them away — the written snapshot byte-compares across identical runs
+#: (required by ``repro trace diff``).
+VOLATILE_METRIC_LABELS: Tuple[str, ...] = ("pid",)
+
+
 def write_metrics(
     recorder: TraceRecorder, path: str,
     extra: Optional[Dict[str, Any]] = None,
 ) -> str:
     """Write the metrics snapshot (plus caller-supplied summary data)."""
     payload: Dict[str, Any] = {"version": JOURNAL_VERSION}
-    payload.update(recorder.metrics.snapshot())
+    payload.update(recorder.metrics.snapshot(
+        fold_labels=VOLATILE_METRIC_LABELS
+    ))
     if extra:
         payload["summary"] = extra
     _ensure_parent(path)
@@ -228,7 +238,12 @@ def write_metrics(
     return path
 
 
-def _git_describe() -> Optional[str]:
+def git_describe() -> Optional[str]:
+    """``git describe --always --dirty`` of the source tree, or None.
+
+    Stamped into run manifests, trace baselines and BENCH_*.json
+    artifacts so every persisted measurement names the tree it came
+    from."""
     try:
         out = subprocess.run(
             ["git", "describe", "--always", "--dirty"],
@@ -255,7 +270,7 @@ def run_manifest(
         "config": config or {},
         "python": sys.version.split()[0],
         "platform": sys.platform,
-        "git_describe": _git_describe(),
+        "git_describe": git_describe(),
         "env": {
             key: os.environ[key]
             for key in sorted(os.environ)

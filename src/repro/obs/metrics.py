@@ -92,7 +92,7 @@ class NullMetrics:
                 **labels: Any) -> None:
         return None
 
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self, fold_labels: Sequence[str] = ()) -> Dict[str, Any]:
         return {"counters": {}, "gauges": {}, "histograms": {}}
 
 
@@ -180,8 +180,23 @@ class MetricsRegistry:
                 if hi is not None:
                     hist.max = hi if hist.max is None else max(hist.max, hi)
 
-    def snapshot(self) -> Dict[str, Any]:
-        """Deterministically-ordered plain-dict view for JSON export."""
+    def snapshot(self, fold_labels: Sequence[str] = ()) -> Dict[str, Any]:
+        """Deterministically-ordered plain-dict view for JSON export.
+
+        Families and label sets are emitted sorted, so two registries
+        holding the same series serialize identically.  ``fold_labels``
+        names label *dimensions* to aggregate away before rendering —
+        the exporter folds ``pid`` (see
+        :func:`repro.obs.export.write_metrics`), because worker pids
+        (and the per-pid job split, which is wall-clock scheduling)
+        vary between otherwise identical runs: folded counters sum,
+        gauges keep the maximum, histograms merge — leaving a snapshot
+        that byte-compares across identical runs."""
+
+        def fold_key(name: str, labels: Tuple[Tuple[str, str], ...]) -> _SeriesKey:
+            return name, tuple(
+                (k, v) for k, v in labels if k not in fold_labels
+            )
 
         def render(series: Dict[_SeriesKey, Any], value_of) -> Dict[str, Any]:
             out: Dict[str, Any] = {}
@@ -197,6 +212,40 @@ class MetricsRegistry:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             hists = dict(self._hists)
+        if fold_labels:
+            folded_counters: Dict[_SeriesKey, float] = {}
+            for (name, labels), value in counters.items():
+                key = fold_key(name, labels)
+                folded_counters[key] = folded_counters.get(key, 0.0) + value
+            counters = folded_counters
+            folded_gauges: Dict[_SeriesKey, float] = {}
+            for (name, labels), value in gauges.items():
+                key = fold_key(name, labels)
+                folded_gauges[key] = (
+                    value if key not in folded_gauges
+                    else max(folded_gauges[key], value)
+                )
+            gauges = folded_gauges
+            folded_hists: Dict[_SeriesKey, Histogram] = {}
+            for (name, labels), hist in hists.items():
+                key = fold_key(name, labels)
+                merged = folded_hists.get(key)
+                if merged is None:
+                    merged = Histogram(hist.bounds)
+                    folded_hists[key] = merged
+                elif merged.bounds != hist.bounds:
+                    continue  # incompatible buckets: keep the first
+                for i, n in enumerate(hist.bucket_counts):
+                    merged.bucket_counts[i] += n
+                merged.count += hist.count
+                merged.total += hist.total
+                if hist.min is not None:
+                    merged.min = hist.min if merged.min is None \
+                        else min(merged.min, hist.min)
+                if hist.max is not None:
+                    merged.max = hist.max if merged.max is None \
+                        else max(merged.max, hist.max)
+            hists = folded_hists
         return {
             "counters": render(counters, lambda v: v),
             "gauges": render(gauges, lambda v: v),

@@ -37,6 +37,18 @@ re-parented under the consuming span by :meth:`TraceRecorder.attach_subtrace`
 are replayed.  Serial, thread-speculative and process-pool runs all
 take this one path, so the span *tree* is identical across executors
 (only real timestamps differ).
+
+Subscribers
+-----------
+
+Read-only sinks (:mod:`repro.obs.stream`) can attach to a recorder via
+:meth:`TraceRecorder.add_subscriber`; they are notified once per
+completed record — span close or event emit — in completion order,
+including records grafted from worker subtraces (at consumption order)
+and records the bounded buffer dropped.  Subscribers inherit the
+determinism contract: they only *read* (the record, and at most the
+recorder's metrics registry); a subscriber that raises is counted
+(``subscriber_errors``) and never propagates into the pipeline.
 """
 
 from __future__ import annotations
@@ -135,6 +147,12 @@ class NullRecorder:
     def subtrace(self) -> None:
         return None
 
+    def add_subscriber(self, sink: Any) -> None:
+        return None
+
+    def remove_subscriber(self, sink: Any) -> None:
+        return None
+
 
 NULL_RECORDER = NullRecorder()
 
@@ -201,8 +219,10 @@ class TraceRecorder:
         self.metrics = MetricsRegistry()
         self.max_records = max_records
         self.dropped = 0
+        self.subscriber_errors = 0
         self._ids = itertools.count(1)
         self._records: List[Any] = []
+        self._subscribers: Tuple[Any, ...] = ()
         self._lock = threading.Lock()
         self._tls = threading.local()
 
@@ -219,8 +239,41 @@ class TraceRecorder:
         with self._lock:
             if len(self._records) >= self.max_records:
                 self.dropped += 1
-                return
-            self._records.append(record)
+            else:
+                self._records.append(record)
+        # Notify outside the buffer lock: a sink may read this
+        # recorder's metrics (their own lock) without deadlocking, and
+        # streaming stays alive even once the bounded buffer overflows.
+        subscribers = self._subscribers
+        if subscribers:
+            self._notify(subscribers, record)
+
+    def _notify(self, subscribers: Tuple[Any, ...], record: Any) -> None:
+        for sink in subscribers:
+            try:
+                if isinstance(record, SpanRecord):
+                    sink.on_span(record)
+                else:
+                    sink.on_event(record)
+            except Exception:
+                # A broken sink must never break the pipeline.
+                self.subscriber_errors += 1
+
+    # -- subscribers -------------------------------------------------------
+
+    def add_subscriber(self, sink: Any) -> None:
+        """Attach a read-only sink (see :mod:`repro.obs.stream`): its
+        ``on_span`` / ``on_event`` hooks run synchronously, once per
+        completed record, in completion order."""
+        with self._lock:
+            if sink not in self._subscribers:
+                self._subscribers = self._subscribers + (sink,)
+
+    def remove_subscriber(self, sink: Any) -> None:
+        with self._lock:
+            self._subscribers = tuple(
+                s for s in self._subscribers if s is not sink
+            )
 
     def span(self, name: str, cat: str = "pipeline",
              clock: Any = None, **args: Any) -> _Span:

@@ -1,0 +1,271 @@
+"""Journal analytics: loader leniency, aggregation, critical path,
+flamegraph exports, structural diff."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.hls.clock import ACT_HLS_COMPILE, ACT_STYLE_CHECK, SimulatedClock
+from repro.obs import TraceRecorder
+from repro.obs.analyze import (
+    collapsed_stacks,
+    critical_path,
+    diff_metrics,
+    diff_traces,
+    edit_stats,
+    folded_lines,
+    load_journal,
+    render_diff,
+    render_summary,
+    speedscope_document,
+    stage_stats,
+)
+from repro.obs.export import write_journal
+
+
+def _recorded_run(iterations=2, compile_seconds=540.0):
+    """A miniature but structurally faithful pipeline trace."""
+    rec = TraceRecorder()
+    clock = SimulatedClock.recording()
+    with rec.span("transpile", clock=clock, kernel="k"):
+        with rec.span("fuzz", clock=clock):
+            clock.charge(ACT_STYLE_CHECK, 20.0)
+        with rec.span("search", clock=clock):
+            for i in range(1, iterations + 1):
+                with rec.span("search.iteration", clock=clock, iteration=i):
+                    edit = "type_trans" if i % 2 else "loop_split"
+                    with rec.span("search.evaluate", clock=clock, edit=edit):
+                        with rec.span("hls_compile", clock=clock):
+                            clock.charge(ACT_HLS_COMPILE, compile_seconds)
+    return rec
+
+
+def _journal(tmp_path, name="run.jsonl", **kwargs):
+    rec = _recorded_run(**kwargs)
+    return write_journal(rec, str(tmp_path / name))
+
+
+# ---------------------------------------------------------------------------
+# Loader
+# ---------------------------------------------------------------------------
+
+
+class TestLoadJournal:
+    def test_round_trip_of_a_batch_journal(self, tmp_path):
+        path = _journal(tmp_path)
+        trace = load_journal(path)
+        assert trace.header["version"] >= 1
+        assert not trace.truncated and trace.skipped_lines == 0
+        names = sorted(s["name"] for s in trace.spans.values())
+        assert names.count("search.iteration") == 2
+        assert names.count("hls_compile") == 2
+        roots = [trace.spans[s]["name"] for s in trace.roots]
+        assert roots == ["transpile"]
+        # Lineage: evaluate under iteration under search.
+        for sid, span in trace.spans.items():
+            if span["name"] == "search.evaluate":
+                parent = trace.spans[span["parent"]]
+                assert parent["name"] == "search.iteration"
+
+    def test_truncated_final_line_is_tolerated(self, tmp_path):
+        path = _journal(tmp_path)
+        text = open(path).read()
+        cut = text[: text.rindex('"name"')]  # cut the last record mid-object
+        assert not cut.endswith("\n")
+        trunc = tmp_path / "trunc.jsonl"
+        trunc.write_text(cut)
+
+        trace = load_journal(str(trunc))
+        assert trace.truncated
+        with pytest.raises(ValueError, match="truncated"):
+            load_journal(str(trunc), strict=True)
+
+    def test_orphan_spans_promote_to_root_in_lenient_mode(self, tmp_path):
+        path = _journal(tmp_path)
+        # Drop the root span record: every direct child becomes orphaned.
+        lines = open(path).read().splitlines()
+        kept = [l for l in lines if '"name": "transpile"' not in l]
+        partial = tmp_path / "partial.jsonl"
+        partial.write_text("\n".join(kept) + "\n")
+
+        trace = load_journal(str(partial))
+        root_names = sorted(trace.spans[s]["name"] for s in trace.roots)
+        assert root_names == ["fuzz", "search"]
+        with pytest.raises(ValueError, match="unknown parent"):
+            load_journal(str(partial), strict=True)
+
+    def test_garbage_line_skipped_lenient_raises_strict(self, tmp_path):
+        path = _journal(tmp_path)
+        lines = open(path).read().splitlines()
+        lines.insert(2, "not json at all")
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("\n".join(lines) + "\n")
+
+        trace = load_journal(str(bad))
+        assert trace.skipped_lines == 1
+        with pytest.raises(ValueError, match="not JSON"):
+            load_journal(str(bad), strict=True)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+class TestAggregation:
+    def test_stage_stats_totals_and_self_times(self, tmp_path):
+        trace = load_journal(_journal(tmp_path))
+        stats = stage_stats(trace)
+        assert stats["hls_compile"].count == 2
+        assert stats["hls_compile"].sim_s == pytest.approx(1080.0)
+        # All compile time is self time (leaf), none of evaluate's is.
+        assert stats["hls_compile"].sim_self_s == pytest.approx(1080.0)
+        assert stats["search.evaluate"].sim_s == pytest.approx(1080.0)
+        assert stats["search.evaluate"].sim_self_s == pytest.approx(0.0)
+        # The root totals the whole run.
+        assert stats["transpile"].sim_s == pytest.approx(1100.0)
+        assert stats["transpile"].sim_self_s == pytest.approx(0.0)
+        for stat in stats.values():
+            assert stat.wall_self_us >= 0.0
+
+    def test_edit_stats_split_evaluations_by_family(self, tmp_path):
+        trace = load_journal(_journal(tmp_path))
+        edits = edit_stats(trace)
+        assert sorted(edits) == ["loop_split", "type_trans"]
+        assert edits["type_trans"].count == 1
+        assert edits["loop_split"].sim_s == pytest.approx(540.0)
+
+    def test_critical_path_follows_the_heavy_chain(self, tmp_path):
+        trace = load_journal(_journal(tmp_path))
+        path = critical_path(trace, clock="sim")
+        assert [hop["name"] for hop in path] == [
+            "transpile", "search", "search.iteration",
+            "search.evaluate", "hls_compile",
+        ]
+        assert path[0]["total"] == pytest.approx(1100.0)
+        assert path[-1]["self"] == pytest.approx(540.0)
+
+
+# ---------------------------------------------------------------------------
+# Flamegraphs
+# ---------------------------------------------------------------------------
+
+
+class TestFlamegraphs:
+    def test_sim_collapsed_stacks(self, tmp_path):
+        trace = load_journal(_journal(tmp_path))
+        stacks = collapsed_stacks(trace, clock="sim")
+        assert stacks["transpile;fuzz"] == 20_000_000
+        assert stacks[
+            "transpile;search;search.iteration;search.evaluate;hls_compile"
+        ] == 1_080_000_000
+        # Non-leaf self time of zero is elided, not emitted as 0.
+        assert "transpile;search" not in stacks
+
+    def test_folded_lines_are_sorted_and_parseable(self, tmp_path):
+        trace = load_journal(_journal(tmp_path))
+        lines = folded_lines(trace, clock="sim")
+        assert lines == sorted(lines)
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert int(weight) > 0 and stack
+
+    def test_speedscope_profiles_are_well_nested(self, tmp_path):
+        trace = load_journal(_journal(tmp_path))
+        doc = speedscope_document(trace, name="t")
+        assert len(doc["profiles"]) == 2
+        frame_count = len(doc["shared"]["frames"])
+        for profile in doc["profiles"]:
+            depth = []
+            at = 0
+            for event in profile["events"]:
+                assert event["at"] >= at
+                at = event["at"]
+                assert 0 <= event["frame"] < frame_count
+                if event["type"] == "O":
+                    depth.append(event["frame"])
+                else:
+                    assert depth.pop() == event["frame"]
+            assert depth == []  # every open frame closed
+            assert profile["endValue"] == at
+
+    def test_speedscope_document_is_json_serializable(self, tmp_path):
+        trace = load_journal(_journal(tmp_path))
+        json.dumps(speedscope_document(trace))
+
+
+# ---------------------------------------------------------------------------
+# Diff
+# ---------------------------------------------------------------------------
+
+
+class TestDiff:
+    def test_identical_runs_diff_clean_at_zero_tolerance(self, tmp_path):
+        a = load_journal(_journal(tmp_path, "a.jsonl"))
+        b = load_journal(_journal(tmp_path, "b.jsonl"))
+        diff = diff_traces(a, b, sim_tolerance=0.0, count_tolerance=0)
+        assert diff.clean
+        assert diff.regressions == []
+        assert "no regressions" in render_diff(diff)
+
+    def test_extra_work_is_a_count_and_sim_regression(self, tmp_path):
+        a = load_journal(_journal(tmp_path, "a.jsonl", iterations=2))
+        b = load_journal(_journal(tmp_path, "b.jsonl", iterations=3))
+        diff = diff_traces(a, b)
+        kinds = {(r["stage"], r["kind"]) for r in diff.regressions}
+        assert ("search.iteration", "count") in kinds
+        assert ("hls_compile", "sim_seconds") in kinds
+        assert not diff.clean
+        assert "REGRESSION" in render_diff(diff)
+
+    def test_less_work_is_an_improvement_not_a_regression(self, tmp_path):
+        a = load_journal(_journal(tmp_path, "a.jsonl", iterations=3))
+        b = load_journal(_journal(tmp_path, "b.jsonl", iterations=2))
+        diff = diff_traces(a, b)
+        assert diff.clean
+        kinds = {(i["stage"], i["kind"]) for i in diff.improvements}
+        assert ("search.iteration", "count") in kinds
+
+    def test_sim_tolerance_absorbs_bounded_growth(self, tmp_path):
+        a = load_journal(_journal(tmp_path, "a.jsonl", compile_seconds=500.0))
+        b = load_journal(_journal(tmp_path, "b.jsonl", compile_seconds=510.0))
+        assert not diff_traces(a, b).clean
+        assert diff_traces(a, b, sim_tolerance=0.05).clean
+
+    def test_wall_only_gated_when_tolerance_given(self, tmp_path):
+        a = load_journal(_journal(tmp_path, "a.jsonl"))
+        b = load_journal(_journal(tmp_path, "b.jsonl"))
+        # Absurdly tight wall tolerance: wall noise now counts.
+        diff = diff_traces(a, b, wall_tolerance=-0.999999)
+        assert any(r["kind"] == "wall" for r in diff.regressions)
+        assert diff_traces(a, b).clean
+
+    def test_diff_metrics_reports_counter_deltas_only(self):
+        base = {"counters": {"a": 1, "b": 2}, "gauges": {"g": 5}}
+        new = {"counters": {"a": 1, "b": 3, "c": 1}, "gauges": {"g": 9}}
+        deltas = diff_metrics(base, new)
+        assert deltas == [
+            {"counter": "b", "base": 2, "new": 3},
+            {"counter": "c", "base": None, "new": 1},
+        ]
+
+
+class TestRenderSummary:
+    def test_summary_renders_stages_edits_and_paths(self, tmp_path):
+        trace = load_journal(_journal(tmp_path))
+        text = render_summary(trace)
+        assert "hls_compile" in text
+        assert "evaluations by edit" in text
+        assert "type_trans" in text
+        assert "critical path (wall)" in text
+        assert "critical path (sim)" in text
+
+    def test_summary_notes_truncation(self, tmp_path):
+        path = _journal(tmp_path)
+        text = open(path).read()
+        trunc = tmp_path / "trunc.jsonl"
+        trunc.write_text(text[: text.rindex('"name"')])
+        rendered = render_summary(load_journal(str(trunc)))
+        assert "truncated" in rendered

@@ -1,0 +1,318 @@
+"""Streaming sinks: the subscriber API, the progress renderer, and the
+follow-able JSONL tail."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.hls.clock import ACT_HLS_COMPILE, SimulatedClock
+from repro.obs import NULL_RECORDER, TraceRecorder
+from repro.obs.analyze import load_journal
+from repro.obs.recorder import EventRecord, SpanRecord
+from repro.obs.stream import (
+    JsonlTailSink,
+    PROGRESS_ENV,
+    ProgressSink,
+    STREAM_ENV,
+    TraceSubscriber,
+    attach_cli_sinks,
+    progress_env_enabled,
+    stream_env_path,
+)
+
+
+class _CollectingSink(TraceSubscriber):
+    def __init__(self):
+        self.spans = []
+        self.events = []
+        self.all = []
+        self.closed = False
+
+    def on_span(self, record):
+        self.spans.append(record)
+        self.all.append(record)
+
+    def on_event(self, record):
+        self.events.append(record)
+        self.all.append(record)
+
+    def close(self):
+        self.closed = True
+
+
+class _ExplodingSink(TraceSubscriber):
+    def on_span(self, record):
+        raise RuntimeError("sink bug")
+
+    def on_event(self, record):
+        raise RuntimeError("sink bug")
+
+
+# ---------------------------------------------------------------------------
+# Subscriber plumbing on the recorder
+# ---------------------------------------------------------------------------
+
+
+class TestSubscriberApi:
+    def test_sinks_see_records_in_completion_order(self):
+        rec = TraceRecorder()
+        sink = _CollectingSink()
+        rec.add_subscriber(sink)
+        with rec.span("transpile"):
+            with rec.span("fuzz"):
+                rec.event("cache_hit", tier="memory")
+        # Children close before parents; the event fired first of all.
+        assert [s.name for s in sink.spans] == ["fuzz", "transpile"]
+        assert [e.name for e in sink.events] == ["cache_hit"]
+        assert isinstance(sink.spans[0], SpanRecord)
+        assert isinstance(sink.events[0], EventRecord)
+
+    def test_notification_matches_the_buffered_records(self):
+        rec = TraceRecorder()
+        sink = _CollectingSink()
+        rec.add_subscriber(sink)
+        with rec.span("transpile"):
+            rec.event("warn")
+        assert sink.all == list(rec.records())
+
+    def test_sinks_still_notified_after_buffer_overflow(self):
+        rec = TraceRecorder(max_records=1)
+        sink = _CollectingSink()
+        rec.add_subscriber(sink)
+        with rec.span("a"):
+            pass
+        with rec.span("b"):
+            pass
+        assert rec.dropped == 1
+        assert len(rec.records()) == 1
+        # The stream is not bounded by the buffer: both spans streamed.
+        assert [s.name for s in sink.spans] == ["a", "b"]
+
+    def test_raising_sink_is_counted_not_propagated(self):
+        rec = TraceRecorder()
+        rec.add_subscriber(_ExplodingSink())
+        survivor = _CollectingSink()
+        rec.add_subscriber(survivor)
+        with rec.span("transpile"):
+            rec.event("warn")
+        assert rec.subscriber_errors == 2
+        # Other sinks and the pipeline are unaffected.
+        assert [s.name for s in survivor.spans] == ["transpile"]
+        assert len(rec.records()) == 2
+
+    def test_remove_subscriber(self):
+        rec = TraceRecorder()
+        sink = _CollectingSink()
+        rec.add_subscriber(sink)
+        with rec.span("a"):
+            pass
+        rec.remove_subscriber(sink)
+        with rec.span("b"):
+            pass
+        assert [s.name for s in sink.spans] == ["a"]
+
+    def test_null_recorder_accepts_subscribers_as_noops(self):
+        sink = _CollectingSink()
+        NULL_RECORDER.add_subscriber(sink)
+        with NULL_RECORDER.span("a"):
+            pass
+        NULL_RECORDER.remove_subscriber(sink)
+        assert sink.spans == []
+
+    def test_subscribers_see_grafted_worker_subtraces(self):
+        worker = TraceRecorder()
+        with worker.span("hls_compile"):
+            pass
+        subtrace = worker.subtrace()
+
+        rec = TraceRecorder()
+        sink = _CollectingSink()
+        rec.add_subscriber(sink)
+        with rec.span("search.evaluate"):
+            rec.attach_subtrace(subtrace)
+        assert [s.name for s in sink.spans] == ["hls_compile", "search.evaluate"]
+
+
+# ---------------------------------------------------------------------------
+# Environment knobs
+# ---------------------------------------------------------------------------
+
+
+class TestEnvKnobs:
+    def test_progress_env(self, monkeypatch):
+        monkeypatch.delenv(PROGRESS_ENV, raising=False)
+        assert not progress_env_enabled()
+        monkeypatch.setenv(PROGRESS_ENV, "1")
+        assert progress_env_enabled()
+        monkeypatch.setenv(PROGRESS_ENV, "0")
+        assert not progress_env_enabled()
+
+    def test_stream_env(self, monkeypatch):
+        monkeypatch.delenv(STREAM_ENV, raising=False)
+        assert stream_env_path() is None
+        monkeypatch.setenv(STREAM_ENV, "/tmp/x.jsonl")
+        assert stream_env_path() == "/tmp/x.jsonl"
+
+
+# ---------------------------------------------------------------------------
+# Progress renderer
+# ---------------------------------------------------------------------------
+
+
+def _progress(rec):
+    # interval=0 so every record renders, non-TTY buffer to capture.
+    buffer = io.StringIO()
+    sink = ProgressSink(rec, stream=buffer, interval=0.0, plain_interval=0.0)
+    rec.add_subscriber(sink)
+    return sink, buffer
+
+
+class TestProgressSink:
+    def test_tracks_phase_iterations_and_budget(self):
+        rec = TraceRecorder()
+        sink, _buffer = _progress(rec)
+        clock = SimulatedClock.recording()
+        with rec.span("transpile"):
+            with rec.span("fuzz", clock=clock):
+                pass
+            rec.event("search_started", kernel="k",
+                      budget_seconds=10800.0, max_iterations=220)
+            with rec.span("search", clock=clock):
+                with rec.span("search.iteration", iteration=1, clock=clock):
+                    with rec.span("search.evaluate", edit="type_trans",
+                                  clock=clock):
+                        clock.charge(ACT_HLS_COMPILE, 540.0)
+                rec.event("repair_success", iteration=1)
+        sink.close()
+        assert sink.max_iterations == 220
+        assert sink.budget_seconds == 10800.0
+        assert sink.iterations == 1
+        assert sink.evaluations == 1
+        assert sink.sim_seconds == 540.0
+        assert sink.best == "repaired@it1"
+        assert sink.phase == "done"
+
+        line = sink.render_line()
+        assert "it=1/220" in line
+        assert "cand=1" in line
+        assert "sim=540s/10800s (5%)" in line
+        assert "repaired@it1" in line
+
+    def test_hit_rates_read_from_the_metrics_registry(self):
+        rec = TraceRecorder()
+        sink, _buffer = _progress(rec)
+        rec.metrics.inc("cache.lookups", tier="memory", outcome="hit")
+        rec.metrics.inc("cache.lookups", tier="memory", outcome="hit")
+        rec.metrics.inc("cache.lookups", tier="memory", outcome="miss")
+        rec.metrics.inc("cache.lookups", tier="store", outcome="miss")
+        line = sink.render_line()
+        assert "cache=67%" in line
+        assert "store=0%" in line
+
+    def test_non_tty_appends_lines(self):
+        rec = TraceRecorder()
+        sink, buffer = _progress(rec)
+        with rec.span("fuzz"):
+            pass
+        sink.close()
+        text = buffer.getvalue()
+        assert "\r" not in text
+        assert text.count("\n") >= 1
+        assert "phase=" in text
+
+    def test_renderer_never_mutates_pipeline_state(self):
+        rec = TraceRecorder()
+        _sink, _buffer = _progress(rec)
+        with rec.span("transpile"):
+            with rec.span("fuzz"):
+                pass
+        # Same record stream as an unsubscribed recorder.
+        bare = TraceRecorder()
+        with bare.span("transpile"):
+            with bare.span("fuzz"):
+                pass
+        assert [r.name for r in rec.records()] == \
+            [r.name for r in bare.records()]
+        assert rec.subscriber_errors == 0
+
+
+# ---------------------------------------------------------------------------
+# JSONL tail sink
+# ---------------------------------------------------------------------------
+
+
+class TestJsonlTailSink:
+    def test_tail_is_a_loadable_stream_journal(self, tmp_path):
+        path = str(tmp_path / "tail.jsonl")
+        rec = TraceRecorder()
+        sink = JsonlTailSink(path)
+        rec.add_subscriber(sink)
+        clock = SimulatedClock.recording()
+        with rec.span("transpile"):
+            with rec.span("fuzz", clock=clock):
+                clock.charge(ACT_HLS_COMPILE, 12.0)
+            rec.event("warn", code="W1")
+        sink.close()
+
+        lines = [json.loads(l) for l in open(path)]
+        assert lines[0]["type"] == "header"
+        assert lines[0]["stream"] is True
+        # Completion order: fuzz closes before the event fires, the
+        # root closes last.
+        assert [l["name"] for l in lines[1:]] == ["fuzz", "warn", "transpile"]
+
+        trace = load_journal(path)
+        assert {s["name"] for s in trace.spans.values()} == \
+            {"transpile", "fuzz"}
+        names = {trace.spans[s]["name"]: s for s in trace.spans}
+        assert trace.spans[names["fuzz"]]["parent"] == names["transpile"]
+        assert trace.spans[names["fuzz"]]["sim_dur_s"] == 12.0
+
+    def test_tail_of_a_dead_producer_still_loads(self, tmp_path):
+        # A producer that never closed its root span: the tail has the
+        # children but no parent record.
+        path = str(tmp_path / "tail.jsonl")
+        rec = TraceRecorder()
+        sink = JsonlTailSink(path)
+        rec.add_subscriber(sink)
+        span = rec.span("transpile")
+        span.__enter__()
+        with rec.span("fuzz"):
+            pass
+        sink.close()  # producer dies; "transpile" never closed
+
+        trace = load_journal(path)
+        assert [trace.spans[s]["name"] for s in trace.roots] == ["fuzz"]
+
+    def test_writes_flush_per_record(self, tmp_path):
+        path = str(tmp_path / "tail.jsonl")
+        rec = TraceRecorder()
+        sink = JsonlTailSink(path)
+        rec.add_subscriber(sink)
+        with rec.span("fuzz"):
+            pass
+        # Readable mid-run, before close().
+        lines = open(path).read().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["name"] == "fuzz"
+        sink.close()
+
+
+class TestAttachCliSinks:
+    def test_attaches_requested_sinks(self, tmp_path):
+        rec = TraceRecorder()
+        path = str(tmp_path / "s.jsonl")
+        sinks = attach_cli_sinks(rec, progress=True, stream_out=path)
+        assert len(sinks) == 2
+        assert isinstance(sinks[0], ProgressSink)
+        assert isinstance(sinks[1], JsonlTailSink)
+        with rec.span("fuzz"):
+            pass
+        for sink in sinks:
+            sink.close()
+        assert len(open(path).read().splitlines()) == 2
+
+    def test_nothing_requested_attaches_nothing(self):
+        rec = TraceRecorder()
+        assert attach_cli_sinks(rec) == []

@@ -1,0 +1,234 @@
+"""End-to-end trace plumbing through the CLI: every subcommand's
+journal round-trips into the analyzer, live sinks never change the
+product output, and the ``repro trace`` verbs work on real journals."""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.obs.analyze import load_journal, stage_stats
+from repro.obs.baseline import load_baseline
+
+KERNEL = """
+float smooth(float samples[8], float out[8]) {
+    long double acc = 0.0;
+    for (int i = 0; i < 8; i++) {
+        long double x = samples[i];
+        acc = acc + x;
+        out[i] = (float)acc;
+    }
+    return (float)acc;
+}
+"""
+
+#: (journal stem, argv tail, span names the journal must contain) — one
+#: traced invocation per subcommand.
+COMMANDS = [
+    ("transpile", ["transpile", "{kernel}", "--kernel", "smooth",
+                   "--fuzz-execs", "200", "--max-iterations", "50"],
+     {"transpile", "fuzz", "bitwidth", "search",
+      "search.iteration", "search.evaluate", "final_difftest"}),
+    ("check", ["check", "{kernel}", "--top", "smooth"],
+     {"check", "parse"}),
+    ("fuzz", ["fuzz", "{kernel}", "--kernel", "smooth",
+              "--fuzz-execs", "200"],
+     {"fuzz", "parse"}),
+    ("subjects", ["subjects", "--run", "P1", "--max-iterations", "25"],
+     {"transpile", "fuzz", "search", "search.evaluate"}),
+    ("study", ["study", "--posts", "100"],
+     {"study", "study.generate", "study.analyze"}),
+]
+
+
+def _run(argv):
+    """Invoke the CLI capturing stdout; returns (exit_code, stdout)."""
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = main(argv)
+    return code, out.getvalue()
+
+
+def _reset_process_state():
+    """Reset in-process counters that leak across CLI invocations, so
+    two runs in one test process produce identical output (what two
+    separate ``python -m repro`` processes get for free)."""
+    import itertools
+
+    from repro.cfront import nodes as N
+    from repro.hls.memo import clear_analysis_caches
+
+    N._uid_counter = itertools.count(1)
+    clear_analysis_caches()
+
+
+@pytest.fixture(scope="module")
+def journals(tmp_path_factory):
+    """One finished journal per subcommand, keyed by stem."""
+    root = tmp_path_factory.mktemp("journals")
+    kernel = root / "kernel.c"
+    kernel.write_text(KERNEL)
+    paths = {}
+    for stem, argv, _names in COMMANDS:
+        trace_out = root / f"{stem}.trace.json"
+        argv = [a.format(kernel=str(kernel)) for a in argv]
+        _run(argv + ["--trace-out", str(trace_out)])
+        paths[stem] = str(root / f"{stem}.trace.jsonl")
+    return paths
+
+
+class TestJournalRoundTrips:
+    @pytest.mark.parametrize(
+        "stem,argv,names", COMMANDS, ids=[c[0] for c in COMMANDS]
+    )
+    def test_subcommand_journal_loads_strict(self, journals, stem, argv,
+                                             names):
+        trace = load_journal(journals[stem], strict=True)
+        assert not trace.truncated and trace.skipped_lines == 0
+        stats = stage_stats(trace)
+        assert names <= set(stats), (
+            f"{stem} journal is missing spans: {names - set(stats)}"
+        )
+        assert trace.roots, f"{stem} journal has no root span"
+
+    def test_truncated_cli_journal_still_loads(self, journals, tmp_path):
+        text = open(journals["transpile"]).read()
+        cut = tmp_path / "cut.jsonl"
+        cut.write_text(text[: int(len(text) * 0.9)])
+        trace = load_journal(str(cut))
+        assert trace.spans
+        assert stage_stats(trace)
+
+
+class TestSinkDeterminism:
+    def test_json_output_byte_identical_with_sinks_on(self, tmp_path,
+                                                      monkeypatch, capsys):
+        for var in ("REPRO_TRACE", "REPRO_PROGRESS", "REPRO_STREAM"):
+            monkeypatch.delenv(var, raising=False)
+        kernel = tmp_path / "kernel.c"
+        kernel.write_text(KERNEL)
+        argv = ["transpile", str(kernel), "--kernel", "smooth",
+                "--fuzz-execs", "200", "--max-iterations", "50", "--json"]
+
+        _reset_process_state()
+        code = main(argv)
+        plain = capsys.readouterr()
+        assert code == 0
+
+        _reset_process_state()
+        stream = tmp_path / "tail.jsonl"
+        code = main(argv + [
+            "--progress",
+            "--stream-out", str(stream),
+            "--trace-out", str(tmp_path / "run.trace.json"),
+            "--metrics-out", str(tmp_path / "run.metrics.json"),
+        ])
+        sunk = capsys.readouterr()
+        assert code == 0
+
+        assert sunk.out == plain.out  # byte-identical product output
+        assert "[repro" in sunk.err   # progress went to stderr only
+        json.loads(plain.out)
+
+        # The live tail holds the same span multiset as the batch
+        # journal — only the ordering discipline differs.
+        batch = load_journal(str(tmp_path / "run.trace.jsonl"), strict=True)
+        tail = load_journal(str(stream))
+        assert sorted(s["name"] for s in tail.spans.values()) == \
+            sorted(s["name"] for s in batch.spans.values())
+
+    def test_progress_env_knob_enables_the_sink(self, tmp_path,
+                                                monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        kernel = tmp_path / "kernel.c"
+        kernel.write_text(KERNEL)
+        main(["check", str(kernel), "--top", "smooth"])
+        assert "[repro" in capsys.readouterr().err
+
+
+class TestTraceVerbs:
+    def test_summary(self, journals, capsys):
+        assert main(["trace", "summary", journals["transpile"]]) == 0
+        out = capsys.readouterr().out
+        assert "search.evaluate" in out
+        assert "critical path (wall)" in out
+
+    def test_summary_json(self, journals, capsys):
+        assert main(["trace", "summary", journals["transpile"],
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        stages = {s["name"] for s in payload["stages"]}
+        assert "search" in stages
+
+    def test_flame_folded(self, journals, capsys):
+        assert main(["trace", "flame", journals["transpile"],
+                     "--clock", "sim"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines and all(" " in l for l in lines)
+        assert any(l.startswith("transpile;search") for l in lines)
+
+    def test_flame_speedscope_file(self, journals, tmp_path, capsys):
+        out_path = tmp_path / "fg.speedscope.json"
+        assert main(["trace", "flame", journals["transpile"],
+                     "--format", "speedscope", "-o", str(out_path)]) == 0
+        doc = json.load(open(out_path))
+        assert doc["shared"]["frames"]
+        assert len(doc["profiles"]) == 2
+
+    def test_diff_of_a_journal_with_itself_is_clean(self, journals,
+                                                    capsys):
+        code = main(["trace", "diff", journals["transpile"],
+                     journals["transpile"]])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_diff_flags_extra_work_as_regressions(self, journals, capsys):
+        # The full transpile does strictly more than fuzz-only.
+        code = main(["trace", "diff", journals["fuzz"],
+                     journals["transpile"]])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_check_update_then_check_round_trip(self, journals, tmp_path,
+                                                capsys):
+        base = tmp_path / "baseline.json"
+        assert main(["trace", "check", journals["transpile"],
+                     "--baseline", str(base), "--update"]) == 0
+        baseline = load_baseline(str(base))
+        assert "search.evaluate" in baseline["stages"]
+        assert main(["trace", "check", journals["transpile"],
+                     "--baseline", str(base)]) == 0
+        assert "passed" in capsys.readouterr().out
+        # A run doing more work fails the gate.
+        assert main(["trace", "check", journals["subjects"],
+                     "--baseline", str(base)]) == 1
+
+class TestBrokenPipe:
+    def test_piped_trace_output_exits_141_without_traceback(self, journals):
+        # ``repro trace summary run.jsonl | head`` must not dump a
+        # BrokenPipeError traceback: the __main__ shim maps EPIPE to the
+        # conventional SIGPIPE exit status.  A pre-closed read end makes
+        # the first stdout flush fail deterministically.
+        import subprocess
+        import sys
+
+        read_end, write_end = os.pipe()
+        os.close(read_end)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (env.get("PYTHONPATH"),
+                        os.path.join(os.path.dirname(__file__),
+                                     os.pardir, os.pardir, "src"))
+            if p)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "trace", "summary",
+             journals["transpile"]],
+            stdout=write_end, stderr=subprocess.PIPE, env=env)
+        os.close(write_end)
+        assert proc.returncode == 141
+        assert b"Traceback" not in proc.stderr
